@@ -1,0 +1,26 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables/figures: it computes
+the same rows/series the paper reports, prints them, and archives them
+under ``benchmarks/results/`` (EXPERIMENTS.md summarizes paper-reported vs
+measured values).
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Print a regenerated figure and archive it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

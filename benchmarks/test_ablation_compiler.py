@@ -1,0 +1,76 @@
+"""Compiler co-design ablation (the paper's core pitch: "exploration of
+optimizations across the hardware-software stack").
+
+Simulating the same kernels from -O0 vs -O1 IR shows a compiler change
+moving hardware metrics with zero simulator changes — and shows which
+bottleneck class each kernel has: compute-bound kernels gain from fewer
+instructions, memory-bound kernels barely move (their cycles are DRAM
+time, not issue slots).
+"""
+
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.harness import (
+    prepare, render_table, simulate, xeon_core, xeon_hierarchy,
+)
+from repro.passes import optimize
+from repro.workloads import build_parboil
+
+from .conftest import record
+
+KERNELS = ("sgemm", "stencil", "lbm", "spmv")
+
+
+def _measure():
+    rows = {}
+    for name in KERNELS:
+        baseline_w = build_parboil(name)
+        baseline_p = prepare(baseline_w.kernel, baseline_w.args,
+                             memory=baseline_w.memory)
+        baseline = simulate(baseline_p.function, [], prepared=baseline_p,
+                            core=xeon_core(), hierarchy=xeon_hierarchy())
+        baseline_w.verify()
+
+        optimized_w = build_parboil(name)
+        func = compile_kernel(optimized_w.kernel)
+        report = optimize(func)
+        optimized_p = prepare(func, optimized_w.args,
+                              memory=optimized_w.memory)
+        optimized = simulate(func, [], prepared=optimized_p,
+                             core=xeon_core(), hierarchy=xeon_hierarchy())
+        optimized_w.verify()
+        rows[name] = {
+            "o0_instructions": baseline.instructions,
+            "o1_instructions": optimized.instructions,
+            "o0_cycles": baseline.cycles,
+            "o1_cycles": optimized.cycles,
+            "passes": report,
+        }
+    return rows
+
+
+def test_ablation_compiler_optimization(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = [[name,
+              data["o0_instructions"], data["o1_instructions"],
+              data["o0_cycles"], data["o1_cycles"],
+              f"{data['o0_cycles'] / data['o1_cycles']:.3f}x"]
+             for name, data in rows.items()]
+    record("ablation_compiler", render_table(
+        ["kernel", "-O0 insts", "-O1 insts", "-O0 cycles", "-O1 cycles",
+         "speedup"], table,
+        title="Ablation: compiler optimization (-O0 vs -O1 IR)"))
+
+    for name, data in rows.items():
+        # the optimizer never hurts and never breaks correctness
+        assert data["o1_instructions"] <= data["o0_instructions"]
+        assert data["o1_cycles"] <= data["o0_cycles"] * 1.01
+    # compute-leaning kernels gain noticeably...
+    assert rows["lbm"]["o0_cycles"] > 1.03 * rows["lbm"]["o1_cycles"]
+    # ...while the memory-bound kernel's cycles barely move even when
+    # instructions shrink (the bottleneck is DRAM, not issue slots)
+    spmv = rows["spmv"]
+    lbm = rows["lbm"]
+    assert (spmv["o0_cycles"] / spmv["o1_cycles"]
+            < lbm["o0_cycles"] / lbm["o1_cycles"])

@@ -1,0 +1,29 @@
+"""Figure 1 — 42 years of microprocessor trend data.
+
+Regenerates the five series (transistors, frequency, power, single-thread
+performance, logical cores) and checks the qualitative story the paper
+tells with this figure: frequency plateaus in the mid-2000s while core
+counts take over.
+"""
+
+from repro.harness import microprocessor_trends, render_figure1, \
+    stagnation_year
+
+from .conftest import record
+
+
+def test_fig01_microprocessor_trends(benchmark):
+    points = benchmark.pedantic(microprocessor_trends, rounds=1,
+                                iterations=1)
+    text = render_figure1(points)
+    wall = stagnation_year(points)
+    record("fig01_trends", text + f"\n\nfrequency stagnation year: {wall}")
+
+    assert 2003 <= wall <= 2007
+    # Moore's law continues while frequency stalls
+    last, mid = points[-1], points[len(points) // 2]
+    assert last.transistors_k > 100 * mid.transistors_k
+    # frequency is flat over the final decade
+    assert last.frequency_mhz == points[-10].frequency_mhz
+    # cores take over after the wall
+    assert last.cores > 8 and mid.cores == 1

@@ -1,0 +1,86 @@
+"""Figures 7, 8, 9 — thread-scaling trends for BFS, SGEMM, SPMV.
+
+The paper runs each kernel at {1, 2, 4, 8} threads on the Xeon and in
+MosaicSim, normalizes to one thread, and shows: SGEMM scales almost
+linearly (Fig 8), SPMV sublinearly due to bandwidth throttling (Fig 9),
+and BFS worst (Fig 7) — with MosaicSim tracking the measured trends.
+Here "measured" is the x86 reference machine.
+"""
+
+import pytest
+
+from repro.harness import (
+    prepare, reference_stats, render_table, simulate, xeon_core,
+    xeon_hierarchy,
+)
+from repro.workloads import build_parboil
+
+from .conftest import record
+
+THREADS = (1, 2, 4, 8)
+
+#: per-kernel dataset sizes for the sweep (big enough to partition 8 ways)
+SIZES = {
+    "bfs": dict(nverts=1024, avg_degree=6),
+    "sgemm": dict(n=32, m=32, k=32),
+    "spmv": dict(rows=384, cols=2048, nnz_per_row=10),
+}
+
+#: paper-reported speedups at 8 threads (approximate, read off the plots)
+PAPER_8T = {"bfs": (5.0, 8.0), "sgemm": (7.0, 8.2), "spmv": (3.0, 5.0)}
+
+
+def _sweep(name):
+    mosaic, reference = {}, {}
+    for threads in THREADS:
+        workload = build_parboil(name, **SIZES[name])
+        prepared = prepare(workload.kernel, workload.args,
+                           num_tiles=threads, memory=workload.memory)
+        mosaic[threads] = simulate(
+            workload.kernel, [], core=xeon_core(), num_tiles=threads,
+            hierarchy=xeon_hierarchy(), prepared=prepared).runtime_seconds
+        reference[threads] = reference_stats(
+            prepared, num_tiles=threads).runtime_seconds
+        workload.verify()
+    mosaic_speedup = {t: mosaic[1] / mosaic[t] for t in THREADS}
+    ref_speedup = {t: reference[1] / reference[t] for t in THREADS}
+    return mosaic_speedup, ref_speedup
+
+
+def _record(name, figure, mosaic, reference):
+    rows = [[t, mosaic[t], reference[t]] for t in THREADS]
+    record(figure, render_table(
+        ["threads", "MosaicSim speedup", "x86-reference speedup"], rows,
+        title=f"{figure}: {name} scaling (normalized to 1 thread)"))
+
+
+@pytest.fixture(scope="module")
+def sweeps(request):
+    return {name: _sweep(name) for name in SIZES}
+
+
+def test_fig08_sgemm_scales_linearly(benchmark, sweeps):
+    mosaic, reference = benchmark.pedantic(lambda: sweeps["sgemm"],
+                                           rounds=1, iterations=1)
+    _record("SGEMM", "fig08_sgemm_scaling", mosaic, reference)
+    assert mosaic[8] > 5.0                      # near-linear
+    assert abs(mosaic[8] - reference[8]) < 2.0  # simulator tracks machine
+    assert mosaic[2] > 1.6 and mosaic[4] > 3.0
+
+
+def test_fig09_spmv_scales_sublinearly(benchmark, sweeps):
+    mosaic, reference = benchmark.pedantic(lambda: sweeps["spmv"],
+                                           rounds=1, iterations=1)
+    _record("SPMV", "fig09_spmv_scaling", mosaic, reference)
+    sgemm_mosaic, _ = sweeps["sgemm"]
+    assert 1.5 < mosaic[8] < sgemm_mosaic[8]    # sublinear vs compute
+    assert abs(mosaic[8] - reference[8]) < 2.5
+
+
+def test_fig07_bfs_scales_worst(benchmark, sweeps):
+    mosaic, reference = benchmark.pedantic(lambda: sweeps["bfs"],
+                                           rounds=1, iterations=1)
+    _record("BFS", "fig07_bfs_scaling", mosaic, reference)
+    sgemm_mosaic, _ = sweeps["sgemm"]
+    assert mosaic[8] < sgemm_mosaic[8]          # worst scaler
+    assert mosaic[8] > 1.2                      # but still some speedup

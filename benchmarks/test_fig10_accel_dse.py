@@ -1,0 +1,131 @@
+"""Figure 10 — accelerator design-space exploration and model accuracy.
+
+(a,b,c): for matmul, histogram and element-wise accelerators, sweep four
+PLM design points (4/16/64/256 KB) over four workload sizes (256 KB, 1,
+4, 16 MB) and report execution time vs area — the paper's Pareto plots.
+
+(d): accuracy of the generic (closed-form, back-annotated) performance
+model against cycle-level RTL simulation (paper: 97-100%) and against
+full-system FPGA emulation (paper: >= 89%).
+"""
+
+import math
+
+import pytest
+
+from repro.harness import geomean, render_table
+from repro.sim.accelerator import (
+    FPGAEmulation, GenericPerformanceModel, RTLSimulation,
+)
+from repro.sim.accelerator.library import (
+    elementwise_design, histo_design, sgemm_design,
+)
+
+from .conftest import record
+
+PLM_SIZES_KB = (4, 16, 64, 256)
+WORKLOAD_MB = (0.25, 1.0, 4.0, 16.0)
+
+#: paper-reported model accuracies (Fig. 10d)
+PAPER_ACCURACY = {
+    "matmul": (0.99, 0.90), "histo": (0.99, 0.93),
+    "elementwise": (0.97, 0.89),
+}
+
+
+def _workload_params(kind, mbytes):
+    elems = int(mbytes * 1024 * 1024 / 8)
+    if kind == "matmul":
+        n = max(16, int(round((elems / 2) ** 0.5)))  # A and B of n x n
+        return {"n": n, "m": n, "k": n}
+    if kind == "histo":
+        return {"n": elems, "bins": 4096}
+    return {"n": elems // 2}  # elementwise: two input arrays
+
+
+_FACTORIES = {
+    "matmul": sgemm_design,
+    "histo": histo_design,
+    "elementwise": elementwise_design,
+}
+
+
+def _sweep():
+    table = {}     # kind -> list of (plm_kb, area, {mb: cycles})
+    accuracy = {}  # kind -> (vs_rtl, vs_fpga)
+    for kind, factory in _FACTORIES.items():
+        rows = []
+        rtl_ratios, fpga_ratios = [], []
+        for plm_kb in PLM_SIZES_KB:
+            design = factory(plm_kb * 1024)
+            generic = GenericPerformanceModel(design,
+                                              max_bandwidth_gbps=16.0)
+            rtl = RTLSimulation(design)
+            fpga = FPGAEmulation(design)
+            times = {}
+            for mbytes in WORKLOAD_MB:
+                params = _workload_params(kind, mbytes)
+                model_cycles = generic.estimate(params).cycles
+                rtl_cycles = rtl.simulate(params).cycles
+                fpga_cycles = fpga.execute(params).cycles
+                times[mbytes] = model_cycles
+                rtl_ratios.append(min(model_cycles, rtl_cycles)
+                                  / max(model_cycles, rtl_cycles))
+                fpga_ratios.append(min(model_cycles, fpga_cycles)
+                                   / max(model_cycles, fpga_cycles))
+            rows.append((plm_kb, design.area_um2, times))
+        table[kind] = rows
+        accuracy[kind] = (geomean(rtl_ratios), geomean(fpga_ratios))
+    return table, accuracy
+
+
+@pytest.fixture(scope="module")
+def dse():
+    return _sweep()
+
+
+def test_fig10abc_design_space(benchmark, dse):
+    table, _ = benchmark.pedantic(lambda: dse, rounds=1, iterations=1)
+    lines = []
+    for kind, rows in table.items():
+        body = [[f"{plm}KB", f"{area / 1e5:.2f}e5"]
+                + [row_times[mb] for mb in WORKLOAD_MB]
+                for plm, area, row_times in rows]
+        lines.append(render_table(
+            ["PLM", "area um^2"] + [f"{mb}MB cycles" for mb in WORKLOAD_MB],
+            body, title=f"Figure 10 ({kind}): execution time vs area"))
+    record("fig10abc_dse", "\n\n".join(lines))
+
+    for kind, rows in table.items():
+        areas = [area for _, area, _ in rows]
+        assert areas == sorted(areas)  # area grows with PLM
+        biggest = rows[-1][2][WORKLOAD_MB[-1]]
+        smallest = rows[0][2][WORKLOAD_MB[-1]]
+        if kind == "matmul":
+            # our matmul datapath (calibrated to Fig 12's ~45x speedup)
+            # is compute-bound, so PLM size only changes time marginally
+            assert abs(biggest - smallest) < 0.05 * smallest
+        else:
+            # streaming accelerators: the largest workload prefers the
+            # biggest PLM (fewer, larger DMA transfers)
+            assert biggest < smallest
+        # execution time grows with workload size at any design point
+        for _, _, times in rows:
+            ordered = [times[mb] for mb in WORKLOAD_MB]
+            assert ordered == sorted(ordered)
+
+
+def test_fig10d_model_accuracy(benchmark, dse):
+    _, accuracy = benchmark.pedantic(lambda: dse, rounds=1, iterations=1)
+    rows = [[kind, measured_rtl, measured_fpga, *PAPER_ACCURACY[kind]]
+            for kind, (measured_rtl, measured_fpga) in accuracy.items()]
+    record("fig10d_accuracy", render_table(
+        ["accelerator", "vs RTL", "vs FPGA", "paper vs RTL",
+         "paper vs FPGA"], rows,
+        title="Figure 10d: generic-model execution-time accuracy"))
+
+    for kind, (vs_rtl, vs_fpga) in accuracy.items():
+        assert vs_rtl >= 0.85, f"{kind} vs RTL accuracy {vs_rtl}"
+        assert vs_fpga >= 0.75, f"{kind} vs FPGA accuracy {vs_fpga}"
+        # FPGA (with driver overhead + contention) is the looser target
+        assert vs_fpga <= vs_rtl + 0.02

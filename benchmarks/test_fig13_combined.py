@@ -1,0 +1,136 @@
+"""Figure 13 — the combined SGEMM+EWSD kernel under three cycle mixes
+(paper §VII-B).
+
+The combined benchmark runs the dense and sparse phases serially; the mix
+(dense-heavy 75/25, equal, sparse-heavy 25/75) is set by dataset sizes
+calibrated to cycle shares on one InO core. Paper claims: the optimal
+architecture depends on the mix without an accelerator, and the most
+heterogeneous system (DAE pairs + SGEMM accelerator) is best for all
+mixes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    dae_hierarchy, inorder_core, ooo_core, prepare_dae_sliced, render_table,
+    simulate, simulate_dae,
+)
+from repro.ir import F64
+from repro.sim.accelerator import AcceleratorFarm
+from repro.trace import SimMemory
+from repro.workloads import build_parboil
+from repro.workloads.sinkhorn import build_ewsd
+
+from .conftest import record
+
+#: (sgemm n, ewsd nnz) per mix; dense_len keeps the gather DRAM-bound
+MIXES = {
+    "dense-heavy": (28, 600),
+    "equal": (22, 1200),
+    "sparse-heavy": (16, 1800),
+}
+DENSE_LEN = 262144  # 2 MB: the sparse gather misses the shared L2
+
+
+def accel_sgemm_driver(A: 'f64*', B: 'f64*', C: 'f64*', n: int, m: int,
+                       k: int):
+    accel_sgemm(A, B, C, n, m, k)
+
+
+def _phase_runtimes(mix):
+    """Runtime of each phase on every system; phases run serially, so the
+    combined runtime is the sum."""
+    n, nnz = MIXES[mix]
+    out = {}
+
+    def sgemm_on(core, tiles=1):
+        w = build_parboil("sgemm", n=n, m=n, k=n)
+        return simulate(w.kernel, w.args, core=core, num_tiles=tiles,
+                        hierarchy=dae_hierarchy()).runtime_seconds
+
+    def ewsd_on(core, tiles=1):
+        w = build_ewsd(nnz=nnz, dense_len=DENSE_LEN)
+        return simulate(w.kernel, w.args, core=core, num_tiles=tiles,
+                        hierarchy=dae_hierarchy()).runtime_seconds
+
+    def ewsd_dae(pairs):
+        w = build_ewsd(nnz=nnz, dense_len=DENSE_LEN)
+        specs = prepare_dae_sliced(w.kernel, w.args, pairs=pairs)
+        return simulate_dae(specs, access_core=inorder_core(),
+                            execute_core=inorder_core(),
+                            hierarchy=dae_hierarchy()).runtime_seconds
+
+    def sgemm_dae(pairs):
+        w = build_parboil("sgemm", n=n, m=n, k=n)
+        specs = prepare_dae_sliced(w.kernel, w.args, pairs=pairs)
+        return simulate_dae(specs, access_core=inorder_core(),
+                            execute_core=inorder_core(),
+                            hierarchy=dae_hierarchy()).runtime_seconds
+
+    def sgemm_accel():
+        rng = np.random.default_rng(0)
+        a, b = rng.uniform(-1, 1, (n, n)), rng.uniform(-1, 1, (n, n))
+        mem = SimMemory()
+        A = mem.alloc(n * n, F64, "A", init=a.ravel())
+        B = mem.alloc(n * n, F64, "B", init=b.ravel())
+        C = mem.alloc(n * n, F64, "C")
+        farm = AcceleratorFarm().add_default("sgemm", plm_bytes=64 * 1024)
+        return simulate(accel_sgemm_driver, [A, B, C, n, n, n],
+                        core=inorder_core(), hierarchy=dae_hierarchy(),
+                        accelerators=farm).runtime_seconds
+
+    base_sgemm = sgemm_on(inorder_core())
+    base_ewsd = ewsd_on(inorder_core())
+    out["1 InO"] = base_sgemm + base_ewsd
+    out["4 InO"] = sgemm_on(inorder_core(), 4) + ewsd_on(inorder_core(), 4)
+    out["8 InO"] = sgemm_on(inorder_core(), 8) + ewsd_on(inorder_core(), 8)
+    out["1 OoO"] = sgemm_on(ooo_core()) + ewsd_on(ooo_core())
+    out["4+4 InO DAE"] = sgemm_dae(4) + ewsd_dae(4)
+    out["4+4 InO DAE w/Accel"] = sgemm_accel() + ewsd_dae(4)
+    dense_share = base_sgemm / (base_sgemm + base_ewsd)
+    return out, dense_share
+
+
+def _measure():
+    speedups = {}
+    shares = {}
+    for mix in MIXES:
+        runtimes, dense_share = _phase_runtimes(mix)
+        base = runtimes["1 InO"]
+        speedups[mix] = {k: base / v for k, v in runtimes.items()}
+        shares[mix] = dense_share
+    return speedups, shares
+
+
+def test_fig13_combined_kernel(benchmark):
+    speedups, shares = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    systems = ["4 InO", "8 InO", "1 OoO", "4+4 InO DAE",
+               "4+4 InO DAE w/Accel"]
+    rows = [[mix, f"{shares[mix] * 100:.0f}%"]
+            + [speedups[mix][s] for s in systems] for mix in MIXES]
+    record("fig13_combined", render_table(
+        ["mix", "SGEMM share"] + systems, rows,
+        title="Figure 13: combined kernel speedups vs 1 InO"))
+
+    # the mixes hit their intended dense/sparse cycle shares
+    assert shares["dense-heavy"] > 0.60
+    assert 0.35 < shares["equal"] < 0.65
+    assert shares["sparse-heavy"] < 0.40
+
+    for mix in MIXES:
+        best = max(speedups[mix], key=speedups[mix].get)
+        # the paper's takeaway: the most heterogeneous system (DAE +
+        # accelerator) is the best choice for every mix
+        assert best == "4+4 InO DAE w/Accel", (mix, speedups[mix])
+
+    # without the accelerator, the preferred system shifts with the mix:
+    # DAE's edge over the OoO grows as the kernel gets sparser
+    def dae_vs_ooo(mix):
+        return speedups[mix]["4+4 InO DAE"] / speedups[mix]["1 OoO"]
+
+    assert dae_vs_ooo("sparse-heavy") > dae_vs_ooo("dense-heavy")
+    # sparse-heavy: DAE is the best non-accelerated option
+    non_accel = {k: v for k, v in speedups["sparse-heavy"].items()
+                 if k != "4+4 InO DAE w/Accel"}
+    assert max(non_accel, key=non_accel.get) == "4+4 InO DAE"

@@ -1,0 +1,57 @@
+"""Figure 14 — energy-delay improvements from hardware accelerators for
+Keras-TensorFlow-style DNN training (paper §VII-C).
+
+Paper: an SoC with 8 accelerators vs an out-of-order server core improves
+training-step EDP by 7.22x (ConvNet — conv backprop stays on the CPU),
+38x (GraphSage — random walk + embedding stay on the CPU), and 282.24x
+(RecSys — entirely accelerated).
+"""
+
+import pytest
+
+from repro.harness import render_bars, render_table
+from repro.nn import TrainingCostModel, convnet, graphsage, recsys
+
+from .conftest import record
+
+PAPER_EDP = {"ConvNet": 7.22, "GraphSage": 38.0, "RecSys": 282.24}
+BATCH = 32
+
+
+def _measure():
+    model = TrainingCostModel(num_accel_instances=8)
+    out = {}
+    for factory in (convnet, graphsage, recsys):
+        net = factory()
+        baseline = model.training_step_cost(net, BATCH, accelerated=False)
+        soc = model.training_step_cost(net, BATCH, accelerated=True)
+        out[net.name] = {
+            "edp_improvement": baseline.edp / soc.edp,
+            "speedup": baseline.seconds / soc.seconds,
+            "energy_ratio": baseline.energy_j / soc.energy_j,
+        }
+    return out
+
+
+def test_fig14_edp_improvements(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = [[name, r["edp_improvement"], PAPER_EDP[name], r["speedup"],
+             r["energy_ratio"]] for name, r in results.items()]
+    record("fig14_tensorflow", render_table(
+        ["model", "measured EDP gain", "paper EDP gain", "speedup",
+         "energy ratio"], rows,
+        title="Figure 14: accelerator-SoC EDP improvement over OoO core")
+        + "\n\n" + render_bars(
+            {k: v["edp_improvement"] for k, v in results.items()},
+            unit="x"))
+
+    edp = {k: v["edp_improvement"] for k, v in results.items()}
+    # the paper's ordering and rough magnitudes
+    assert edp["ConvNet"] < edp["GraphSage"] < edp["RecSys"]
+    assert 3 < edp["ConvNet"] < 30          # paper: 7.22
+    assert 15 < edp["GraphSage"] < 150      # paper: 38
+    assert 100 < edp["RecSys"] < 1500       # paper: 282.24
+    # Amdahl: the partially-accelerated models are bounded by their
+    # CPU-resident fractions, the fully-accelerated one is not
+    assert results["RecSys"]["speedup"] > \
+        results["GraphSage"]["speedup"] > results["ConvNet"]["speedup"]

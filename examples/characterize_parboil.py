@@ -1,0 +1,45 @@
+"""Application characterization with IPC (paper §VI-A, Figure 6).
+
+Runs a selection of Parboil benchmarks through the full toolchain on the
+Table I machine model and prints the IPC characterization — low IPC
+flags memory-bound kernels, high IPC compute-bound ones — plus cache and
+DRAM behavior from the memory hierarchy model.
+
+Run:  python examples/characterize_parboil.py  [benchmark ...]
+"""
+
+import sys
+
+from repro.harness import render_table, simulate, xeon_core, xeon_hierarchy
+from repro.workloads import PARBOIL, build_parboil
+
+DEFAULT = ["bfs", "spmv", "histo", "sgemm", "mri-q", "sad"]
+
+
+def main(names) -> None:
+    rows = []
+    for name in names:
+        workload = build_parboil(name)
+        stats = simulate(workload.kernel, workload.args, core=xeon_core(),
+                         hierarchy=xeon_hierarchy())
+        workload.verify()
+        l1 = stats.caches["L1"]
+        rows.append([
+            name, workload.bound, stats.cycles, stats.ipc,
+            f"{l1.miss_rate * 100:.1f}%", stats.dram.requests,
+        ])
+    rows.sort(key=lambda r: r[3])
+    print(render_table(
+        ["benchmark", "expected bound", "cycles", "IPC", "L1 miss",
+         "DRAM reqs"],
+        rows, title="Parboil characterization (sorted by IPC; low = "
+                    "memory-bound)"))
+
+
+if __name__ == "__main__":
+    chosen = sys.argv[1:] or DEFAULT
+    unknown = [n for n in chosen if n not in PARBOIL]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {unknown}; "
+                         f"available: {sorted(PARBOIL)}")
+    main(chosen)

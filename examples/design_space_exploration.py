@@ -1,0 +1,60 @@
+"""Core design-space exploration with trace reuse.
+
+MosaicSim's value proposition: traces are generated once, then every
+candidate microarchitecture is just another timing pass. This example
+sweeps issue width x window size for a compute kernel and window x LSQ
+for a memory kernel, then finds the cheapest configuration within 10% of
+peak performance (a classic early-stage sizing question).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.harness import prepare, xeon_hierarchy
+from repro.harness.sweeps import sweep_core
+from repro.power import core_area_mm2
+from repro.sim.config import CoreConfig
+from repro.workloads import build_parboil
+
+
+def main() -> None:
+    base = CoreConfig(issue_width=4, rob_size=128, lsq_size=128,
+                      branch_predictor="perfect", perfect_alias=True)
+
+    # compute-bound kernel: width and window both matter
+    sgemm = build_parboil("sgemm", n=20, m=20, k=20)
+    sgemm_prepared = prepare(sgemm.kernel, sgemm.args, memory=sgemm.memory)
+    sweep = sweep_core(
+        sgemm_prepared, base,
+        {"issue_width": [1, 2, 4, 8], "rob_size": [16, 64, 256]},
+        hierarchy_factory=xeon_hierarchy)
+    print(sweep.table(title="SGEMM: issue width x window"))
+    best = sweep.best("cycles")
+    print(f"fastest point: {best.parameters} at {best.cycles} cycles\n")
+
+    # cheapest configuration within 10% of peak
+    threshold = best.cycles * 1.10
+    affordable = [
+        point for point in sweep.points if point.cycles <= threshold]
+    cheapest = min(
+        affordable,
+        key=lambda p: core_area_mm2(CoreConfig(
+            issue_width=p.parameters["issue_width"],
+            rob_size=p.parameters["rob_size"], area_mm2=0.0)))
+    print(f"cheapest within 10% of peak: {cheapest.parameters} "
+          f"({cheapest.cycles} cycles)\n")
+
+    # memory-bound kernel: the window hides latency, width doesn't
+    spmv = build_parboil("spmv")
+    spmv_prepared = prepare(spmv.kernel, spmv.args, memory=spmv.memory)
+    sweep = sweep_core(
+        spmv_prepared, base,
+        {"issue_width": [1, 4], "rob_size": [16, 64, 256]},
+        hierarchy_factory=xeon_hierarchy)
+    print(sweep.table(title="SPMV: issue width x window"))
+    print("\nFor SPMV, growing the window (more memory-level parallelism) "
+          "dwarfs the gain from extra issue width - the kernel is "
+          "latency-bound, not issue-bound.")
+
+
+if __name__ == "__main__":
+    main()

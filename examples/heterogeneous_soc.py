@@ -1,0 +1,80 @@
+"""Heterogeneous SoC composition (paper Figure 2): big.LITTLE cores at
+different clocks plus an accelerator, in one simulated system.
+
+Shows the Interleaver coordinating tiles with different microarchitectures
+and clock speeds, the static-partition imbalance a heterogeneous system
+creates, and the NoC/coherence extensions.
+
+Run:  python examples/heterogeneous_soc.py
+"""
+
+import numpy as np
+
+from repro.harness import (
+    dae_hierarchy, inorder_core, ooo_core, render_table,
+    simulate_heterogeneous,
+)
+from repro.ir import F64
+from repro.memory import NoCConfig
+from repro.trace import SimMemory
+
+
+def stream_scale(A: 'f64*', B: 'f64*', n: int, alpha: float):
+    start = (n * tile_id()) // num_tiles()
+    end = (n * (tile_id() + 1)) // num_tiles()
+    for i in range(start, end):
+        B[i] = alpha * A[i] + B[i]
+
+
+def build(n):
+    mem = SimMemory()
+    A = mem.alloc(n, F64, "A", init=np.ones(n))
+    B = mem.alloc(n, F64, "B", init=np.ones(n))
+    return mem, A, B
+
+
+def main() -> None:
+    n = 4096
+    big = ooo_core("Big")                                   # 2 GHz OoO
+    little = inorder_core("Little").scaled(frequency_ghz=1.0)
+
+    configurations = {
+        "4x Big": [big] * 4,
+        "4x Little": [little] * 4,
+        "1 Big + 3 Little": [big] + [little] * 3,
+    }
+
+    rows = []
+    for label, cores in configurations.items():
+        mem, A, B = build(n)
+        stats = simulate_heterogeneous(stream_scale, [A, B, n, 2.0],
+                                       cores=cores,
+                                       hierarchy=dae_hierarchy(),
+                                       memory=mem)
+        assert np.allclose(B.data, 3.0)
+        fastest = min(t.cycles for t in stats.tiles)
+        slowest = max(t.cycles for t in stats.tiles)
+        rows.append([label, stats.cycles, f"{slowest / fastest:.2f}x",
+                     f"{stats.total_energy_nj / 1e3:.1f}"])
+    print(render_table(
+        ["system", "cycles", "tile imbalance", "energy (uJ)"], rows,
+        title=f"Static equal partition of {n} elements"))
+    print("\nThe mixed system is gated by its little cores: equal "
+          "partitioning wastes the big core (the imbalance column), "
+          "motivating capacity-aware partitioning.")
+
+    # same mixed system, now with a mesh NoC and directory coherence
+    mem, A, B = build(n)
+    hierarchy = dae_hierarchy()
+    hierarchy.noc = NoCConfig(link_latency=1, router_latency=2, llc_banks=4)
+    hierarchy.coherence = True
+    stats = simulate_heterogeneous(stream_scale, [A, B, n, 2.0],
+                                   cores=[big] + [little] * 3,
+                                   hierarchy=hierarchy, memory=mem)
+    assert np.allclose(B.data, 3.0)
+    print(f"\nwith mesh NoC + directory coherence: {stats.cycles} cycles "
+          f"(extensions from paper §V-A's sketch)")
+
+
+if __name__ == "__main__":
+    main()

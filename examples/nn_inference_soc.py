@@ -1,0 +1,53 @@
+"""Whole-network inference on a simulated accelerator SoC (paper §VII-C).
+
+Lowers a small ConvNet's forward pass to a single IR kernel whose body is
+one ``accel_*`` invocation per layer, then simulates it: the interpreter
+executes each accelerator's functional semantics (so the network output
+is real and checkable), while the Interleaver costs each invocation
+through the accelerator performance models.
+
+Run:  python examples/nn_inference_soc.py
+"""
+
+import numpy as np
+
+from repro.harness import inorder_core, render_table, simulate, \
+    xeon_hierarchy
+from repro.nn import convnet_inference, lower_inference
+
+
+def main() -> None:
+    model = convnet_inference(input_hw=12, channels=6)
+    print(model.summary(batch=1))
+
+    lowered = lower_inference(model, seed=1)
+    print("\n=== generated kernel ===")
+    print(lowered.source)
+
+    x = np.random.default_rng(9).uniform(-1, 1, 12 * 12 * 3)
+    lowered.input_buffer.data[:] = x
+
+    rows = []
+    for plm_kb in (16, 64, 256):
+        # fresh lowering per run: traces re-execute the network
+        run = lower_inference(model, seed=1)
+        run.input_buffer.data[:] = x
+        stats = simulate(run.function, run.args, core=inorder_core(),
+                         hierarchy=xeon_hierarchy(),
+                         accelerators=run.farm(plm_bytes=plm_kb * 1024),
+                         memory=run.memory)
+        assert np.allclose(run.output_buffer.data, run.reference(x),
+                           atol=1e-9)
+        tile = stats.tiles[0]
+        rows.append([f"{plm_kb} KB", stats.cycles, tile.accel_invocations,
+                     tile.accel_bytes])
+    print(render_table(
+        ["accelerator PLM", "total cycles", "invocations", "bytes DMA'd"],
+        rows, title="ConvNet inference on the accelerator SoC"))
+    print("\nThe network's numeric output is identical in every "
+          "configuration (functional model) while timing tracks the "
+          "accelerator design point (performance model).")
+
+
+if __name__ == "__main__":
+    main()

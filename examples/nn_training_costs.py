@@ -1,0 +1,50 @@
+"""Keras-style DNN performance modeling (paper §VII-C, Figure 14).
+
+Builds the paper's three deep-learning applications with the Keras-like
+layer API, lowers each training step into accelerator invocations plus
+CPU-resident ops, and compares an out-of-order server core against an SoC
+with 8 accelerator instances in runtime, energy, and energy-delay
+product.
+
+Run:  python examples/nn_training_costs.py
+"""
+
+from repro.harness import render_bars, render_table
+from repro.nn import TrainingCostModel, convnet, graphsage, recsys
+
+
+def main() -> None:
+    model = TrainingCostModel(num_accel_instances=8)
+    rows = []
+    improvements = {}
+    for factory in (convnet, graphsage, recsys):
+        net = factory()
+        print(net.summary(batch=32))
+        print()
+        baseline = model.training_step_cost(net, 32, accelerated=False)
+        soc = model.training_step_cost(net, 32, accelerated=True)
+        improvements[net.name] = baseline.edp / soc.edp
+        rows.append([
+            net.name,
+            f"{baseline.seconds * 1e3:.2f}",
+            f"{soc.seconds * 1e3:.3f}",
+            f"{baseline.seconds / soc.seconds:.1f}x",
+            f"{baseline.energy_j / soc.energy_j:.1f}x",
+            f"{baseline.edp / soc.edp:.1f}x",
+        ])
+        # where does the remaining SoC time go? (Amdahl's law in action)
+        slowest = sorted(soc.breakdown.items(), key=lambda kv: -kv[1])[:3]
+        parts = ", ".join(f"{k} {v * 1e6:.0f}us" for k, v in slowest)
+        print(f"  SoC time dominated by: {parts}\n")
+
+    print(render_table(
+        ["model", "OoO ms/step", "SoC ms/step", "speedup", "energy gain",
+         "EDP gain"], rows,
+        title="Training-step costs: OoO server core vs 8-accelerator SoC"))
+    print()
+    print(render_bars(improvements, unit="x",
+                      title="EDP improvement (paper: 7.22x / 38x / 282x)"))
+
+
+if __name__ == "__main__":
+    main()

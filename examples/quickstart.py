@@ -1,0 +1,68 @@
+"""Quickstart: compile a kernel, generate traces, and simulate it on two
+different cores.
+
+MosaicSim's flow (paper Figure 3): a kernel written in the Python kernel
+dialect is compiled to the SSA mini-IR; the static DDG generator builds
+its dependence graph; the Dynamic Trace Generator executes it functionally
+to record the control-flow path and memory addresses; and the timing
+simulator replays the graph against the traces under different
+microarchitectural resource limits.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.frontend import compile_kernel
+from repro.harness import (
+    dae_hierarchy, inorder_core, ooo_core, prepare, render_table, simulate,
+)
+from repro.ir import F64, format_function
+from repro.trace import SimMemory
+
+
+# A kernel in the Python dialect: annotated pointers, range loops, and the
+# SPMD queries tile_id()/num_tiles() (paper §II-B).
+def daxpy(A: 'f64*', B: 'f64*', n: int, alpha: float):
+    start = (n * tile_id()) // num_tiles()
+    end = (n * (tile_id() + 1)) // num_tiles()
+    for i in range(start, end):
+        B[i] = alpha * A[i] + B[i]
+
+
+def main() -> None:
+    # 1. compile and inspect the IR
+    func = compile_kernel(daxpy)
+    print("=== LLVM-style IR ===")
+    print(format_function(func))
+
+    # 2. allocate simulated memory and prepare traces
+    n = 4096
+    mem = SimMemory()
+    rng = np.random.default_rng(0)
+    a, b = rng.uniform(-1, 1, n), rng.uniform(-1, 1, n)
+    A = mem.alloc(n, F64, "A", init=a)
+    B = mem.alloc(n, F64, "B", init=b)
+    prepared = prepare(daxpy, [A, B, n, 2.0], num_tiles=4, memory=mem)
+    assert np.allclose(B.data, 2.0 * a + b)  # functionally verified
+    print(f"\ntraces: {prepared.traces[0].summary()}")
+
+    # 3. simulate the same traces on different systems
+    rows = []
+    for label, core, tiles in (
+        ("1x in-order", inorder_core(), 1),
+        ("1x out-of-order", ooo_core(), 1),
+        ("4x out-of-order", ooo_core(), 4),
+    ):
+        prep = prepare(daxpy, [A, B, n, 2.0], num_tiles=tiles, memory=mem)
+        stats = simulate(daxpy, [], core=core, num_tiles=tiles,
+                         hierarchy=dae_hierarchy(), prepared=prep)
+        rows.append([label, stats.cycles, stats.ipc,
+                     stats.total_energy_nj / 1e3])
+    print()
+    print(render_table(["system", "cycles", "IPC", "energy (uJ)"], rows,
+                       title="DAXPY on three systems"))
+
+
+if __name__ == "__main__":
+    main()

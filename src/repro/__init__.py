@@ -1,0 +1,35 @@
+"""MosaicSim reproduction — a lightweight, modular simulator for
+heterogeneous systems (ISPASS 2020).
+
+Public API tour
+---------------
+* :mod:`repro.frontend` — compile kernels (a restricted Python dialect)
+  to the SSA mini-IR; Clang/LLVM analogue.
+* :mod:`repro.ir` — the mini-IR itself.
+* :mod:`repro.passes` — static DDG generation, mem2reg, DAE slicing.
+* :mod:`repro.trace` — the Dynamic Trace Generator (functional
+  interpreter + trace files).
+* :mod:`repro.sim` — tiles, Interleaver, accelerator models, comm fabric.
+* :mod:`repro.memory` — caches, prefetcher, SimpleDRAM / DRAMSim2-like.
+* :mod:`repro.harness` — system presets (paper Tables I/II) and one-stop
+  ``simulate``/``simulate_dae`` runners.
+* :mod:`repro.workloads` — Parboil kernels and case-study workloads.
+* :mod:`repro.nn` — Keras-like layer API lowered to accelerator calls.
+
+Quickstart::
+
+    from repro.harness import simulate, ooo_core, dae_hierarchy
+    from repro.trace import SimMemory
+    from repro.ir import F64
+
+    # (write a kernel in the Python dialect, allocate SimMemory arrays,
+    #  then:)
+    stats = simulate(my_kernel, [A, B, n], core=ooo_core(),
+                     hierarchy=dae_hierarchy())
+    print(stats.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["frontend", "ir", "passes", "trace", "sim", "memory", "harness",
+           "workloads", "nn", "power"]

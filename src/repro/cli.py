@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``list`` — available workloads and system presets;
+* ``ir <workload>`` — print a workload kernel's IR;
+* ``simulate <workload>`` — run the full toolchain on a system preset;
+* ``characterize [workload ...]`` — Figure 6-style IPC table;
+* ``dae <workload>`` — slice a kernel and simulate DAE pairs;
+* ``trace <workload> -o FILE`` — generate and save dynamic traces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .frontend import compile_kernel
+from .harness import (
+    dae_hierarchy, inorder_core, ooo_core, prepare, prepare_dae_sliced,
+    render_table, simulate, simulate_dae, xeon_core, xeon_hierarchy,
+)
+from .ir import format_function
+from .trace import save_traces
+from .workloads import PARBOIL, build_parboil
+from .workloads.graphproj import build as _build_graphproj
+from .workloads.sinkhorn import build_ewsd as _build_ewsd
+
+CORES = {"ino": inorder_core, "ooo": ooo_core, "xeon": xeon_core}
+HIERARCHIES = {"dae": dae_hierarchy, "xeon": xeon_hierarchy, "none": None}
+
+_EXTRA_WORKLOADS = {
+    "graph-projection": _build_graphproj,
+    "ewsd": _build_ewsd,
+}
+
+
+def _workloads() -> Dict[str, object]:
+    table = dict(PARBOIL)
+    table.update(_EXTRA_WORKLOADS)
+    return table
+
+
+def _build(name: str, size_args: Sequence[str]):
+    table = _workloads()
+    if name not in table:
+        raise SystemExit(f"unknown workload {name!r}; try: "
+                         f"{', '.join(sorted(table))}")
+    kwargs = {}
+    for item in size_args or ():
+        key, _, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"--size arguments look like key=value, "
+                             f"got {item!r}")
+        kwargs[key] = int(value)
+    return table[name](**kwargs)
+
+
+def _core(name: str):
+    try:
+        return CORES[name]()
+    except KeyError:
+        raise SystemExit(f"unknown core {name!r}; options: "
+                         f"{sorted(CORES)}") from None
+
+
+def _hierarchy(name: str):
+    try:
+        factory = HIERARCHIES[name]
+    except KeyError:
+        raise SystemExit(f"unknown hierarchy {name!r}; options: "
+                         f"{sorted(HIERARCHIES)}") from None
+    return factory() if factory is not None else None
+
+
+# -- commands ----------------------------------------------------------------
+
+def cmd_list(args) -> int:
+    print("workloads:")
+    for name in sorted(_workloads()):
+        print(f"  {name}")
+    print("cores:", ", ".join(sorted(CORES)))
+    print("hierarchies:", ", ".join(sorted(HIERARCHIES)))
+    return 0
+
+
+def cmd_ir(args) -> int:
+    workload = _build(args.workload, args.size)
+    print(format_function(compile_kernel(workload.kernel)))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .sim.configfile import load_core_config, load_hierarchy_config
+    workload = _build(args.workload, args.size)
+    core = (load_core_config(args.core_config)
+            if getattr(args, "core_config", None) else _core(args.core))
+    hierarchy = (load_hierarchy_config(args.hierarchy_config)
+                 if getattr(args, "hierarchy_config", None)
+                 else _hierarchy(args.hierarchy))
+    stats = simulate(workload.kernel, workload.args, core=core,
+                     num_tiles=args.tiles, hierarchy=hierarchy)
+    workload.verify()
+    print(f"workload: {workload.name}  system: {args.tiles}x {core.name} "
+          f"/ {args.hierarchy_config or args.hierarchy}")
+    print(stats.summary())
+    return 0
+
+
+def cmd_dump_config(args) -> int:
+    from .sim.configfile import save_core_config, save_hierarchy_config
+    core_path = f"{args.prefix}.core.json"
+    mem_path = f"{args.prefix}.mem.json"
+    save_core_config(_core(args.core), core_path)
+    save_hierarchy_config(_hierarchy(args.hierarchy), mem_path)
+    print(f"wrote {core_path} and {mem_path}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    names = args.workloads or sorted(PARBOIL)
+    rows = []
+    for name in names:
+        workload = _build(name, None)
+        stats = simulate(workload.kernel, workload.args, core=xeon_core(),
+                         hierarchy=xeon_hierarchy())
+        workload.verify()
+        rows.append([name, stats.cycles, stats.ipc])
+    rows.sort(key=lambda r: r[2])
+    print(render_table(["workload", "cycles", "IPC"], rows,
+                       title="IPC characterization (low = memory-bound)"))
+    return 0
+
+
+def cmd_dae(args) -> int:
+    workload = _build(args.workload, args.size)
+    base = simulate(workload.kernel, workload.args, core=inorder_core(),
+                    hierarchy=dae_hierarchy())
+    fresh = _build(args.workload, args.size)
+    specs = prepare_dae_sliced(fresh.kernel, fresh.args, pairs=args.pairs)
+    stats = simulate_dae(specs, access_core=inorder_core(),
+                         execute_core=inorder_core(),
+                         hierarchy=dae_hierarchy())
+    fresh.verify()
+    print(f"{args.pairs} DAE pair(s) on {workload.name}: "
+          f"{stats.cycles} cycles "
+          f"(vs {base.cycles} on one InO core -> "
+          f"{base.cycles / stats.cycles:.2f}x)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    workload = _build(args.workload, args.size)
+    prepared = prepare(workload.kernel, workload.args, num_tiles=args.tiles,
+                       memory=workload.memory)
+    workload.verify()
+    size = save_traces(prepared.traces, args.output)
+    accesses = sum(t.num_memory_accesses for t in prepared.traces)
+    print(f"wrote {len(prepared.traces)} trace(s) "
+          f"({accesses} memory accesses) to {args.output} "
+          f"({size} bytes compressed)")
+    return 0
+
+
+# -- argument parsing ----------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MosaicSim reproduction command-line interface")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list workloads and system presets") \
+        .set_defaults(func=cmd_list)
+
+    def with_workload(sub, sizes=True):
+        sub.add_argument("workload")
+        if sizes:
+            sub.add_argument("--size", action="append", metavar="KEY=VAL",
+                             help="dataset size override (repeatable)")
+        return sub
+
+    ir_cmd = with_workload(commands.add_parser(
+        "ir", help="print a workload kernel's IR"))
+    ir_cmd.set_defaults(func=cmd_ir)
+
+    sim = with_workload(commands.add_parser(
+        "simulate", help="simulate a workload on a system preset"))
+    sim.add_argument("--core", default="ooo", choices=sorted(CORES))
+    sim.add_argument("--tiles", type=int, default=1)
+    sim.add_argument("--hierarchy", default="dae",
+                     choices=sorted(HIERARCHIES))
+    sim.add_argument("--core-config", metavar="FILE",
+                     help="load the core from a JSON config file "
+                          "(overrides --core)")
+    sim.add_argument("--hierarchy-config", metavar="FILE",
+                     help="load the memory hierarchy from a JSON config "
+                          "file (overrides --hierarchy)")
+    sim.set_defaults(func=cmd_simulate)
+
+    dump = commands.add_parser(
+        "dump-config", help="write a system preset as editable JSON files")
+    dump.add_argument("--core", default="ooo", choices=sorted(CORES))
+    dump.add_argument("--hierarchy", default="dae",
+                      choices=[h for h in sorted(HIERARCHIES)
+                               if h != "none"])
+    dump.add_argument("--prefix", default="system",
+                      help="writes PREFIX.core.json / PREFIX.mem.json")
+    dump.set_defaults(func=cmd_dump_config)
+
+    characterize = commands.add_parser(
+        "characterize", help="Figure 6-style IPC characterization")
+    characterize.add_argument("workloads", nargs="*")
+    characterize.set_defaults(func=cmd_characterize)
+
+    dae = with_workload(commands.add_parser(
+        "dae", help="DAE-slice a workload and simulate pairs"))
+    dae.add_argument("--pairs", type=int, default=1)
+    dae.set_defaults(func=cmd_dae)
+
+    trace = with_workload(commands.add_parser(
+        "trace", help="generate and save dynamic traces"))
+    trace.add_argument("--tiles", type=int, default=1)
+    trace.add_argument("-o", "--output", required=True)
+    trace.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except SystemExit:
+        raise
+    except Exception as exc:  # surface tool errors cleanly, not as
+        raise SystemExit(f"error: {exc}")  # tracebacks
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

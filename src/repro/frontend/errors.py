@@ -1,0 +1,19 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+class CompileError(Exception):
+    """Raised when kernel source uses an unsupported construct."""
+
+    def __init__(self, message: str, node: Optional[ast.AST] = None,
+                 function: str = ""):
+        location = ""
+        if node is not None and hasattr(node, "lineno"):
+            location = f" (line {node.lineno})"
+        prefix = f"in kernel {function!r}" if function else "in kernel"
+        super().__init__(f"{prefix}{location}: {message}")
+        self.node = node

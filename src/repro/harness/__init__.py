@@ -1,0 +1,36 @@
+"""``repro.harness`` — system presets, experiment runners, reference
+machine, reporting, and measurement utilities."""
+
+from .reference import (
+    accuracy_factor, fold_for_x86, reference_stats, x86_reference_core,
+    x86_reference_hierarchy,
+)
+from .reporting import geomean, render_bars, render_table
+from .runner import (
+    DAEPairSpec, Prepared, prepare, prepare_dae, prepare_dae_sliced,
+    simulate, simulate_dae, simulate_heterogeneous,
+)
+from .sweeps import SweepPoint, SweepResult, sweep_core, sweep_hierarchy
+from .simspeed import PAPER_MIPS, SpeedReport, measure_simulation_speed, \
+    trace_footprint_bytes
+from .systems import (
+    DAE_QUEUE_ENTRIES, DAE_QUEUE_LATENCY, INO_AREA_MM2, OOO_AREA_MM2,
+    dae_hierarchy, inorder_core, ooo_core, xeon_core, xeon_hierarchy,
+)
+from .trends import microprocessor_trends, render_figure1, stagnation_year
+
+__all__ = [
+    "accuracy_factor", "fold_for_x86", "reference_stats",
+    "x86_reference_core", "x86_reference_hierarchy",
+    "geomean", "render_bars", "render_table",
+    "DAEPairSpec", "Prepared", "prepare", "prepare_dae",
+    "prepare_dae_sliced", "simulate", "simulate_dae",
+    "simulate_heterogeneous",
+    "SweepPoint", "SweepResult", "sweep_core", "sweep_hierarchy",
+    "PAPER_MIPS", "SpeedReport", "measure_simulation_speed",
+    "trace_footprint_bytes",
+    "DAE_QUEUE_ENTRIES", "DAE_QUEUE_LATENCY", "INO_AREA_MM2",
+    "OOO_AREA_MM2", "dae_hierarchy", "inorder_core", "ooo_core",
+    "xeon_core", "xeon_hierarchy",
+    "microprocessor_trends", "render_figure1", "stagnation_year",
+]

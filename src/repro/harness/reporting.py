@@ -1,0 +1,54 @@
+"""ASCII rendering helpers for benchmark reports (tables and bar charts
+mirroring the paper's figures)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values]
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table; floats rendered with 3 decimals."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(values: Dict[str, float], width: int = 40,
+                title: str = "", unit: str = "") -> str:
+    """Horizontal ASCII bar chart (the paper's bar figures)."""
+    if not values:
+        return title
+    peak = max(values.values())
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        bar = "#" * max(1, int(round(width * value / peak))) if peak > 0 \
+            else ""
+        lines.append(f"{key.ljust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)

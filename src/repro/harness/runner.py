@@ -1,0 +1,241 @@
+"""End-to-end simulation runner.
+
+Ties the whole toolchain together (paper §VI: "The simulator relies on the
+compiler to generate the DDG and the DTG to instrument the code and
+generate memory and control flow path traces"):
+
+1. compile the kernel (front-end);
+2. build the static DDG;
+3. run the Dynamic Trace Generator (functional interpretation) over a
+   caller-prepared :class:`SimMemory`;
+4. instantiate tiles + memory hierarchy + accelerators;
+5. run the Interleaver and return :class:`SystemStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..frontend.compiler import compile_kernel
+from ..ir.function import Function, Module
+from ..memory.hierarchy import MemorySystem
+from ..passes.ddg import StaticDDG, build_ddg
+from ..passes.dae_slicing import mark_decoupled, slice_dae
+from ..sim.accelerator.tile import AcceleratorFarm
+from ..sim.comm.fabric import CommFabric
+from ..sim.config import CoreConfig, MemoryHierarchyConfig
+from ..sim.core.model import CoreTile
+from ..sim.events import Scheduler
+from ..sim.interleaver import Interleaver
+from ..sim.statistics import SystemStats
+from ..trace.interpreter import Interpreter
+from ..trace.memory import SimMemory
+from ..trace.tracefile import KernelTrace
+from .systems import DAE_QUEUE_ENTRIES
+
+Kernel = Union[str, Callable, Function]
+
+
+def _infer_memory(args: Sequence) -> SimMemory:
+    """Use the SimMemory backing any ArrayRef argument; fresh otherwise."""
+    from ..trace.memory import ArrayRef
+    for arg in args:
+        if isinstance(arg, ArrayRef) and arg.memory is not None:
+            return arg.memory
+    return SimMemory()
+
+
+@dataclass
+class Prepared:
+    """Compiled kernel + traces, ready to simulate on any system config."""
+
+    function: Function
+    ddg: StaticDDG
+    traces: List[KernelTrace]
+    memory: SimMemory
+
+
+def prepare(kernel: Kernel, args: Sequence, *, num_tiles: int = 1,
+            memory: Optional[SimMemory] = None) -> Prepared:
+    """Compile ``kernel`` and generate SPMD traces for ``num_tiles``."""
+    func = kernel if isinstance(kernel, Function) else compile_kernel(kernel)
+    module = Module(func.name)
+    module.add_function(func)
+    mem = memory if memory is not None else _infer_memory(args)
+    interp = Interpreter(module, mem)
+    traces = interp.run_spmd(func.name, args, num_tiles)
+    return Prepared(func, build_ddg(func), traces, mem)
+
+
+def simulate(kernel: Kernel, args: Sequence, *,
+             core: Optional[CoreConfig] = None,
+             num_tiles: int = 1,
+             hierarchy: Optional[MemoryHierarchyConfig] = None,
+             accelerators: Optional[AcceleratorFarm] = None,
+             memory: Optional[SimMemory] = None,
+             frequency_ghz: Optional[float] = None,
+             prepared: Optional[Prepared] = None,
+             max_cycles: int = 2_000_000_000) -> SystemStats:
+    """One-stop homogeneous simulation: ``num_tiles`` copies of ``core``
+    running the SPMD kernel over a shared memory hierarchy."""
+    core = core if core is not None else CoreConfig()
+    if prepared is None:
+        prepared = prepare(kernel, args, num_tiles=num_tiles, memory=memory)
+    if len(prepared.traces) < num_tiles:
+        raise ValueError(
+            f"prepared traces cover {len(prepared.traces)} tile(s) but "
+            f"num_tiles={num_tiles}; call prepare(..., num_tiles="
+            f"{num_tiles}) first")
+    freq = frequency_ghz if frequency_ghz is not None else core.frequency_ghz
+    scheduler = Scheduler()
+    memsys = None
+    if hierarchy is not None:
+        memsys = MemorySystem(hierarchy, num_tiles, scheduler, freq)
+    tiles = []
+    for t in range(num_tiles):
+        tile = CoreTile(f"{core.name}{t}", t, core, prepared.ddg,
+                        prepared.traces[t])
+        tile.barrier_group_size = num_tiles
+        tiles.append(tile)
+    interleaver = Interleaver(tiles, memory=memsys,
+                              accelerators=accelerators,
+                              frequency_ghz=freq, max_cycles=max_cycles,
+                              scheduler=scheduler)
+    return interleaver.run()
+
+
+def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
+                           cores: Sequence[CoreConfig],
+                           hierarchy: Optional[MemoryHierarchyConfig] = None,
+                           accelerators: Optional[AcceleratorFarm] = None,
+                           memory: Optional[SimMemory] = None,
+                           prepared: Optional[Prepared] = None,
+                           max_cycles: int = 2_000_000_000) -> SystemStats:
+    """Heterogeneous SPMD simulation: one tile per entry of ``cores``,
+    each with its own microarchitecture and clock (paper §II: "MosaicSim
+    can simulate more heterogeneous processors by providing, and hence
+    interleaving, more diverse models"; "tiles may run at different clock
+    speeds, so the Interleaver queries and coordinates their events
+    accordingly").
+
+    The global clock is the fastest tile's; slower tiles get proportional
+    periods (rounded to whole global cycles).
+    """
+    if not cores:
+        raise ValueError("simulate_heterogeneous needs at least one core")
+    num_tiles = len(cores)
+    if prepared is None:
+        prepared = prepare(kernel, args, num_tiles=num_tiles, memory=memory)
+    if len(prepared.traces) < num_tiles:
+        raise ValueError(
+            f"prepared traces cover {len(prepared.traces)} tile(s) but "
+            f"{num_tiles} cores were given")
+    fastest = max(core.frequency_ghz for core in cores)
+    scheduler = Scheduler()
+    memsys = None
+    if hierarchy is not None:
+        memsys = MemorySystem(hierarchy, num_tiles, scheduler, fastest)
+    tiles = []
+    for index, core in enumerate(cores):
+        period = max(1, round(fastest / core.frequency_ghz))
+        tile = CoreTile(f"{core.name}{index}", index, core, prepared.ddg,
+                        prepared.traces[index], period=period)
+        tile.barrier_group_size = num_tiles
+        tiles.append(tile)
+    interleaver = Interleaver(tiles, memory=memsys,
+                              accelerators=accelerators,
+                              frequency_ghz=fastest, max_cycles=max_cycles,
+                              scheduler=scheduler)
+    return interleaver.run()
+
+
+@dataclass
+class DAEPairSpec:
+    """Trace sources for one Decoupled Access/Execute pair (§VII-A)."""
+
+    access_trace: KernelTrace
+    execute_trace: KernelTrace
+    access_ddg: StaticDDG
+    execute_ddg: StaticDDG
+
+
+def prepare_dae_sliced(kernel: Kernel, args: Sequence, *, pairs: int = 1,
+                       memory: Optional[SimMemory] = None
+                       ) -> List[DAEPairSpec]:
+    """Run the DAE slicing pass (paper §VII-A) on ``kernel`` and prepare
+    traces for ``pairs`` access/execute pairs."""
+    func = kernel if isinstance(kernel, Function) else compile_kernel(kernel)
+    access_fn, execute_fn = slice_dae(func)
+    return prepare_dae(access_fn, execute_fn, args, pairs=pairs,
+                       memory=memory)
+
+
+def prepare_dae(access_kernel: Kernel, execute_kernel: Kernel,
+                args: Sequence, *, pairs: int = 1,
+                memory: Optional[SimMemory] = None) -> List[DAEPairSpec]:
+    """Compile and trace a DAE-sliced kernel for ``pairs`` access/execute
+    core pairs. Both slices receive the same arguments and partition work
+    by ``tile_id()`` over ``num_tiles() = pairs``; pair ``p``'s access and
+    execute instances share DAE queue ``p``."""
+    access_fn = access_kernel if isinstance(access_kernel, Function) \
+        else compile_kernel(access_kernel)
+    execute_fn = execute_kernel if isinstance(execute_kernel, Function) \
+        else compile_kernel(execute_kernel)
+    module = Module("dae")
+    module.add_function(access_fn)
+    module.add_function(execute_fn)
+    mem = memory if memory is not None else _infer_memory(args)
+    interp = Interpreter(module, mem)
+    access_ddg = build_ddg(access_fn)
+    mark_decoupled(access_ddg)
+    execute_ddg = build_ddg(execute_fn)
+    specs = []
+    # slices co-execute: each pair's access and execute exchange values
+    # through the (functionally unbounded) DAE queues; the timing
+    # simulator applies the real 512-entry back-pressure
+    for p in range(pairs):
+        access_trace, execute_trace = interp.run_dae_pair(
+            access_fn.name, execute_fn.name, args, pair=p, pairs=pairs)
+        specs.append(DAEPairSpec(access_trace, execute_trace,
+                                 access_ddg, execute_ddg))
+    return specs
+
+
+def simulate_dae(specs: List[DAEPairSpec], *,
+                 access_core: CoreConfig,
+                 execute_core: CoreConfig,
+                 hierarchy: Optional[MemoryHierarchyConfig] = None,
+                 accelerators: Optional[AcceleratorFarm] = None,
+                 queue_entries: int = DAE_QUEUE_ENTRIES,
+                 frequency_ghz: Optional[float] = None,
+                 max_cycles: int = 2_000_000_000) -> SystemStats:
+    """Simulate P DAE pairs: tiles 0..P-1 are access cores, P..2P-1 the
+    matching execute cores, communicating through bounded DAE queues."""
+    pairs = len(specs)
+    freq = frequency_ghz if frequency_ghz is not None \
+        else access_core.frequency_ghz
+    scheduler = Scheduler()
+    memsys = None
+    if hierarchy is not None:
+        memsys = MemorySystem(hierarchy, 2 * pairs, scheduler, freq)
+    fabric = CommFabric(dae_queue_capacity=queue_entries)
+    tiles = []
+    for p, spec in enumerate(specs):
+        access = CoreTile(f"access{p}", p, access_core, spec.access_ddg,
+                          spec.access_trace)
+        access.dae_queue_names = {"load": f"load{p}", "store": f"store{p}"}
+        access.barrier_group = "dae-access"
+        access.barrier_group_size = pairs
+        tiles.append(access)
+    for p, spec in enumerate(specs):
+        execute = CoreTile(f"execute{p}", pairs + p, execute_core,
+                           spec.execute_ddg, spec.execute_trace)
+        execute.dae_queue_names = {"load": f"load{p}", "store": f"store{p}"}
+        execute.barrier_group = "dae-execute"
+        execute.barrier_group_size = pairs
+        tiles.append(execute)
+    interleaver = Interleaver(tiles, memory=memsys, fabric=fabric,
+                              accelerators=accelerators, frequency_ghz=freq,
+                              max_cycles=max_cycles, scheduler=scheduler)
+    return interleaver.run()

@@ -1,0 +1,100 @@
+"""Design-space sweep utilities.
+
+The paper's pitch is agile design-space exploration: "MosaicSim allows
+the exploration of many combinations and configurations through its
+lightweight plug-and-play interface" (§VII-B). These helpers run one
+prepared workload across a grid of core/memory configurations and return
+tidy result tables, reusing traces so each configuration costs only a
+timing-simulation pass.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..sim.config import CoreConfig, MemoryHierarchyConfig
+from ..sim.statistics import SystemStats
+from .reporting import render_table
+from .runner import Prepared, simulate
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's results."""
+
+    parameters: Dict[str, object]
+    stats: SystemStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def edp(self) -> float:
+        return self.stats.edp
+
+
+@dataclass
+class SweepResult:
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def best(self, metric: str = "cycles") -> SweepPoint:
+        return min(self.points, key=lambda p: getattr(p, metric))
+
+    def table(self, metrics: Sequence[str] = ("cycles", "ipc"),
+              title: str = "") -> str:
+        if not self.points:
+            return title
+        param_names = sorted(self.points[0].parameters)
+        headers = param_names + list(metrics)
+        rows = [
+            [point.parameters[name] for name in param_names]
+            + [getattr(point, metric) for metric in metrics]
+            for point in self.points
+        ]
+        return render_table(headers, rows, title=title)
+
+
+def sweep_core(prepared: Prepared, base: CoreConfig,
+               grid: Dict[str, Iterable], *,
+               hierarchy: Optional[MemoryHierarchyConfig] = None,
+               hierarchy_factory: Optional[
+                   Callable[[], MemoryHierarchyConfig]] = None,
+               num_tiles: int = 1) -> SweepResult:
+    """Simulate ``prepared`` under every combination of core-config
+    overrides in ``grid`` (a dict of CoreConfig field -> values).
+
+    ``hierarchy_factory`` rebuilds the memory system per point (cold
+    caches for every configuration); passing ``hierarchy`` reuses one
+    config object but still constructs a fresh MemorySystem per run.
+    """
+    names = sorted(grid)
+    result = SweepResult()
+    for combo in itertools.product(*(list(grid[name]) for name in names)):
+        overrides = dict(zip(names, combo))
+        core = replace(base, **overrides)
+        h = hierarchy_factory() if hierarchy_factory is not None \
+            else hierarchy
+        stats = simulate(prepared.function, [], prepared=prepared,
+                         core=core, num_tiles=num_tiles, hierarchy=h)
+        result.points.append(SweepPoint(overrides, stats))
+    return result
+
+
+def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
+                    configurations: Dict[str, MemoryHierarchyConfig], *,
+                    num_tiles: int = 1) -> SweepResult:
+    """Simulate ``prepared`` under each named memory-hierarchy config."""
+    result = SweepResult()
+    for name, hierarchy in configurations.items():
+        stats = simulate(prepared.function, [], prepared=prepared,
+                         core=core, num_tiles=num_tiles,
+                         hierarchy=hierarchy)
+        result.points.append(SweepPoint({"hierarchy": name}, stats))
+    return result

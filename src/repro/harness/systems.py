@@ -1,0 +1,103 @@
+"""System configuration presets from the paper's tables.
+
+* Table I — the validation machine (Intel Xeon E5-2667 v3) used for the
+  accuracy and scaling studies of §VI-A;
+* Table II — the core and memory parameters of the DAE case study (§VII-A),
+  including the McPAT-derived areas used for the equal-area comparison
+  (OoO 8.44 mm² ≈ 8 × InO 1.01 mm²).
+"""
+
+from __future__ import annotations
+
+from ..sim.config import (
+    CacheConfig, CoreConfig, MemoryHierarchyConfig, PrefetcherConfig,
+    SimpleDRAMConfig,
+)
+
+# -- Table II core models ------------------------------------------------------
+
+#: areas from McPAT at 22nm (paper Table II)
+OOO_AREA_MM2 = 8.44
+INO_AREA_MM2 = 1.01
+
+
+def inorder_core(name: str = "InO") -> CoreConfig:
+    """Table II in-order core: 1-wide, window/RoB/LSQ of 1, 2 GHz."""
+    return CoreConfig(
+        name=name, issue_width=1, rob_size=1, lsq_size=1,
+        frequency_ghz=2.0, branch_predictor="none",
+        area_mm2=INO_AREA_MM2,
+    )
+
+
+def ooo_core(name: str = "OoO") -> CoreConfig:
+    """Table II out-of-order core: 4-wide, 128-entry window/RoB/LSQ."""
+    return CoreConfig(
+        name=name, issue_width=4, rob_size=128, lsq_size=128,
+        frequency_ghz=2.0, branch_predictor="perfect",
+        perfect_alias=True,  # OoO cores speculate memory dependences
+        area_mm2=OOO_AREA_MM2,
+    )
+
+
+# -- Table I validation machine -----------------------------------------------
+
+def xeon_core(name: str = "XeonE5") -> CoreConfig:
+    """One core of the Xeon E5-2667 v3 (3.2 GHz, aggressive OoO)."""
+    return CoreConfig(
+        name=name, issue_width=4, rob_size=192, lsq_size=72,
+        frequency_ghz=3.2, branch_predictor="perfect",
+        perfect_alias=True,  # models x86 memory-dependence speculation
+        area_mm2=OOO_AREA_MM2,
+    )
+
+
+def xeon_hierarchy(num_cores: int = 1) -> MemoryHierarchyConfig:
+    """Table I memory system: 32KB/8-way L1, 2MB/8-way L2 private,
+    20MB/20-way shared LLC, DDR4 @ 68 GB/s."""
+    return MemoryHierarchyConfig(
+        private_levels=(
+            CacheConfig(name="L1", size_bytes=32 * 1024, associativity=8,
+                        latency=4, mshr_entries=10, energy_nj=0.10),
+            CacheConfig(name="L2", size_bytes=2 * 1024 * 1024,
+                        associativity=8, latency=12, mshr_entries=20,
+                        energy_nj=0.50),
+        ),
+        llc=CacheConfig(name="LLC", size_bytes=20 * 1024 * 1024,
+                        associativity=20, latency=40, ports=4,
+                        mshr_entries=64, energy_nj=1.20),
+        prefetcher=PrefetcherConfig(enabled=True, degree=4, trigger=3,
+                                    distance=2),
+        dram_model="simple",
+        simple_dram=SimpleDRAMConfig(min_latency=220, bandwidth_gbps=68.0,
+                                     epoch_cycles=100),
+    )
+
+
+# -- Table II memory system (DAE case study) ------------------------------------
+
+def dae_hierarchy(num_cores: int = 2) -> MemoryHierarchyConfig:
+    """Table II: 32KB/8-way/1-cycle L1, 2MB/8-way/6-cycle L2 (shared),
+    DDR3L @ 24 GB/s with 200-cycle latency."""
+    return MemoryHierarchyConfig(
+        private_levels=(
+            # 4 MSHRs: a lightweight in-order L1 supports few outstanding
+            # misses — this bounds the memory-level parallelism of both
+            # the DAE access cores and the OoO core, matching Fig. 11's
+            # relative speedups
+            CacheConfig(name="L1", size_bytes=32 * 1024, associativity=8,
+                        latency=1, mshr_entries=4, energy_nj=0.10),
+        ),
+        llc=CacheConfig(name="L2", size_bytes=2 * 1024 * 1024,
+                        associativity=8, latency=6, ports=4,
+                        mshr_entries=32, energy_nj=0.50),
+        prefetcher=PrefetcherConfig(enabled=False),
+        dram_model="simple",
+        simple_dram=SimpleDRAMConfig(min_latency=200, bandwidth_gbps=24.0,
+                                     epoch_cycles=100),
+    )
+
+
+#: Table II communication queue parameters
+DAE_QUEUE_ENTRIES = 512
+DAE_QUEUE_LATENCY = 1

@@ -1,0 +1,88 @@
+"""Microprocessor trend data — Figure 1.
+
+The paper recreates Karl Rupp's "42 Years of Microprocessor Trend Data".
+The original dataset is not redistributable here, so this module
+synthesizes the five series from well-known piecewise trends (documented
+in DESIGN.md): transistor counts double every ~2 years (Moore), frequency
+grows ~1.25x/year until the ~2004 Dennard wall then plateaus, typical
+power saturates near ~100 W, single-thread performance follows frequency
+x IPC gains then flattens, and logical core counts stay at 1 until ~2004
+and then grow geometrically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class TrendPoint:
+    year: int
+    transistors_k: float       # thousands
+    frequency_mhz: float
+    power_w: float
+    single_thread_perf: float  # SpecINT x 1000
+    cores: float
+
+
+def microprocessor_trends(start: int = 1971, end: int = 2017
+                          ) -> List[TrendPoint]:
+    points = []
+    for year in range(start, end + 1):
+        t = year - start
+        transistors = 2.3 * 2 ** (t / 2.1)          # Moore's law from 4004
+        if year <= 2004:
+            freq = 0.74 * (1.28 ** t)               # ~0.74 MHz in 1971
+            freq = min(freq, 3800.0)
+        else:
+            freq = 3400.0                           # Dennard wall plateau
+        power = min(0.4 * (1.18 ** t), 105.0)       # TDP saturates ~100W
+        if year <= 2004:
+            perf = 0.0005 * (1.52 ** t)             # frequency + IPC gains
+        else:
+            perf = 0.0005 * (1.52 ** (2004 - start)) * \
+                (1.035 ** (year - 2004))            # ~3.5%/yr afterwards
+        if year < 2004:
+            cores = 1.0
+        else:
+            cores = min(2 ** ((year - 2004) / 2.4), 64.0)
+        points.append(TrendPoint(year, transistors, freq, power,
+                                 perf * 1000.0, cores))
+    return points
+
+
+def series(points: List[TrendPoint]) -> Dict[str, List[float]]:
+    return {
+        "year": [p.year for p in points],
+        "transistors_k": [p.transistors_k for p in points],
+        "frequency_mhz": [p.frequency_mhz for p in points],
+        "power_w": [p.power_w for p in points],
+        "single_thread_perf": [p.single_thread_perf for p in points],
+        "cores": [p.cores for p in points],
+    }
+
+
+def render_figure1(points: List[TrendPoint], every: int = 4) -> str:
+    """ASCII rendering of Figure 1 (log10 values per series)."""
+    lines = [
+        f"{'year':>6} {'transistors(k)':>15} {'freq(MHz)':>10} "
+        f"{'power(W)':>9} {'ST perf':>9} {'cores':>6}"
+    ]
+    for p in points[::every]:
+        lines.append(
+            f"{p.year:>6} {p.transistors_k:>15.1f} {p.frequency_mhz:>10.1f} "
+            f"{p.power_w:>9.1f} {p.single_thread_perf:>9.3f} {p.cores:>6.1f}")
+    return "\n".join(lines)
+
+
+def stagnation_year(points: List[TrendPoint],
+                    growth_threshold: float = 1.02) -> int:
+    """First year frequency growth drops below ``growth_threshold``
+    (the Dennard-scaling wall the paper's Figure 1 illustrates)."""
+    for prev, cur in zip(points, points[1:]):
+        if prev.frequency_mhz > 0 and \
+                cur.frequency_mhz / prev.frequency_mhz < growth_threshold:
+            return cur.year
+    return points[-1].year

@@ -1,0 +1,41 @@
+"""``repro.ir`` — the mini-IR: an LLVM-IR-like SSA intermediate representation.
+
+This package is the substrate that replaces LLVM in the reproduction (see
+DESIGN.md §1). It provides the type system, value/instruction hierarchy,
+basic blocks, functions/modules, an IRBuilder, a structural verifier, and a
+textual printer.
+"""
+
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .function import Function, Module
+from .instructions import (
+    AllocaInst, AtomicRMWInst, BinaryInst, BranchInst, CallInst, CastInst,
+    CmpInst, GEPInst, Instruction, LoadInst, OpClass, Opcode, PhiInst,
+    RetInst, SelectInst, StoreInst,
+)
+from .parser import ParseError, parse_function, parse_module
+from .printer import format_function, format_instruction, format_module
+from .types import (
+    F32, F64, I1, I8, I16, I32, I64, LABEL, VOID, FloatType, IntType, IRType,
+    PointerType, VoidType, parse_type, pointer_to,
+)
+from .values import (
+    Argument, Constant, GlobalVariable, Value, const_float, const_int,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock", "IRBuilder", "Function", "Module",
+    "AllocaInst", "AtomicRMWInst", "BinaryInst", "BranchInst", "CallInst",
+    "CastInst", "CmpInst", "GEPInst", "Instruction", "LoadInst", "OpClass",
+    "Opcode", "PhiInst", "RetInst", "SelectInst", "StoreInst",
+    "ParseError", "parse_function", "parse_module",
+    "format_function", "format_instruction", "format_module",
+    "F32", "F64", "I1", "I8", "I16", "I32", "I64", "LABEL", "VOID",
+    "FloatType", "IntType", "IRType", "PointerType", "VoidType",
+    "parse_type", "pointer_to",
+    "Argument", "Constant", "GlobalVariable", "Value", "const_float",
+    "const_int",
+    "VerificationError", "verify_function", "verify_module",
+]

@@ -1,0 +1,99 @@
+"""Basic blocks: single-entry, single-exit instruction sequences.
+
+As in LLVM, a block ends with exactly one terminator (``br`` or ``ret``),
+and phi nodes must appear as a prefix of the block. Each block carries an
+integer ``bid`` unique within its function; the dynamic control-flow trace
+is a sequence of these ids.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from .instructions import BranchInst, Instruction, Opcode, PhiInst
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import Function
+
+
+class BasicBlock:
+    def __init__(self, name: str):
+        self.name = name
+        self.instructions: List[Instruction] = []
+        self.parent: Optional["Function"] = None
+        #: unique id within the function (assigned at creation by Function)
+        self.bid: int = -1
+
+    # ------------------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        if self.is_terminated:
+            raise ValueError(
+                f"block {self.name} already terminated; cannot append "
+                f"{inst.opcode.value}")
+        if isinstance(inst, PhiInst) and any(
+                not isinstance(i, PhiInst) for i in self.instructions):
+            raise ValueError(f"phi appended after non-phi in block {self.name}")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert_front(self, inst: Instruction) -> Instruction:
+        """Insert at the start of the block (used for phi placement)."""
+        inst.parent = self
+        self.instructions.insert(0, inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    # ------------------------------------------------------------------
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    @property
+    def phis(self) -> List[PhiInst]:
+        out: List[PhiInst] = []
+        for inst in self.instructions:
+            if not isinstance(inst, PhiInst):
+                break
+            out.append(inst)
+        return out
+
+    @property
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions if not isinstance(i, PhiInst)]
+
+    # ------------------------------------------------------------------
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if isinstance(term, BranchInst):
+            return list(term.targets)
+        return []
+
+    @property
+    def predecessors(self) -> List["BasicBlock"]:
+        if self.parent is None:
+            return []
+        return [b for b in self.parent.blocks if self in b.successors]
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"

@@ -1,0 +1,153 @@
+"""IRBuilder: convenience API for emitting instructions.
+
+Mirrors llvmlite/LLVM's IRBuilder: the builder holds an insertion block and
+appends instructions to it, auto-naming results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .basicblock import BasicBlock
+from .instructions import (
+    AllocaInst, AtomicRMWInst, BinaryInst, BranchInst, CallInst, CastInst,
+    CmpInst, GEPInst, Instruction, LoadInst, Opcode, PhiInst, RetInst,
+    SelectInst, StoreInst,
+)
+from .types import IRType
+from .values import Value
+
+
+class IRBuilder:
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    # ------------------------------------------------------------------
+    def _emit(self, inst: Instruction, name: str) -> Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        if name and self.block.parent is not None:
+            inst.name = self.block.parent.unique_name(name)
+        elif self.block.parent is not None and not inst.type.is_void:
+            inst.name = self.block.parent.unique_name("v")
+        self.block.append(inst)
+        return inst
+
+    # -- arithmetic ------------------------------------------------------
+    def binop(self, opcode: Opcode, lhs: Value, rhs: Value,
+              name: str = "") -> Instruction:
+        return self._emit(BinaryInst(opcode, lhs, rhs), name)
+
+    def add(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.ADD, a, b, name)
+
+    def sub(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.SUB, a, b, name)
+
+    def mul(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.MUL, a, b, name)
+
+    def sdiv(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.SDIV, a, b, name)
+
+    def srem(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.SREM, a, b, name)
+
+    def and_(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.AND, a, b, name)
+
+    def or_(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.OR, a, b, name)
+
+    def xor(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.XOR, a, b, name)
+
+    def shl(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.SHL, a, b, name)
+
+    def lshr(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.LSHR, a, b, name)
+
+    def fadd(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.FADD, a, b, name)
+
+    def fsub(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.FSUB, a, b, name)
+
+    def fmul(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.FMUL, a, b, name)
+
+    def fdiv(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.FDIV, a, b, name)
+
+    # -- comparisons -----------------------------------------------------
+    def icmp(self, predicate: str, a: Value, b: Value,
+             name: str = "") -> Instruction:
+        return self._emit(CmpInst(Opcode.ICMP, predicate, a, b), name)
+
+    def fcmp(self, predicate: str, a: Value, b: Value,
+             name: str = "") -> Instruction:
+        return self._emit(CmpInst(Opcode.FCMP, predicate, a, b), name)
+
+    def select(self, cond: Value, if_true: Value, if_false: Value,
+               name: str = "") -> Instruction:
+        return self._emit(SelectInst(cond, if_true, if_false), name)
+
+    # -- casts -----------------------------------------------------------
+    def cast(self, opcode: Opcode, value: Value, to_type: IRType,
+             name: str = "") -> Instruction:
+        return self._emit(CastInst(opcode, value, to_type), name)
+
+    def sitofp(self, value: Value, to_type: IRType, name: str = "") -> Instruction:
+        return self.cast(Opcode.SITOFP, value, to_type, name)
+
+    def fptosi(self, value: Value, to_type: IRType, name: str = "") -> Instruction:
+        return self.cast(Opcode.FPTOSI, value, to_type, name)
+
+    # -- memory ----------------------------------------------------------
+    def alloca(self, element_type: IRType, name: str = "") -> Instruction:
+        return self._emit(AllocaInst(element_type), name)
+
+    def load(self, pointer: Value, name: str = "") -> Instruction:
+        return self._emit(LoadInst(pointer), name)
+
+    def store(self, value: Value, pointer: Value) -> Instruction:
+        return self._emit(StoreInst(value, pointer), "")
+
+    def gep(self, pointer: Value, index: Value, name: str = "") -> Instruction:
+        return self._emit(GEPInst(pointer, index), name)
+
+    def atomicrmw(self, operation: str, pointer: Value, value: Value,
+                  name: str = "") -> Instruction:
+        return self._emit(AtomicRMWInst(operation, pointer, value), name)
+
+    # -- control flow ------------------------------------------------------
+    def branch(self, target: BasicBlock) -> Instruction:
+        return self._emit(BranchInst(target), "")
+
+    def cbranch(self, condition: Value, if_true: BasicBlock,
+                if_false: BasicBlock) -> Instruction:
+        return self._emit(BranchInst(if_true, condition, if_false), "")
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        return self._emit(RetInst(value), "")
+
+    # -- misc --------------------------------------------------------------
+    def phi(self, ty: IRType, name: str = "") -> PhiInst:
+        phi = PhiInst(ty)
+        if name and self.block.parent is not None:
+            phi.name = self.block.parent.unique_name(name)
+        elif self.block.parent is not None:
+            phi.name = self.block.parent.unique_name("phi")
+        # phis must stay grouped at the block head
+        insert_at = len(self.block.phis)
+        phi.parent = self.block
+        self.block.instructions.insert(insert_at, phi)
+        return phi
+
+    def call(self, callee: str, return_type: IRType, args: Sequence[Value],
+             name: str = "") -> Instruction:
+        return self._emit(CallInst(callee, return_type, args), name)

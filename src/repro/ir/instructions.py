@@ -1,0 +1,353 @@
+"""Instruction set of the mini-IR.
+
+The opcode vocabulary mirrors the subset of LLVM IR that MosaicSim
+simulates: integer/float arithmetic, comparisons, memory operations
+(``load``/``store``/``alloca``/``getelementptr``), control flow (``br``,
+``ret``), ``phi`` nodes, casts, atomic read-modify-write, and ``call``
+(used both for ordinary calls and for simulator intrinsics such as
+``tile_id``, ``send``/``recv``, and accelerator invocations).
+
+Each instruction also carries an :class:`OpClass` — the functional-unit
+class the timing simulator uses for latency/energy lookup and FU
+accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from .types import I1, I64, IRType, VOID, PointerType
+from .values import Constant, Value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .basicblock import BasicBlock
+    from .function import Function
+
+
+class Opcode(enum.Enum):
+    # integer arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    SDIV = "sdiv"
+    SREM = "srem"
+    # bitwise
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+    # float arithmetic
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # comparisons
+    ICMP = "icmp"
+    FCMP = "fcmp"
+    # casts
+    SEXT = "sext"
+    ZEXT = "zext"
+    TRUNC = "trunc"
+    SITOFP = "sitofp"
+    FPTOSI = "fptosi"
+    FPEXT = "fpext"
+    FPTRUNC = "fptrunc"
+    BITCAST = "bitcast"
+    # memory
+    ALLOCA = "alloca"
+    LOAD = "load"
+    STORE = "store"
+    GEP = "getelementptr"
+    ATOMICRMW = "atomicrmw"
+    # control flow
+    BR = "br"
+    RET = "ret"
+    # misc
+    PHI = "phi"
+    CALL = "call"
+    SELECT = "select"
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class used for latency/energy tables and FU limits."""
+
+    IALU = "ialu"          # integer add/sub/logic/compare/cast
+    IMUL = "imul"          # integer multiply / divide
+    FPALU = "fpalu"        # float add/sub/compare
+    FPMUL = "fpmul"        # float multiply
+    FPDIV = "fpdiv"        # float divide
+    LOAD = "load"
+    STORE = "store"
+    ATOMIC = "atomic"
+    BRANCH = "branch"
+    PHI = "phi"            # zero-cost register renaming artifact
+    CALL = "call"
+    OTHER = "other"
+
+
+_OPCLASS = {
+    Opcode.ADD: OpClass.IALU, Opcode.SUB: OpClass.IALU,
+    Opcode.AND: OpClass.IALU, Opcode.OR: OpClass.IALU,
+    Opcode.XOR: OpClass.IALU, Opcode.SHL: OpClass.IALU,
+    Opcode.LSHR: OpClass.IALU, Opcode.ASHR: OpClass.IALU,
+    Opcode.ICMP: OpClass.IALU, Opcode.SELECT: OpClass.IALU,
+    Opcode.MUL: OpClass.IMUL, Opcode.SDIV: OpClass.IMUL,
+    Opcode.SREM: OpClass.IMUL,
+    Opcode.FADD: OpClass.FPALU, Opcode.FSUB: OpClass.FPALU,
+    Opcode.FCMP: OpClass.FPALU,
+    Opcode.FMUL: OpClass.FPMUL,
+    Opcode.FDIV: OpClass.FPDIV,
+    Opcode.SEXT: OpClass.IALU, Opcode.ZEXT: OpClass.IALU,
+    Opcode.TRUNC: OpClass.IALU, Opcode.SITOFP: OpClass.FPALU,
+    Opcode.FPTOSI: OpClass.FPALU, Opcode.FPEXT: OpClass.FPALU,
+    Opcode.FPTRUNC: OpClass.FPALU, Opcode.BITCAST: OpClass.IALU,
+    Opcode.ALLOCA: OpClass.IALU,
+    Opcode.GEP: OpClass.IALU,
+    Opcode.LOAD: OpClass.LOAD,
+    Opcode.STORE: OpClass.STORE,
+    Opcode.ATOMICRMW: OpClass.ATOMIC,
+    Opcode.BR: OpClass.BRANCH,
+    Opcode.RET: OpClass.BRANCH,
+    Opcode.PHI: OpClass.PHI,
+    Opcode.CALL: OpClass.CALL,
+}
+
+#: icmp/fcmp predicates
+ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge")
+FCMP_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge")
+
+
+class Instruction(Value):
+    """A single IR instruction. Its result (if any) is the value itself."""
+
+    def __init__(self, opcode: Opcode, ty: IRType, operands: Sequence[Value],
+                 name: str = ""):
+        super().__init__(ty, name)
+        self.opcode = opcode
+        self.operands: List[Value] = list(operands)
+        self.parent: Optional["BasicBlock"] = None
+        #: unique id within the function, assigned by Function.finalize()
+        self.iid: int = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def opclass(self) -> OpClass:
+        return _OPCLASS[self.opcode]
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in (Opcode.BR, Opcode.RET)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in (Opcode.LOAD, Opcode.STORE, Opcode.ATOMICRMW)
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in (Opcode.LOAD, Opcode.ATOMICRMW)
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in (Opcode.STORE, Opcode.ATOMICRMW)
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        """Replace every occurrence of ``old`` in the operand list."""
+        self.operands = [new if op is old else op for op in self.operands]
+
+    def __repr__(self) -> str:
+        from .printer import format_instruction
+        return format_instruction(self)
+
+
+class BinaryInst(Instruction):
+    def __init__(self, opcode: Opcode, lhs: Value, rhs: Value, name: str = ""):
+        if lhs.type != rhs.type:
+            raise TypeError(
+                f"binary op {opcode.value} operand types differ: "
+                f"{lhs.type} vs {rhs.type}")
+        super().__init__(opcode, lhs.type, [lhs, rhs], name)
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class CmpInst(Instruction):
+    def __init__(self, opcode: Opcode, predicate: str, lhs: Value, rhs: Value,
+                 name: str = ""):
+        table = ICMP_PREDICATES if opcode is Opcode.ICMP else FCMP_PREDICATES
+        if predicate not in table:
+            raise ValueError(f"bad {opcode.value} predicate: {predicate}")
+        if lhs.type != rhs.type:
+            raise TypeError(
+                f"{opcode.value} operand types differ: {lhs.type} vs {rhs.type}")
+        super().__init__(opcode, I1, [lhs, rhs], name)
+        self.predicate = predicate
+
+
+class CastInst(Instruction):
+    def __init__(self, opcode: Opcode, value: Value, to_type: IRType,
+                 name: str = ""):
+        super().__init__(opcode, to_type, [value], name)
+
+
+class AllocaInst(Instruction):
+    """Stack slot for a scalar local; usually removed by mem2reg."""
+
+    def __init__(self, element_type: IRType, name: str = ""):
+        super().__init__(Opcode.ALLOCA, PointerType(element_type), [], name)
+        self.element_type = element_type
+
+
+class LoadInst(Instruction):
+    def __init__(self, pointer: Value, name: str = ""):
+        if not pointer.type.is_pointer:
+            raise TypeError(f"load from non-pointer {pointer.type}")
+        super().__init__(Opcode.LOAD, pointer.type.pointee, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class StoreInst(Instruction):
+    def __init__(self, value: Value, pointer: Value):
+        if not pointer.type.is_pointer:
+            raise TypeError(f"store to non-pointer {pointer.type}")
+        if pointer.type.pointee != value.type:
+            raise TypeError(
+                f"store type mismatch: {value.type} into {pointer.type}")
+        super().__init__(Opcode.STORE, VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class GEPInst(Instruction):
+    """``getelementptr``: pointer plus a scaled element index."""
+
+    def __init__(self, pointer: Value, index: Value, name: str = ""):
+        if not pointer.type.is_pointer:
+            raise TypeError(f"getelementptr on non-pointer {pointer.type}")
+        if not index.type.is_integer:
+            raise TypeError(f"getelementptr index must be integer, got {index.type}")
+        super().__init__(Opcode.GEP, pointer.type, [pointer, index], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class AtomicRMWInst(Instruction):
+    """Atomic read-modify-write; returns the old value.
+
+    ``operation`` is one of ``add``, ``sub``, ``min``, ``max``, ``xchg``.
+    """
+
+    OPERATIONS = ("add", "sub", "min", "max", "xchg")
+
+    def __init__(self, operation: str, pointer: Value, value: Value,
+                 name: str = ""):
+        if operation not in self.OPERATIONS:
+            raise ValueError(f"bad atomicrmw operation: {operation}")
+        if not pointer.type.is_pointer:
+            raise TypeError("atomicrmw on non-pointer")
+        if pointer.type.pointee != value.type:
+            raise TypeError("atomicrmw type mismatch")
+        super().__init__(Opcode.ATOMICRMW, value.type, [pointer, value], name)
+        self.operation = operation
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+
+class BranchInst(Instruction):
+    """Unconditional (``br label``) or conditional (``br i1, t, f``) branch."""
+
+    def __init__(self, target: "BasicBlock", condition: Optional[Value] = None,
+                 if_false: Optional["BasicBlock"] = None):
+        operands: List[Value] = [] if condition is None else [condition]
+        super().__init__(Opcode.BR, VOID, operands)
+        self.targets: List["BasicBlock"] = (
+            [target] if condition is None else [target, if_false])
+        if condition is not None and if_false is None:
+            raise ValueError("conditional branch requires a false target")
+
+    @property
+    def is_conditional(self) -> bool:
+        return bool(self.operands)
+
+    @property
+    def condition(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class RetInst(Instruction):
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(Opcode.RET, VOID, [] if value is None else [value])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class PhiInst(Instruction):
+    """SSA phi node: selects a value based on the predecessor block."""
+
+    def __init__(self, ty: IRType, name: str = ""):
+        super().__init__(Opcode.PHI, ty, [], name)
+        self.incoming_blocks: List["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        if value.type != self.type:
+            raise TypeError(
+                f"phi incoming type {value.type} != phi type {self.type}")
+        self.operands.append(value)
+        self.incoming_blocks.append(block)
+
+    def incoming_for(self, block: "BasicBlock") -> Value:
+        for value, pred in zip(self.operands, self.incoming_blocks):
+            if pred is block:
+                return value
+        raise KeyError(f"phi {self.short()} has no incoming from {block.name}")
+
+
+class CallInst(Instruction):
+    """Direct call to a function or simulator intrinsic by name."""
+
+    def __init__(self, callee: str, return_type: IRType,
+                 args: Sequence[Value], name: str = ""):
+        super().__init__(Opcode.CALL, return_type, list(args), name)
+        self.callee = callee
+
+
+class SelectInst(Instruction):
+    def __init__(self, condition: Value, if_true: Value, if_false: Value,
+                 name: str = ""):
+        if condition.type != I1:
+            raise TypeError("select condition must be i1")
+        if if_true.type != if_false.type:
+            raise TypeError("select arm types differ")
+        super().__init__(Opcode.SELECT, if_true.type,
+                         [condition, if_true, if_false], name)

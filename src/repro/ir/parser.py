@@ -1,0 +1,322 @@
+"""Parser for the textual IR format emitted by :mod:`repro.ir.printer`.
+
+Round-tripping (print -> parse -> print) is exact, which lets kernels be
+compiled once, dumped to ``.ll``-style files, inspected or edited by
+hand, and reloaded — the workflow LLVM users expect from a compiler
+substrate. The grammar is exactly the printer's output language.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .basicblock import BasicBlock
+from .function import Function, Module
+from .instructions import (
+    AllocaInst, AtomicRMWInst, BinaryInst, BranchInst, CallInst, CastInst,
+    CmpInst, GEPInst, Instruction, LoadInst, Opcode, PhiInst, RetInst,
+    SelectInst, StoreInst,
+)
+from .types import IRType, VOID, parse_type
+from .values import Constant, Value
+
+_BINARY_OPCODES = {
+    op.value: op for op in (
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.SDIV, Opcode.SREM,
+        Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.LSHR,
+        Opcode.ASHR, Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+    )
+}
+_CAST_OPCODES = {
+    op.value: op for op in (
+        Opcode.SEXT, Opcode.ZEXT, Opcode.TRUNC, Opcode.SITOFP,
+        Opcode.FPTOSI, Opcode.FPEXT, Opcode.FPTRUNC, Opcode.BITCAST,
+    )
+}
+
+_DEFINE_RE = re.compile(
+    r"define\s+(?P<ret>[\w*]+)\s+@(?P<name>[\w.\-]+)\((?P<args>.*)\)\s*{")
+_LABEL_RE = re.compile(r"^(?P<name>[\w.\-]+):")
+_PHI_INCOMING_RE = re.compile(r"\[\s*(?P<val>[^,\]]+),\s*%(?P<blk>[\w.\-]+)\s*\]")
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        location = f" (line {line_number}: {line.strip()!r})" \
+            if line_number else ""
+        super().__init__(message + location)
+
+
+class _FunctionParser:
+    def __init__(self, header: str, line_number: int):
+        match = _DEFINE_RE.match(header.strip())
+        if not match:
+            raise ParseError("malformed define", line_number, header)
+        arg_types: List[Tuple[str, IRType]] = []
+        args_text = match.group("args").strip()
+        if args_text:
+            for piece in args_text.split(","):
+                ty_text, name = piece.strip().rsplit(" ", 1)
+                if not name.startswith("%"):
+                    raise ParseError(f"malformed argument {piece!r}",
+                                     line_number, header)
+                arg_types.append((name[1:], parse_type(ty_text)))
+        self.func = Function(match.group("name"), arg_types,
+                             parse_type(match.group("ret")))
+        self.env: Dict[str, Value] = {f"%{a.name}": a
+                                      for a in self.func.args}
+        self.blocks: Dict[str, BasicBlock] = {}
+        #: (phi, raw_incoming_text, line_number) resolved after all
+        #: instructions exist
+        self.pending_phis: List[Tuple[PhiInst, str, int]] = []
+        self.current: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------
+    def ensure_block(self, name: str) -> BasicBlock:
+        block = self.blocks.get(name)
+        if block is None:
+            block = BasicBlock(name)
+            block.parent = self.func
+            self.blocks[name] = block
+        return block
+
+    def begin_block(self, name: str) -> None:
+        block = self.ensure_block(name)
+        if block in self.func.blocks:
+            raise ParseError(f"duplicate block {name!r}")
+        block.bid = len(self.func.blocks)
+        self.func.blocks.append(block)
+        self.current = block
+
+    def _value(self, text: str, ty: IRType, line_number: int) -> Value:
+        text = text.strip()
+        if text.startswith("%"):
+            try:
+                return self.env[text]
+            except KeyError:
+                raise ParseError(f"use of undefined value {text}",
+                                 line_number, text) from None
+        try:
+            literal = (int(text) if ty.is_integer or ty.is_pointer
+                       else float(text))
+        except ValueError:
+            raise ParseError(f"bad literal {text!r}", line_number,
+                             text) from None
+        return Constant(ty, literal)
+
+    def _typed_value(self, text: str, line_number: int) -> Value:
+        ty_text, value_text = text.strip().split(" ", 1)
+        return self._value(value_text, parse_type(ty_text), line_number)
+
+    def _emit(self, inst: Instruction, result: Optional[str]) -> None:
+        if self.current is None:
+            raise ParseError("instruction outside a block")
+        inst.parent = self.current
+        self.current.instructions.append(inst)
+        if result is not None:
+            inst.name = result[1:]
+            self.env[result] = inst
+
+    # ------------------------------------------------------------------
+    def parse_instruction(self, line: str, line_number: int) -> None:
+        text = line.strip()
+        result = None
+        if text.startswith("%"):
+            result, text = (p.strip() for p in text.split("=", 1))
+        head, _, rest = text.partition(" ")
+
+        if head == "br":
+            self._parse_branch(rest, line_number)
+            return
+        if head == "ret":
+            self._parse_ret(rest, line_number)
+            return
+        if head == "store":
+            value_text, pointer_text = _split_top(rest, line_number, 2)
+            pointer = self._typed_value(pointer_text, line_number)
+            value = self._typed_value(value_text, line_number)
+            self._emit(StoreInst(value, pointer), None)
+            return
+        if head == "call":
+            self._parse_call(rest, result, line_number)
+            return
+        if result is None:
+            raise ParseError(f"unknown statement {text!r}", line_number,
+                             line)
+
+        if head == "load":
+            _, pointer_text = _split_top(rest, line_number, 2)
+            pointer = self._typed_value(pointer_text, line_number)
+            self._emit(LoadInst(pointer), result)
+        elif head == "getelementptr":
+            _, pointer_text, index_text = _split_top(rest, line_number, 3)
+            pointer = self._typed_value(pointer_text, line_number)
+            index = self._typed_value(index_text, line_number)
+            self._emit(GEPInst(pointer, index), result)
+        elif head == "alloca":
+            self._emit(AllocaInst(parse_type(rest.strip())), result)
+        elif head == "atomicrmw":
+            operation, rest2 = rest.strip().split(" ", 1)
+            pointer_text, value_text = _split_top(rest2, line_number, 2)
+            pointer = self._typed_value(pointer_text, line_number)
+            value = self._typed_value(value_text, line_number)
+            self._emit(AtomicRMWInst(operation, pointer, value), result)
+        elif head in ("icmp", "fcmp"):
+            predicate, rest2 = rest.strip().split(" ", 1)
+            ty_text, operands = rest2.strip().split(" ", 1)
+            ty = parse_type(ty_text)
+            lhs_text, rhs_text = _split_top(operands, line_number, 2)
+            opcode = Opcode.ICMP if head == "icmp" else Opcode.FCMP
+            self._emit(CmpInst(opcode, predicate,
+                               self._value(lhs_text, ty, line_number),
+                               self._value(rhs_text, ty, line_number)),
+                       result)
+        elif head == "phi":
+            ty_text, incomings = rest.strip().split(" ", 1)
+            phi = PhiInst(parse_type(ty_text))
+            self._emit(phi, result)
+            self.pending_phis.append((phi, incomings, line_number))
+        elif head == "select":
+            cond_text, true_text, false_text = _split_top(rest, line_number,
+                                                          3)
+            _, cond_value = cond_text.strip().split(" ", 1)
+            condition = self._value(cond_value, parse_type("i1"),
+                                    line_number)
+            if_true = self._typed_value(true_text, line_number)
+            if_false = self._typed_value(false_text, line_number)
+            self._emit(SelectInst(condition, if_true, if_false), result)
+        elif head in _CAST_OPCODES:
+            source_text, to_text = rest.split(" to ")
+            value = self._typed_value(source_text, line_number)
+            self._emit(CastInst(_CAST_OPCODES[head], value,
+                                parse_type(to_text.strip())), result)
+        elif head in _BINARY_OPCODES:
+            ty_text, operands = rest.strip().split(" ", 1)
+            ty = parse_type(ty_text)
+            lhs_text, rhs_text = _split_top(operands, line_number, 2)
+            self._emit(BinaryInst(_BINARY_OPCODES[head],
+                                  self._value(lhs_text, ty, line_number),
+                                  self._value(rhs_text, ty, line_number)),
+                       result)
+        else:
+            raise ParseError(f"unknown opcode {head!r}", line_number, line)
+
+    def _parse_branch(self, rest: str, line_number: int) -> None:
+        rest = rest.strip()
+        if rest.startswith("label"):
+            target = rest.split("%", 1)[1].strip()
+            self._emit(BranchInst(self.ensure_block(target)), None)
+            return
+        # br i1 %c, label %t, label %f
+        parts = _split_top(rest, line_number, 3)
+        _, cond_text = parts[0].strip().split(" ", 1)
+        condition = self._value(cond_text, parse_type("i1"), line_number)
+        if_true = self.ensure_block(parts[1].split("%", 1)[1].strip())
+        if_false = self.ensure_block(parts[2].split("%", 1)[1].strip())
+        self._emit(BranchInst(if_true, condition, if_false), None)
+
+    def _parse_ret(self, rest: str, line_number: int) -> None:
+        rest = rest.strip()
+        if rest == "void":
+            self._emit(RetInst(), None)
+            return
+        self._emit(RetInst(self._typed_value(rest, line_number)), None)
+
+    def _parse_call(self, rest: str, result: Optional[str],
+                    line_number: int) -> None:
+        match = re.match(
+            r"(?P<ty>[\w*]+)\s+@(?P<callee>[\w.\-]+)\((?P<args>.*)\)",
+            rest.strip())
+        if not match:
+            raise ParseError("malformed call", line_number, rest)
+        return_type = parse_type(match.group("ty"))
+        args_text = match.group("args").strip()
+        args = []
+        if args_text:
+            for piece in _split_top(args_text, line_number):
+                args.append(self._typed_value(piece, line_number))
+        self._emit(CallInst(match.group("callee"), return_type, args),
+                   result)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> Function:
+        for phi, incomings, line_number in self.pending_phis:
+            for match in _PHI_INCOMING_RE.finditer(incomings):
+                value = self._value(match.group("val"), phi.type,
+                                    line_number)
+                block = self.blocks.get(match.group("blk"))
+                if block is None:
+                    raise ParseError(
+                        f"phi references unknown block "
+                        f"%{match.group('blk')}", line_number, incomings)
+                phi.add_incoming(value, block)
+        dangling = [name for name, block in self.blocks.items()
+                    if block not in self.func.blocks]
+        if dangling:
+            raise ParseError(f"branches to undefined blocks: {dangling}")
+        # rebuild the name-uniquing table so later additions stay unique
+        for block in self.func.blocks:
+            self.func._names_used.setdefault(block.name, 1)
+            for inst in block.instructions:
+                if inst.name:
+                    self.func._names_used.setdefault(inst.name, 1)
+        return self.func.finalize()
+
+
+def _split_top(text: str, line_number: int,
+               expect: Optional[int] = None) -> List[str]:
+    """Split on commas that are not inside brackets/parens."""
+    parts, depth, current = [], 0, []
+    for char in text:
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    parts = [p.strip() for p in parts if p.strip()]
+    if expect is not None and len(parts) != expect:
+        raise ParseError(
+            f"expected {expect} comma-separated operands, got {len(parts)}",
+            line_number, text)
+    return parts
+
+
+def parse_function(text: str) -> Function:
+    """Parse one ``define ... { ... }`` body."""
+    parser: Optional[_FunctionParser] = None
+    for line_number, raw in enumerate(text.splitlines(), 1):
+        line = raw.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped.startswith("define"):
+            if parser is not None:
+                raise ParseError("nested define", line_number, line)
+            parser = _FunctionParser(stripped, line_number)
+            continue
+        if parser is None:
+            raise ParseError("content before define", line_number, line)
+        if stripped == "}":
+            return parser.finish()
+        label = _LABEL_RE.match(stripped)
+        if label:
+            parser.begin_block(label.group("name"))
+            continue
+        parser.parse_instruction(stripped, line_number)
+    raise ParseError("unterminated function (missing '}')")
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse a whole module: any number of defines (globals ignored)."""
+    module = Module(name)
+    chunks = re.split(r"(?=^define )", text, flags=re.MULTILINE)
+    for chunk in chunks:
+        if chunk.strip().startswith("define"):
+            module.add_function(parse_function(chunk))
+    return module

@@ -1,0 +1,88 @@
+"""Textual rendering of the mini-IR, in an LLVM-like syntax."""
+
+from __future__ import annotations
+
+from .basicblock import BasicBlock
+from .function import Function, Module
+from .instructions import (
+    AllocaInst, AtomicRMWInst, BranchInst, CallInst, CastInst, CmpInst,
+    GEPInst, Instruction, LoadInst, Opcode, PhiInst, RetInst, SelectInst,
+    StoreInst,
+)
+
+
+def format_instruction(inst: Instruction) -> str:
+    op = inst.opcode.value
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            cond = inst.condition.short()
+            return (f"br i1 {cond}, label %{inst.targets[0].name}, "
+                    f"label %{inst.targets[1].name}")
+        return f"br label %{inst.targets[0].name}"
+    if isinstance(inst, RetInst):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {inst.value.type} {inst.value.short()}"
+    if isinstance(inst, StoreInst):
+        return (f"store {inst.value.type} {inst.value.short()}, "
+                f"{inst.pointer.type} {inst.pointer.short()}")
+    if isinstance(inst, LoadInst):
+        return (f"%{inst.name} = load {inst.type}, "
+                f"{inst.pointer.type} {inst.pointer.short()}")
+    if isinstance(inst, GEPInst):
+        return (f"%{inst.name} = getelementptr {inst.pointer.type.pointee}, "
+                f"{inst.pointer.type} {inst.pointer.short()}, "
+                f"{inst.index.type} {inst.index.short()}")
+    if isinstance(inst, AllocaInst):
+        return f"%{inst.name} = alloca {inst.element_type}"
+    if isinstance(inst, AtomicRMWInst):
+        return (f"%{inst.name} = atomicrmw {inst.operation} "
+                f"{inst.pointer.type} {inst.pointer.short()}, "
+                f"{inst.value.type} {inst.value.short()}")
+    if isinstance(inst, CmpInst):
+        return (f"%{inst.name} = {op} {inst.predicate} {inst.operands[0].type} "
+                f"{inst.operands[0].short()}, {inst.operands[1].short()}")
+    if isinstance(inst, PhiInst):
+        pairs = ", ".join(
+            f"[ {val.short()}, %{blk.name} ]"
+            for val, blk in zip(inst.operands, inst.incoming_blocks))
+        return f"%{inst.name} = phi {inst.type} {pairs}"
+    if isinstance(inst, CallInst):
+        args = ", ".join(f"{a.type} {a.short()}" for a in inst.operands)
+        prefix = "" if inst.type.is_void else f"%{inst.name} = "
+        return f"{prefix}call {inst.type} @{inst.callee}({args})"
+    if isinstance(inst, SelectInst):
+        c, t, f = inst.operands
+        return (f"%{inst.name} = select i1 {c.short()}, {t.type} {t.short()}, "
+                f"{f.type} {f.short()}")
+    if isinstance(inst, CastInst):
+        src = inst.operands[0]
+        return (f"%{inst.name} = {op} {src.type} {src.short()} to {inst.type}")
+    # plain binary ops
+    lhs, rhs = inst.operands
+    return f"%{inst.name} = {op} {lhs.type} {lhs.short()}, {rhs.short()}"
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:    ; bid={block.bid}"]
+    for inst in block.instructions:
+        lines.append(f"  {format_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def format_function(func: Function) -> str:
+    args = ", ".join(f"{a.type} %{a.name}" for a in func.args)
+    lines = [f"define {func.return_type} @{func.name}({args}) {{"]
+    for block in func.blocks:
+        lines.append(format_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    for g in module.globals.values():
+        parts.append(f"@{g.name} = global [{g.count} x {g.type.pointee}]")
+    for func in module.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts)

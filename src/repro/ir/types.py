@@ -1,0 +1,134 @@
+"""Type system for the mini-IR.
+
+The IR is modeled on LLVM IR: a small set of first-class scalar types
+(integers of various widths, IEEE floats) plus opaque pointers. Types are
+interned singletons so they can be compared with ``is`` / ``==`` cheaply.
+"""
+
+from __future__ import annotations
+
+
+class IRType:
+    """Base class for all IR types."""
+
+    #: size of a value of this type, in bytes (0 for void)
+    size: int = 0
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == getattr(other, "__dict__", None)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+
+class VoidType(IRType):
+    size = 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(IRType):
+    """An integer type of a given bit width (i1, i8, i32, i64)."""
+
+    def __init__(self, bits: int):
+        if bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {bits}")
+        self.bits = bits
+        self.size = max(1, bits // 8)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(IRType):
+    """An IEEE-754 float type (f32 or f64)."""
+
+    def __init__(self, bits: int):
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {bits}")
+        self.bits = bits
+        self.size = bits // 8
+
+    def __str__(self) -> str:
+        return f"f{self.bits}"
+
+
+class PointerType(IRType):
+    """A pointer to a value of ``pointee`` type.
+
+    Pointers are 8 bytes, matching a 64-bit address space.
+    """
+
+    size = 8
+
+    def __init__(self, pointee: IRType):
+        if pointee.is_void:
+            raise ValueError("pointer to void is not allowed; use i8*")
+        self.pointee = pointee
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class LabelType(IRType):
+    """The type of basic-block labels (branch targets)."""
+
+    def __str__(self) -> str:
+        return "label"
+
+
+# Interned singletons -------------------------------------------------------
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+LABEL = LabelType()
+
+
+def pointer_to(ty: IRType) -> PointerType:
+    """Return the pointer type to ``ty``."""
+    return PointerType(ty)
+
+
+_BY_NAME = {str(t): t for t in (VOID, I1, I8, I16, I32, I64, F32, F64, LABEL)}
+
+
+def parse_type(text: str) -> IRType:
+    """Parse a type from its textual form, e.g. ``"i64"`` or ``"f64**"``."""
+    text = text.strip()
+    depth = 0
+    while text.endswith("*"):
+        text = text[:-1]
+        depth += 1
+    try:
+        ty = _BY_NAME[text]
+    except KeyError:
+        raise ValueError(f"unknown type: {text!r}") from None
+    for _ in range(depth):
+        ty = PointerType(ty)
+    return ty

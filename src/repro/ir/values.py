@@ -1,0 +1,91 @@
+"""Value hierarchy for the mini-IR.
+
+Everything an instruction can reference as an operand is a :class:`Value`:
+constants, function arguments, other instructions (whose result is the
+value), and basic-block labels. Like LLVM, the IR is in SSA form — each
+non-constant value has exactly one definition.
+"""
+
+from __future__ import annotations
+
+from .types import F32, F64, I1, I8, I16, I32, I64, IRType
+
+
+class Value:
+    """Base class for everything usable as an instruction operand."""
+
+    def __init__(self, ty: IRType, name: str = ""):
+        self.type = ty
+        self.name = name
+
+    def short(self) -> str:
+        """Operand-position rendering, e.g. ``%x`` or ``42``."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.short()}: {self.type}>"
+
+
+class Constant(Value):
+    """An immediate constant of integer or float type."""
+
+    def __init__(self, ty: IRType, value):
+        super().__init__(ty, name=str(value))
+        if ty.is_integer:
+            value = int(value)
+        elif ty.is_float:
+            value = float(value)
+        else:
+            raise TypeError(f"constants must be int or float typed, got {ty}")
+        self.value = value
+
+    def short(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, ty: IRType, name: str, index: int):
+        super().__init__(ty, name)
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level array symbol; its value is a pointer to storage.
+
+    ``count`` elements of ``element_type`` are reserved when a module is
+    materialized by the interpreter.
+    """
+
+    def __init__(self, ty: IRType, name: str, count: int):
+        super().__init__(ty, name)  # ty is a PointerType
+        self.count = count
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+
+def const_int(value: int, bits: int = 64) -> Constant:
+    """Convenience constructor for integer constants."""
+    table = {1: I1, 8: I8, 16: I16, 32: I32, 64: I64}
+    return Constant(table[bits], value)
+
+
+def const_float(value: float, bits: int = 64) -> Constant:
+    """Convenience constructor for float constants."""
+    return Constant(F64 if bits == 64 else F32, value)
+
+
+TRUE = Constant(I1, 1)
+FALSE = Constant(I1, 0)

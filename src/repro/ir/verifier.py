@@ -1,0 +1,105 @@
+"""Structural verifier for the mini-IR.
+
+Checks the invariants every well-formed function must satisfy before it can
+be interpreted or simulated:
+
+* every block ends in exactly one terminator, which is its last instruction;
+* phi nodes form a prefix of their block and cover every predecessor exactly
+  once;
+* every instruction operand is defined somewhere in the function (an
+  argument, a constant, a global, or an instruction belonging to the
+  function);
+* branch targets belong to the same function;
+* the entry block has no predecessors and no phis.
+
+The verifier deliberately does not enforce full SSA dominance — the
+frontend's mem2reg construction guarantees it, and checking definedness plus
+block membership catches the bug classes we actually hit in practice.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function, Module
+from .instructions import BranchInst, Instruction, PhiInst
+from .values import Argument, Constant, GlobalVariable
+
+
+class VerificationError(Exception):
+    """Raised when an IR function violates a structural invariant."""
+
+    def __init__(self, function: Function, problems: List[str]):
+        self.function = function
+        self.problems = problems
+        summary = "\n  - ".join(problems)
+        super().__init__(
+            f"IR verification failed for @{function.name}:\n  - {summary}")
+
+
+def verify_function(func: Function) -> None:
+    """Raise :class:`VerificationError` if ``func`` is malformed."""
+    problems: List[str] = []
+    if not func.blocks:
+        raise VerificationError(func, ["function has no blocks"])
+
+    defined = set()
+    for arg in func.args:
+        defined.add(id(arg))
+    for block in func.blocks:
+        for inst in block.instructions:
+            defined.add(id(inst))
+
+    blocks = set(id(b) for b in func.blocks)
+
+    if func.entry.predecessors:
+        problems.append("entry block has predecessors")
+    if func.entry.phis:
+        problems.append("entry block contains phi nodes")
+
+    for block in func.blocks:
+        term = block.terminator
+        if term is None:
+            problems.append(f"block {block.name} lacks a terminator")
+        for i, inst in enumerate(block.instructions):
+            if inst.is_terminator and inst is not block.instructions[-1]:
+                problems.append(
+                    f"terminator mid-block in {block.name} at index {i}")
+            if isinstance(inst, PhiInst):
+                if i >= len(block.phis):
+                    problems.append(
+                        f"phi {inst.short()} after non-phi in {block.name}")
+                preds = block.predecessors
+                if len(inst.operands) != len(preds):
+                    problems.append(
+                        f"phi {inst.short()} in {block.name} has "
+                        f"{len(inst.operands)} incoming values for "
+                        f"{len(preds)} predecessors")
+                else:
+                    incoming = {id(b) for b in inst.incoming_blocks}
+                    if incoming != {id(p) for p in preds}:
+                        problems.append(
+                            f"phi {inst.short()} in {block.name} incoming "
+                            f"blocks do not match predecessors")
+            for op in inst.operands:
+                if isinstance(op, (Constant, GlobalVariable, Argument)):
+                    continue
+                if id(op) not in defined:
+                    problems.append(
+                        f"operand {op.short()} of {inst.opcode.value} in "
+                        f"{block.name} is not defined in @{func.name}")
+            if isinstance(inst, BranchInst):
+                for target in inst.targets:
+                    if id(target) not in blocks:
+                        problems.append(
+                            f"branch in {block.name} targets foreign block "
+                            f"{target.name}")
+
+    if problems:
+        raise VerificationError(func, problems)
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in ``module``."""
+    for func in module.functions.values():
+        verify_function(func)

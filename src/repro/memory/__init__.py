@@ -1,0 +1,18 @@
+"""``repro.memory`` — the memory hierarchy (paper §V).
+
+Tag-only set-associative caches (write-back, write-allocate, inclusive by
+composition) with MSHRs and a stream prefetcher, plus two DRAM models:
+SimpleDRAM (min latency + epoch bandwidth throttling) and a cycle-level
+banked model standing in for DRAMSim2.
+"""
+
+from .cache import Cache
+from .coherence import CoherenceStats, Directory
+from .dram import DRAMSim2Model, SimpleDRAM
+from .hierarchy import MemorySystem
+from .noc import MeshNoC, NoCConfig
+from .request import MemRequest
+
+__all__ = ["Cache", "CoherenceStats", "Directory", "DRAMSim2Model",
+           "SimpleDRAM", "MemorySystem", "MeshNoC", "NoCConfig",
+           "MemRequest"]

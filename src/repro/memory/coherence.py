@@ -1,0 +1,75 @@
+"""Directory-based coherence (paper §V-A extension).
+
+The paper does not model coherence but sketches the design: "A directory
+protocol can easily be implemented by treating the Interleaver as the
+directory and allowing it to communicate with the caches." This module
+provides that extension: a full-map directory that tracks which cores'
+private hierarchies may hold each line and, on a write, invalidates the
+other sharers' copies (MSI-style, tag-only like everything else in the
+timing model).
+
+Timing: an invalidating write is delayed by one directory round trip per
+sharer hop (a flat per-invalidation latency, or NoC distances when a
+mesh is attached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .noc import MeshNoC
+
+
+@dataclass
+class CoherenceStats:
+    invalidations: int = 0
+    invalidation_messages: int = 0
+    upgrades: int = 0          # writes that had to invalidate sharers
+    directory_lookups: int = 0
+
+
+class Directory:
+    """Full-map sharer tracking for the private cache hierarchies."""
+
+    def __init__(self, num_cores: int, line_bytes: int = 64,
+                 invalidation_latency: int = 10,
+                 noc: Optional[MeshNoC] = None):
+        self.num_cores = num_cores
+        self.line_bytes = line_bytes
+        self.invalidation_latency = invalidation_latency
+        self.noc = noc
+        self._sharers: Dict[int, Set[int]] = {}
+        self.stats = CoherenceStats()
+        #: per-core invalidation callbacks, set by the memory system:
+        #: called with the line address to drop it from private caches
+        self.invalidate_hooks: List = [None] * num_cores
+
+    def access(self, core: int, address: int, is_write: bool) -> int:
+        """Record an access; returns extra cycles of coherence delay."""
+        line = address // self.line_bytes
+        self.stats.directory_lookups += 1
+        sharers = self._sharers.setdefault(line, set())
+        delay = 0
+        if is_write:
+            others = sharers - {core}
+            if others:
+                self.stats.upgrades += 1
+                for other in sorted(others):
+                    self.stats.invalidations += 1
+                    self.stats.invalidation_messages += 1
+                    hook = self.invalidate_hooks[other]
+                    if hook is not None:
+                        hook(line * self.line_bytes)
+                    if self.noc is not None:
+                        delay = max(delay, self.noc.latency(core, other))
+                    else:
+                        delay = self.invalidation_latency
+            sharers.clear()
+            sharers.add(core)
+        else:
+            sharers.add(core)
+        return delay
+
+    def sharers_of(self, address: int) -> Set[int]:
+        return set(self._sharers.get(address // self.line_bytes, ()))

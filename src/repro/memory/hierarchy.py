@@ -1,0 +1,162 @@
+"""The composed memory system: per-core private caches, a shared LLC, and a
+DRAM model (paper §V).
+
+Each core tile owns a chain of private levels (L1 first); all chains merge
+into the shared LLC, which forwards to DRAM. "Each core tile model
+maintains a cache queue ordered with respect to the cache hierarchy" — the
+chain of ``next_access`` callables realizes that queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim.config import MemoryHierarchyConfig
+from ..sim.events import Scheduler
+from ..sim.statistics import CacheStats, DRAMStats
+from .cache import Cache
+from .coherence import Directory
+from .dram import DRAMSim2Model, SimpleDRAM
+from .noc import MeshNoC
+from .request import MemRequest
+
+
+class MemorySystem:
+    """Builds and owns the full cache/DRAM composition."""
+
+    def __init__(self, config: MemoryHierarchyConfig, num_cores: int,
+                 scheduler: Scheduler, frequency_ghz: float = 2.0):
+        self.config = config
+        self.num_cores = num_cores
+        self.scheduler = scheduler
+        #: single-element lists so caches/DRAM accumulate energy in place
+        self._cache_energy = [0.0]
+        self._dram_energy = [0.0]
+        self.dram_stats = DRAMStats()
+        #: aggregated per level name ("L1", "L2", "LLC")
+        self.cache_stats: Dict[str, CacheStats] = {}
+
+        if config.dram_model == "simple":
+            self.dram = SimpleDRAM(config.simple_dram, scheduler,
+                                   self.dram_stats, frequency_ghz,
+                                   self._dram_energy)
+        elif config.dram_model == "dramsim2":
+            self.dram = DRAMSim2Model(config.dramsim2, scheduler,
+                                      self.dram_stats, self._dram_energy)
+        else:
+            raise ValueError(f"unknown DRAM model {config.dram_model!r}")
+
+        dram_access = self.dram.access
+
+        self.llc: Optional[Cache] = None
+        llc_access = dram_access
+        if config.llc is not None:
+            stats = self._stats_for(config.llc.name)
+            self.llc = Cache(config.llc, scheduler, dram_access, stats,
+                             self._cache_energy)
+            llc_access = self.llc.access
+
+        # optional mesh NoC between private hierarchies and the LLC banks
+        # (§V-A extension)
+        self.noc: Optional[MeshNoC] = None
+        if config.noc is not None:
+            self.noc = MeshNoC(config.noc, num_cores)
+
+        #: per-core entry point (the L1 access function)
+        self._entries: List[Callable[[MemRequest, int], None]] = []
+        self.private_caches: List[List[Cache]] = []
+        for core in range(num_cores):
+            chain_entry = llc_access
+            if self.noc is not None:
+                chain_entry = self._noc_wrap(core, llc_access)
+            levels: List[Cache] = []
+            for level_config in reversed(config.private_levels):
+                stats = self._stats_for(level_config.name)
+                prefetch = (config.prefetcher
+                            if level_config is config.private_levels[0]
+                            else None)
+                cache = Cache(level_config, scheduler, chain_entry, stats,
+                              self._cache_energy, prefetcher=prefetch)
+                chain_entry = cache.access
+                levels.append(cache)
+            levels.reverse()
+            self.private_caches.append(levels)
+            self._entries.append(chain_entry)
+
+        # optional directory coherence over the private hierarchies
+        # (§V-A extension)
+        self.directory: Optional[Directory] = None
+        if config.coherence:
+            line_bytes = (config.private_levels[0].line_bytes
+                          if config.private_levels else 64)
+            self.directory = Directory(
+                num_cores, line_bytes=line_bytes,
+                invalidation_latency=config.invalidation_latency,
+                noc=self.noc)
+            for core in range(num_cores):
+                self.directory.invalidate_hooks[core] = \
+                    self._invalidator(core)
+
+    def _noc_wrap(self, core: int,
+                  llc_access: Callable[[MemRequest, int], None]
+                  ) -> Callable[[MemRequest, int], None]:
+        """Charge the mesh traversal to and from the owning LLC bank."""
+        noc = self.noc
+        scheduler = self.scheduler
+
+        def access(request: MemRequest, cycle: int) -> None:
+            there = noc.core_to_bank_latency(core, request.address)
+            original = request.callback
+            if original is not None:
+                back = noc.core_to_bank_latency(core, request.address)
+                request.callback = \
+                    lambda c, cb=original, d=back: scheduler.at(c + d, cb)
+            scheduler.at(cycle + there,
+                         lambda c, r=request: llc_access(r, c))
+
+        return access
+
+    def _invalidator(self, core: int):
+        levels = self.private_caches[core]
+
+        def invalidate(address: int) -> None:
+            for cache in levels:
+                cache.invalidate(address)
+
+        return invalidate
+
+    def _stats_for(self, name: str) -> CacheStats:
+        if name not in self.cache_stats:
+            self.cache_stats[name] = CacheStats(name=name)
+        return self.cache_stats[name]
+
+    # ------------------------------------------------------------------
+    def access(self, core_id: int, address: int, size: int, *,
+               is_write: bool, cycle: int,
+               callback: Callable[[int], None],
+               is_atomic: bool = False) -> None:
+        """Issue one memory access from ``core_id``'s L1."""
+        request = MemRequest(address, size, is_write=is_write,
+                             is_atomic=is_atomic, core_id=core_id,
+                             callback=callback, issue_cycle=cycle)
+        if self.directory is not None:
+            delay = self.directory.access(core_id, address,
+                                          is_write or is_atomic)
+            if delay:
+                self.scheduler.at(
+                    cycle + delay,
+                    lambda c, r=request, e=self._entries[core_id]: e(r, c))
+                return
+        self._entries[core_id](request, cycle)
+
+    @property
+    def cache_energy_nj(self) -> float:
+        return self._cache_energy[0]
+
+    @property
+    def dram_energy_nj(self) -> float:
+        return self._dram_energy[0]
+
+    @property
+    def energy_nj(self) -> float:
+        return self._cache_energy[0] + self._dram_energy[0]

@@ -1,0 +1,41 @@
+"""Memory request objects passed through the cache hierarchy."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class MemRequest:
+    """A single memory access as seen by the hierarchy.
+
+    ``callback(cycle)`` fires when the request is fully serviced; requests
+    without callbacks (writebacks, prefetches) complete silently.
+    """
+
+    __slots__ = ("address", "size", "is_write", "is_atomic", "is_prefetch",
+                 "core_id", "callback", "issue_cycle")
+
+    def __init__(self, address: int, size: int = 8, *, is_write: bool = False,
+                 is_atomic: bool = False, is_prefetch: bool = False,
+                 core_id: int = 0,
+                 callback: Optional[Callable[[int], None]] = None,
+                 issue_cycle: int = 0):
+        self.address = address
+        self.size = size
+        self.is_write = is_write
+        self.is_atomic = is_atomic
+        self.is_prefetch = is_prefetch
+        self.core_id = core_id
+        self.callback = callback
+        self.issue_cycle = issue_cycle
+
+    def line(self, line_bytes: int) -> int:
+        return self.address // line_bytes
+
+    def __repr__(self) -> str:
+        kind = "W" if self.is_write else "R"
+        if self.is_atomic:
+            kind = "A"
+        if self.is_prefetch:
+            kind += "p"
+        return f"<MemRequest {kind} {self.address:#x} core {self.core_id}>"

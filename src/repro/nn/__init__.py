@@ -1,0 +1,20 @@
+"""``repro.nn`` — Keras-like front-end and NN performance modeling
+(paper §VII-C)."""
+
+from .layers import (
+    Aggregate, BatchNorm, Conv2D, Dense, Dropout, Embedding, Flatten, Layer, MaxPool,
+    Op, RandomWalk, ReLU, op_flops,
+)
+from .lower import LoweredModel, LoweringError, convnet_inference, \
+    lower_inference
+from .mapping import OpCost, SystemCost, TrainingCostModel
+from .model import PAPER_MODELS, Sequential, convnet, graphsage, recsys
+
+__all__ = [
+    "Aggregate", "BatchNorm", "Conv2D", "Dense", "Dropout", "Embedding", "Flatten",
+    "Layer", "MaxPool", "Op", "RandomWalk", "ReLU", "op_flops",
+    "LoweredModel", "LoweringError", "convnet_inference",
+    "lower_inference",
+    "OpCost", "SystemCost", "TrainingCostModel",
+    "PAPER_MODELS", "Sequential", "convnet", "graphsage", "recsys",
+]

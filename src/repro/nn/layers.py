@@ -1,0 +1,247 @@
+"""Keras-like layer API (paper §VII-C).
+
+A thin, declarative layer vocabulary whose ``training_ops`` lowering
+produces the op stream MosaicSim costs — accelerator invocations for ops
+with hardware support, CPU kernels otherwise. Mirrors the paper's Keras
+TensorFlow front-end that "recognize[s] Keras function names in the source
+code and map[s] them to LLVM accelerator invocation calls".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Op:
+    """One costed operation of a training step."""
+
+    kind: str                 # conv2d | gemm | dense | elementwise | relu |
+    #                           batchnorm | pool | embedding | random_walk
+    params: Dict[str, int]
+    #: False when no accelerator exists for this op (it always runs on CPU)
+    accelerable: bool = True
+    #: descriptive tag ("fwd"/"bwd"), for reports
+    phase: str = "fwd"
+
+    @property
+    def flops(self) -> int:
+        return op_flops(self.kind, self.params)
+
+
+def op_flops(kind: str, p: Dict[str, int]) -> int:
+    if kind == "conv2d":
+        oh, ow = p["h"] - p["kh"] + 1, p["w"] - p["kw"] + 1
+        return 2 * oh * ow * p["cout"] * p["kh"] * p["kw"] * p["cin"]
+    if kind in ("gemm",):
+        return 2 * p["n"] * p["m"] * p["k"]
+    if kind == "dense":
+        return 2 * p["batch"] * p["din"] * p["dout"]
+    if kind in ("elementwise", "relu"):
+        return p["n"]
+    if kind == "batchnorm":
+        return 3 * p["n"]
+    if kind == "pool":
+        return p["h"] * p["w"] * p["c"]
+    if kind == "embedding":
+        return p["count"] * p["dim"]
+    if kind == "random_walk":
+        return 8 * p["nwalks"] * p["walk_len"]
+    raise KeyError(f"unknown op kind {kind!r}")
+
+
+class Layer:
+    """Base layer: maps an input shape to an output shape and emits the
+    training ops (forward + backward) for one batch."""
+
+    name = "layer"
+
+    def output_shape(self, shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return shape
+
+    def training_ops(self, shape: Tuple[int, ...],
+                     batch: int) -> List[Op]:
+        raise NotImplementedError
+
+
+def _elems(shape: Tuple[int, ...]) -> int:
+    n = 1
+    for d in shape:
+        n *= d
+    return n
+
+
+class Conv2D(Layer):
+    """Convolution; forward accelerated, backward has no accelerator
+    (paper: "we do not have accelerators for backpropagation of
+    convolutional layers")."""
+
+    name = "conv2d"
+
+    def __init__(self, filters: int, kernel: Tuple[int, int] = (3, 3),
+                 padded: bool = True):
+        self.filters = filters
+        self.kh, self.kw = kernel
+        self.padded = padded
+
+    def output_shape(self, shape):
+        h, w, c = shape
+        if self.padded:
+            return (h, w, self.filters)
+        return (h - self.kh + 1, w - self.kw + 1, self.filters)
+
+    def training_ops(self, shape, batch):
+        h, w, c = shape
+        params = {"h": h, "w": w, "cin": c, "cout": self.filters,
+                  "kh": self.kh, "kw": self.kw, "batch": batch}
+        return [
+            Op("conv2d", params, accelerable=True, phase="fwd"),
+            # dX and dW gradients: two conv-shaped passes, CPU-only
+            Op("conv2d", params, accelerable=False, phase="bwd"),
+            Op("conv2d", params, accelerable=False, phase="bwd"),
+        ]
+
+
+class Dense(Layer):
+    name = "dense"
+
+    def __init__(self, units: int):
+        self.units = units
+
+    def output_shape(self, shape):
+        return (self.units,)
+
+    def training_ops(self, shape, batch):
+        din = _elems(shape)
+        fwd = {"batch": batch, "din": din, "dout": self.units}
+        return [
+            Op("dense", fwd, phase="fwd"),
+            # dX = dY @ W^T and dW = X^T @ dY: two GEMMs, accelerated
+            Op("gemm", {"n": batch, "m": din, "k": self.units}, phase="bwd"),
+            Op("gemm", {"n": din, "m": self.units, "k": batch}, phase="bwd"),
+        ]
+
+
+class _PointwiseLayer(Layer):
+    kind = "elementwise"
+
+    def training_ops(self, shape, batch):
+        n = _elems(shape) * batch
+        return [
+            Op(self.kind, {"n": n}, phase="fwd"),
+            Op("elementwise", {"n": n}, phase="bwd"),
+        ]
+
+
+class ReLU(_PointwiseLayer):
+    name = "relu"
+    kind = "relu"
+
+
+class BatchNorm(_PointwiseLayer):
+    name = "batchnorm"
+    kind = "batchnorm"
+
+
+class Dropout(_PointwiseLayer):
+    name = "dropout"
+    kind = "elementwise"
+
+    def __init__(self, rate: float = 0.5):
+        self.rate = rate
+
+
+class MaxPool(Layer):
+    name = "maxpool"
+
+    def __init__(self, stride: int = 2):
+        self.stride = stride
+
+    def output_shape(self, shape):
+        h, w, c = shape
+        return (h // self.stride, w // self.stride, c)
+
+    def training_ops(self, shape, batch):
+        h, w, c = shape
+        return [
+            Op("pool", {"h": h, "w": w, "c": c, "stride": self.stride,
+                        "batch": batch}, phase="fwd"),
+            Op("elementwise", {"n": _elems(shape) * batch}, phase="bwd"),
+        ]
+
+
+class Flatten(Layer):
+    name = "flatten"
+
+    def output_shape(self, shape):
+        return (_elems(shape),)
+
+    def training_ops(self, shape, batch):
+        return []
+
+
+class Embedding(Layer):
+    """Table lookup; irregular gather, CPU-only (paper: GraphSage's
+    embedding step is not handled by an accelerator)."""
+
+    name = "embedding"
+
+    def __init__(self, vocab: int, dim: int):
+        self.vocab = vocab
+        self.dim = dim
+
+    def output_shape(self, shape):
+        return (shape[0], self.dim)
+
+    def training_ops(self, shape, batch):
+        count = shape[0] * batch
+        return [
+            Op("embedding", {"count": count, "dim": self.dim,
+                             "vocab": self.vocab},
+               accelerable=False, phase="fwd"),
+            Op("embedding", {"count": count, "dim": self.dim,
+                             "vocab": self.vocab},
+               accelerable=False, phase="bwd"),
+        ]
+
+
+class Aggregate(Layer):
+    """CBOW-style mean aggregation over sampled-neighbour embeddings:
+    (n, dim) -> (dim,). Element-wise accumulate, accelerable."""
+
+    name = "aggregate"
+
+    def output_shape(self, shape):
+        return (shape[-1],)
+
+    def training_ops(self, shape, batch):
+        n = _elems(shape) * batch
+        return [
+            Op("elementwise", {"n": n}, phase="fwd"),
+            Op("elementwise", {"n": n}, phase="bwd"),
+        ]
+
+
+class RandomWalk(Layer):
+    """GraphSage neighbourhood sampling; pointer chasing, CPU-only."""
+
+    name = "random_walk"
+
+    def __init__(self, walk_len: int, graph_vertices: int,
+                 avg_degree: int = 8):
+        self.walk_len = walk_len
+        self.graph_vertices = graph_vertices
+        self.avg_degree = avg_degree
+
+    def output_shape(self, shape):
+        return (shape[0] * self.walk_len,)
+
+    def training_ops(self, shape, batch):
+        nwalks = shape[0] * batch
+        return [
+            Op("random_walk", {"nwalks": nwalks, "walk_len": self.walk_len,
+                               "vertices": self.graph_vertices,
+                               "degree": self.avg_degree},
+               accelerable=False, phase="fwd"),
+        ]

@@ -1,0 +1,203 @@
+"""Lower a Sequential model's forward pass to a real IR kernel.
+
+This is the §VII-C mechanism proper: "the accelerator invocation calls
+then appear in the instrumented LLVM that MosaicSim operates on, so once
+the application is compiled and executed, the accelerator invocations are
+simulated whenever MosaicSim encounters their function calls."
+
+``lower_inference`` walks a model, allocates weight/activation buffers in
+a :class:`SimMemory`, and generates a kernel (in the Python dialect)
+whose body is one ``accel_*`` call per layer. Compiling and tracing that
+kernel *functionally executes* the network (the interpreter applies each
+accelerator's numpy semantics), so the simulated forward pass can be
+validated against an independent reference — while the Interleaver costs
+every invocation through the accelerator tile models.
+
+Supported layers for lowering: Conv2D (valid padding), Dense, ReLU,
+BatchNorm, MaxPool, Flatten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..frontend import compile_kernel
+from ..ir.function import Function
+from ..ir.types import F64
+from ..sim.accelerator.tile import AcceleratorFarm
+from ..trace.memory import ArrayRef, SimMemory
+from .layers import BatchNorm, Conv2D, Dense, Flatten, Layer, MaxPool, ReLU
+from .model import Sequential
+
+
+class LoweringError(Exception):
+    pass
+
+
+@dataclass
+class LoweredModel:
+    """A compiled forward pass plus everything needed to run it."""
+
+    model: Sequential
+    function: Function
+    source: str
+    args: List
+    memory: SimMemory
+    input_buffer: ArrayRef
+    output_buffer: ArrayRef
+    #: layer kinds used, for accelerator-farm construction
+    accel_kinds: Tuple[str, ...]
+    #: independent numpy forward pass over the same weights
+    reference: Callable[[np.ndarray], np.ndarray] = None
+
+    def farm(self, plm_bytes: int = 128 * 1024,
+             num_instances: int = 1) -> AcceleratorFarm:
+        """An AcceleratorFarm covering every op this model invokes."""
+        farm = AcceleratorFarm()
+        for kind in self.accel_kinds:
+            farm.add_default(kind, plm_bytes=plm_bytes,
+                             num_instances=num_instances)
+        return farm
+
+
+def _elems(shape: Tuple[int, ...]) -> int:
+    count = 1
+    for dim in shape:
+        count *= dim
+    return count
+
+
+def lower_inference(model: Sequential, *, seed: int = 0,
+                    memory: Optional[SimMemory] = None) -> LoweredModel:
+    """Lower ``model``'s batch-1 forward pass to an IR kernel."""
+    mem = memory if memory is not None else SimMemory()
+    rng = np.random.default_rng(seed)
+
+    shape = model.input_shape
+    input_buffer = mem.alloc(_elems(shape), F64, "act0")
+    buffers = [input_buffer]
+    params: List[Tuple[str, ArrayRef]] = [("act0", input_buffer)]
+    lines: List[str] = []
+    kinds: List[str] = []
+    reference_steps: List[Callable[[np.ndarray], np.ndarray]] = []
+
+    def fresh(name: str, count: int) -> ArrayRef:
+        ref = mem.alloc(count, F64, name)
+        params.append((name, ref))
+        return ref
+
+    current = "act0"
+    for index, layer in enumerate(model.layers):
+        out_shape = layer.output_shape(shape)
+        if isinstance(layer, Flatten):
+            reference_steps.append(lambda x: x.reshape(-1))
+            shape = out_shape
+            continue
+        out_name = f"act{index + 1}"
+        out_buf = fresh(out_name, _elems(out_shape))
+        if isinstance(layer, Conv2D):
+            if layer.padded:
+                raise LoweringError(
+                    "lower_inference supports valid (unpadded) Conv2D "
+                    "only; build the model with Conv2D(..., padded=False)")
+            h, w, cin = shape
+            cout, kh, kw = layer.filters, layer.kh, layer.kw
+            weights = rng.normal(0, 0.3, size=(kh, kw, cin, cout))
+            w_buf = fresh(f"w{index}", weights.size)
+            w_buf.data[:] = weights.ravel()
+            lines.append(
+                f"    accel_conv2d({current}, w{index}, {out_name}, "
+                f"{h}, {w}, {cin}, {cout}, {kh}, {kw})")
+            kinds.append("conv2d")
+
+            def conv_step(x, W=weights, hh=h, ww=w, ci=cin, co=cout,
+                          k1=kh, k2=kw):
+                X = x.reshape(hh, ww, ci)
+                oh, ow = hh - k1 + 1, ww - k2 + 1
+                out = np.zeros((oh, ow, co))
+                for di in range(k1):
+                    for dj in range(k2):
+                        out += np.tensordot(X[di:di + oh, dj:dj + ow],
+                                            W[di, dj], axes=([2], [0]))
+                return out.reshape(-1)
+
+            reference_steps.append(conv_step)
+        elif isinstance(layer, Dense):
+            din, dout = _elems(shape), layer.units
+            weights = rng.normal(0, 0.3, size=(din, dout))
+            w_buf = fresh(f"w{index}", weights.size)
+            w_buf.data[:] = weights.ravel()
+            lines.append(
+                f"    accel_dense({current}, w{index}, {out_name}, "
+                f"1, {din}, {dout})")
+            kinds.append("dense")
+            reference_steps.append(
+                lambda x, W=weights: (x.reshape(1, -1) @ W).reshape(-1))
+        elif isinstance(layer, ReLU):
+            lines.append(
+                f"    accel_relu({current}, {out_name}, {_elems(shape)})")
+            kinds.append("relu")
+            reference_steps.append(lambda x: np.maximum(x, 0))
+        elif isinstance(layer, BatchNorm):
+            lines.append(
+                f"    accel_batchnorm({current}, {out_name}, "
+                f"{_elems(shape)})")
+            kinds.append("batchnorm")
+
+            def bn_step(x):
+                std = x.std()
+                return (x - x.mean()) / (std if std > 0 else 1.0)
+
+            reference_steps.append(bn_step)
+        elif isinstance(layer, MaxPool):
+            h, w, c = shape
+            lines.append(
+                f"    accel_pool({current}, {out_name}, {h}, {w}, {c}, "
+                f"{layer.stride})")
+            kinds.append("pool")
+
+            def pool_step(x, hh=h, ww=w, cc=c, s=layer.stride):
+                X = x.reshape(hh, ww, cc)
+                oh, ow = hh // s, ww // s
+                trimmed = X[:oh * s, :ow * s, :]
+                return trimmed.reshape(oh, s, ow, s, cc).max(
+                    axis=(1, 3)).reshape(-1)
+
+            reference_steps.append(pool_step)
+        else:
+            raise LoweringError(
+                f"layer {layer.name!r} has no inference lowering")
+        current = out_name
+        shape = out_shape
+        buffers.append(out_buf)
+
+    signature = ", ".join(f"{name}: 'f64*'" for name, _ in params)
+    source = f"def {model.name.lower()}_forward({signature}):\n" \
+        + "\n".join(lines) + "\n"
+    function = compile_kernel(source)
+
+    def reference(x: np.ndarray) -> np.ndarray:
+        activation = np.asarray(x, dtype=float).reshape(-1)
+        for step in reference_steps:
+            activation = step(activation)
+        return activation
+
+    return LoweredModel(
+        model=model, function=function, source=source,
+        args=[ref for _, ref in params], memory=mem,
+        input_buffer=input_buffer, output_buffer=buffers[-1],
+        accel_kinds=tuple(dict.fromkeys(kinds)), reference=reference)
+
+
+def convnet_inference(input_hw: int = 12, channels: int = 6) -> Sequential:
+    """A ConvNet variant with valid convolutions, suitable for lowering."""
+    layers: List[Layer] = [
+        Conv2D(channels, padded=False), ReLU(), BatchNorm(),
+        Conv2D(channels, padded=False), ReLU(),
+        MaxPool(2), Flatten(),
+        Dense(32), ReLU(), Dense(10),
+    ]
+    return Sequential("ConvNetInfer", layers, (input_hw, input_hw, 3))

@@ -1,0 +1,213 @@
+"""Training-step cost model: maps NN ops onto CPU simulation or
+accelerator performance models (paper §VII-C / Figure 14).
+
+CPU costs come from actually simulating a scaled-down proxy of each op
+kind on the core model, then extrapolating by the op's FLOP count — the
+proxies exercise the same kernels a full run would, at tractable sizes.
+Accelerator costs come from the §IV-B generic performance models. The
+comparison of Figure 14 is an out-of-order server core with no
+accelerators versus an SoC with 8 accelerator instances, in energy-delay
+product.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..harness.runner import simulate
+from ..harness.systems import ooo_core, xeon_hierarchy
+from ..ir.types import F64, I64
+from ..sim.accelerator.library import DESIGN_FACTORIES
+from ..sim.accelerator.perf_model import GenericPerformanceModel
+from ..sim.config import CoreConfig, MemoryHierarchyConfig
+from ..trace.memory import SimMemory
+from ..workloads import datasets
+from . import ops as cpu_ops
+from .layers import Op, op_flops
+from .model import Sequential
+
+
+@dataclass
+class OpCost:
+    seconds: float
+    energy_j: float
+    on_accelerator: bool
+
+    @property
+    def edp(self) -> float:
+        return self.seconds * self.energy_j
+
+
+@dataclass
+class SystemCost:
+    seconds: float = 0.0
+    energy_j: float = 0.0
+    breakdown: Dict[str, float] = None
+
+    @property
+    def edp(self) -> float:
+        return self.seconds * self.energy_j
+
+
+def _proxy_workload(kind: str):
+    """Build (kernel, args, flops) for a small proxy of ``kind``."""
+    mem = SimMemory()
+    if kind == "conv2d":
+        h = w = 8
+        cin = cout = 2
+        kh = kw = 3
+        p = {"h": h, "w": w, "cin": cin, "cout": cout, "kh": kh, "kw": kw}
+        X = mem.alloc(h * w * cin, F64, "X",
+                      init=np.random.default_rng(0).uniform(size=h * w * cin))
+        W = mem.alloc(kh * kw * cin * cout, F64, "W",
+                      init=np.ones(kh * kw * cin * cout))
+        oh, ow = h - kh + 1, w - kw + 1
+        Y = mem.alloc(oh * ow * cout, F64, "Y")
+        return cpu_ops.cpu_conv2d, [X, W, Y, h, w, cin, cout, kh, kw], \
+            op_flops("conv2d", p)
+    if kind in ("gemm", "dense"):
+        n = 8
+        A = mem.alloc(n * n, F64, "A", init=np.ones(n * n))
+        B = mem.alloc(n * n, F64, "B", init=np.ones(n * n))
+        C = mem.alloc(n * n, F64, "C")
+        return cpu_ops.cpu_gemm, [A, B, C, n, n, n], \
+            op_flops("gemm", {"n": n, "m": n, "k": n})
+    if kind == "elementwise":
+        n = 512
+        A = mem.alloc(n, F64, "A", init=np.ones(n))
+        B = mem.alloc(n, F64, "B", init=np.ones(n))
+        C = mem.alloc(n, F64, "C")
+        return cpu_ops.cpu_elementwise, [A, B, C, n], n
+    if kind == "relu":
+        n = 512
+        X = mem.alloc(n, F64, "X",
+                      init=np.random.default_rng(0).uniform(-1, 1, n))
+        Y = mem.alloc(n, F64, "Y")
+        return cpu_ops.cpu_relu, [X, Y, n], n
+    if kind == "batchnorm":
+        n = 512
+        X = mem.alloc(n, F64, "X",
+                      init=np.random.default_rng(0).uniform(-1, 1, n))
+        Y = mem.alloc(n, F64, "Y")
+        return cpu_ops.cpu_batchnorm, [X, Y, n], 3 * n
+    if kind == "pool":
+        h = w = 8
+        c = 4
+        X = mem.alloc(h * w * c, F64, "X",
+                      init=np.random.default_rng(0).uniform(size=h * w * c))
+        Y = mem.alloc((h // 2) * (w // 2) * c, F64, "Y")
+        return cpu_ops.cpu_pool, [X, Y, h, w, c, 2], h * w * c
+    if kind == "embedding":
+        count, dim, vocab = 128, 8, 512
+        table = mem.alloc(vocab * dim, F64, "table",
+                          init=np.ones(vocab * dim))
+        idx = mem.alloc(count, I64, "idx",
+                        init=np.random.default_rng(0).integers(
+                            0, vocab, count))
+        out = mem.alloc(count * dim, F64, "out")
+        return cpu_ops.cpu_embedding_gather, [table, idx, out, count, dim], \
+            count * dim
+    if kind == "random_walk":
+        nwalks, walk_len = 16, 8
+        row_ptr, nbr = datasets.random_graph_csr(256, 8, seed=0)
+        RP = mem.alloc(len(row_ptr), I64, "rp", init=row_ptr)
+        NB = mem.alloc(len(nbr), I64, "nb", init=nbr)
+        ST = mem.alloc(nwalks, I64, "st",
+                       init=np.arange(nwalks, dtype=np.int64))
+        VI = mem.alloc(nwalks * walk_len, I64, "vi")
+        return cpu_ops.cpu_random_walk, [RP, NB, ST, VI, nwalks, walk_len], \
+            8 * nwalks * walk_len
+    raise KeyError(f"no CPU proxy for op kind {kind!r}")
+
+
+class TrainingCostModel:
+    """Costs one training step of a model on (a) a CPU-only system and
+    (b) an accelerator SoC, in runtime / energy / EDP."""
+
+    def __init__(self, cpu_core: Optional[CoreConfig] = None,
+                 hierarchy: Optional[MemoryHierarchyConfig] = None,
+                 num_accel_instances: int = 8,
+                 accel_bandwidth_gbps: float = 16.0,
+                 accel_plm_bytes: int = 128 * 1024):
+        self.cpu_core = cpu_core if cpu_core is not None else ooo_core()
+        self.hierarchy = hierarchy if hierarchy is not None \
+            else xeon_hierarchy()
+        self.num_accel_instances = num_accel_instances
+        self.accel_bandwidth_gbps = accel_bandwidth_gbps
+        self.accel_plm_bytes = accel_plm_bytes
+        self._proxy_cache: Dict[str, Tuple[float, float, int]] = {}
+        self._accel_cache: Dict[str, GenericPerformanceModel] = {}
+
+    # -- CPU side ----------------------------------------------------------
+    def _proxy(self, kind: str) -> Tuple[float, float, int]:
+        """(seconds, joules, flops) of the simulated proxy for ``kind``."""
+        cached = self._proxy_cache.get(kind)
+        if cached is not None:
+            return cached
+        kernel, args, flops = _proxy_workload(kind)
+        stats = simulate(kernel, args, core=self.cpu_core,
+                         hierarchy=self.hierarchy)
+        result = (stats.runtime_seconds, stats.energy_joules, flops)
+        self._proxy_cache[kind] = result
+        return result
+
+    def cpu_cost(self, op: Op) -> OpCost:
+        seconds, joules, proxy_flops = self._proxy(op.kind)
+        scale = op.flops / proxy_flops
+        return OpCost(seconds * scale, joules * scale, on_accelerator=False)
+
+    # -- accelerator side ----------------------------------------------------
+    def _accel_model(self, kind: str) -> GenericPerformanceModel:
+        model = self._accel_cache.get(kind)
+        if model is None:
+            design_kind = "sgemm" if kind == "gemm" else kind
+            design = DESIGN_FACTORIES[design_kind](self.accel_plm_bytes)
+            model = GenericPerformanceModel(design,
+                                            self.accel_bandwidth_gbps)
+            self._accel_cache[kind] = model
+        return model
+
+    def accel_cost(self, op: Op) -> OpCost:
+        model = self._accel_model(op.kind)
+        params = dict(op.params)
+        batch = params.pop("batch", 1)
+        if op.kind == "gemm":
+            batch = 1  # gemm params already cover the whole op
+        if op.kind == "dense":
+            params["batch"] = op.params["batch"]
+            batch = 1
+        instances = self.num_accel_instances
+        per_wave = min(instances, batch)
+        result = model.estimate(params, num_instances=per_wave)
+        waves = math.ceil(batch / per_wave)
+        frequency = model.design.frequency_ghz * 1e9
+        seconds = result.cycles * waves / frequency
+        energy_j = result.energy_nj * batch * 1e-9
+        return OpCost(seconds, energy_j, on_accelerator=True)
+
+    # -- whole model ---------------------------------------------------------
+    def training_step_cost(self, model: Sequential, batch: int = 32, *,
+                           accelerated: bool) -> SystemCost:
+        total = SystemCost(breakdown={})
+        for op in model.training_ops(batch):
+            if accelerated and op.accelerable:
+                cost = self.accel_cost(op)
+            else:
+                cost = self.cpu_cost(op)
+            total.seconds += cost.seconds
+            total.energy_j += cost.energy_j
+            key = f"{op.kind}/{op.phase}" + \
+                ("[accel]" if cost.on_accelerator else "[cpu]")
+            total.breakdown[key] = total.breakdown.get(key, 0.0) \
+                + cost.seconds
+        return total
+
+    def edp_improvement(self, model: Sequential, batch: int = 32) -> float:
+        """The Figure 14 metric: baseline-OoO EDP / accelerator-SoC EDP."""
+        baseline = self.training_step_cost(model, batch, accelerated=False)
+        soc = self.training_step_cost(model, batch, accelerated=True)
+        return baseline.edp / soc.edp

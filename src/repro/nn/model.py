@@ -1,0 +1,87 @@
+"""Sequential model container and the three §VII-C applications."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .layers import (
+    Aggregate, BatchNorm, Conv2D, Dense, Dropout, Embedding, Flatten, Layer,
+    MaxPool, Op, RandomWalk, ReLU,
+)
+
+
+class Sequential:
+    """A stack of layers; ``training_ops`` lowers one training step for a
+    batch into the costed op stream."""
+
+    def __init__(self, name: str, layers: Sequence[Layer],
+                 input_shape: Tuple[int, ...]):
+        self.name = name
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+
+    def training_ops(self, batch: int = 32) -> List[Op]:
+        ops: List[Op] = []
+        shape = self.input_shape
+        for layer in self.layers:
+            ops.extend(layer.training_ops(shape, batch))
+            shape = layer.output_shape(shape)
+        return ops
+
+    def summary(self, batch: int = 32) -> str:
+        lines = [f"model {self.name} (input {self.input_shape})"]
+        shape = self.input_shape
+        for layer in self.layers:
+            out = layer.output_shape(shape)
+            flops = sum(op.flops for op in layer.training_ops(shape, batch))
+            lines.append(f"  {layer.name:12s} {shape} -> {out}  "
+                         f"({flops / 1e6:.1f} MFLOP/step)")
+            shape = out
+        return "\n".join(lines)
+
+
+def convnet(input_hw: int = 16, channels: int = 8) -> Sequential:
+    """ConvNet: conv + ReLU + batch norm, three residual-style blocks,
+    pooling, and a fully-connected classifier (paper §VII-C)."""
+    layers: List[Layer] = [
+        Conv2D(channels), ReLU(), BatchNorm(),
+    ]
+    for _ in range(3):  # residual blocks: two convs each
+        layers += [Conv2D(channels), ReLU(), Conv2D(channels), BatchNorm()]
+    layers += [MaxPool(2), Flatten(), Dense(64), ReLU(), Dense(10)]
+    return Sequential("ConvNet", layers, (input_hw, input_hw, 3))
+
+
+def graphsage(samples: int = 32, walk_len: int = 16,
+              vertices: int = 16384, dim: int = 64) -> Sequential:
+    """GraphSage: random-walk sampling + embedding gather (CPU-only)
+    feeding CBOW-style aggregation and fully connected + ReLU layers
+    (accelerated)."""
+    layers: List[Layer] = [
+        RandomWalk(walk_len, vertices),
+        Embedding(vertices, dim),
+        Aggregate(),
+        Dense(1024), ReLU(),
+        Dense(512), ReLU(),
+        Dense(dim),
+    ]
+    return Sequential("GraphSage", layers, (samples,))
+
+
+def recsys(items: int = 2048, hidden: int = 256) -> Sequential:
+    """RecSys: two FC+ReLU+BN+Dropout blocks and a final FC — entirely
+    handled by accelerators (paper: "RecSys ... is entirely handled by
+    accelerators")."""
+    layers: List[Layer] = [
+        Dense(hidden), ReLU(), BatchNorm(), Dropout(0.5),
+        Dense(hidden), ReLU(), BatchNorm(), Dropout(0.5),
+        Dense(items),
+    ]
+    return Sequential("RecSys", layers, (items,))
+
+
+PAPER_MODELS = {
+    "ConvNet": convnet,
+    "GraphSage": graphsage,
+    "RecSys": recsys,
+}

@@ -1,0 +1,112 @@
+"""CPU kernels (kernel dialect) for neural-network ops.
+
+These are the software fallbacks used when an op has no accelerator
+(paper §VII-C: "we do not have accelerators for backpropagation of
+convolutional layers", GraphSage's "random walk and embedding steps are
+not handled by an accelerator"). They also serve as scaled-down proxies
+for analytic extrapolation in :mod:`repro.nn.mapping`.
+"""
+
+from __future__ import annotations
+
+
+def cpu_conv2d(X: 'f64*', W: 'f64*', Y: 'f64*', h: int, w: int, cin: int,
+               cout: int, kh: int, kw: int):
+    """Valid convolution, NHWC-ish layout flattened."""
+    oh = h - kh + 1
+    ow = w - kw + 1
+    for i in range(oh):
+        for j in range(ow):
+            for co in range(cout):
+                acc = 0.0
+                for di in range(kh):
+                    for dj in range(kw):
+                        for ci in range(cin):
+                            xv = X[((i + di) * w + (j + dj)) * cin + ci]
+                            wv = W[((di * kw + dj) * cin + ci) * cout + co]
+                            acc = acc + xv * wv
+                Y[(i * ow + j) * cout + co] = acc
+
+
+def cpu_gemm(A: 'f64*', B: 'f64*', C: 'f64*', n: int, m: int, k: int):
+    for i in range(n):
+        for j in range(m):
+            acc = 0.0
+            for p in range(k):
+                acc = acc + A[i * k + p] * B[p * m + j]
+            C[i * m + j] = acc
+
+
+def cpu_elementwise(A: 'f64*', B: 'f64*', C: 'f64*', n: int):
+    for i in range(n):
+        C[i] = A[i] * B[i]
+
+
+def cpu_relu(X: 'f64*', Y: 'f64*', n: int):
+    for i in range(n):
+        v = X[i]
+        if v > 0.0:
+            Y[i] = v
+        else:
+            Y[i] = 0.0
+
+
+def cpu_batchnorm(X: 'f64*', Y: 'f64*', n: int):
+    total = 0.0
+    for i in range(n):
+        total = total + X[i]
+    mean = total / float(n)
+    var = 0.0
+    for i in range(n):
+        d = X[i] - mean
+        var = var + d * d
+    scale = 1.0 / sqrtf(var / float(n) + 0.00001)
+    for i in range(n):
+        Y[i] = (X[i] - mean) * scale
+
+
+def cpu_pool(X: 'f64*', Y: 'f64*', h: int, w: int, c: int, stride: int):
+    oh = h // stride
+    ow = w // stride
+    for i in range(oh):
+        for j in range(ow):
+            for ch in range(c):
+                best = X[(i * stride * w + j * stride) * c + ch]
+                for di in range(stride):
+                    for dj in range(stride):
+                        v = X[((i * stride + di) * w
+                               + (j * stride + dj)) * c + ch]
+                        if v > best:
+                            best = v
+                Y[(i * ow + j) * c + ch] = best
+
+
+def cpu_embedding_gather(table: 'f64*', indices: 'i64*', out: 'f64*',
+                         count: int, dim: int):
+    """Gather rows of an embedding table (irregular reads)."""
+    for i in range(count):
+        row = indices[i]
+        for d in range(dim):
+            out[i * dim + d] = table[row * dim + d]
+
+
+def cpu_random_walk(row_ptr: 'i64*', nbr: 'i64*', starts: 'i64*',
+                    visited: 'i64*', nwalks: int, walk_len: int):
+    """GraphSage-style random walks: data-dependent pointer chasing.
+
+    Pseudo-random step selection via a linear congruential generator so
+    the kernel is deterministic and self-contained.
+    """
+    state = 88172645463325252
+    for wk in range(nwalks):
+        v = starts[wk]
+        for s in range(walk_len):
+            visited[wk * walk_len + s] = v
+            begin = row_ptr[v]
+            degree = row_ptr[v + 1] - begin
+            if degree > 0:
+                # LCG step; the multiply wraps at 64 bits (i64 semantics),
+                # so mask the sign bit off before taking the remainder
+                state = (state * 6364136223846793005
+                         + 1442695040888963407) & 9223372036854775807
+                v = nbr[begin + state % degree]

@@ -1,0 +1,17 @@
+"""``repro.passes`` — analysis and transformation passes over the mini-IR."""
+
+from .ddg import DDGBlock, DDGNode, StaticDDG, build_ddg
+from .dominators import DominatorTree
+from .mem2reg import dead_code_elimination, promote_allocas
+from .optimize import (
+    common_subexpression_elimination, constant_fold,
+    loop_invariant_code_motion, optimize,
+)
+
+__all__ = [
+    "DDGBlock", "DDGNode", "StaticDDG", "build_ddg",
+    "DominatorTree",
+    "dead_code_elimination", "promote_allocas",
+    "common_subexpression_elimination", "constant_fold",
+    "loop_invariant_code_motion", "optimize",
+]

@@ -1,0 +1,113 @@
+"""Function cloning with value remapping — infrastructure for transform
+passes that produce new functions (e.g. DAE slicing)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    AllocaInst, AtomicRMWInst, BinaryInst, BranchInst, CallInst, CastInst,
+    CmpInst, GEPInst, Instruction, LoadInst, Opcode, PhiInst, RetInst,
+    SelectInst, StoreInst,
+)
+from ..ir.values import Value
+
+
+def clone_function(func: Function, new_name: str
+                   ) -> Tuple[Function, Dict[int, Value]]:
+    """Deep-copy ``func`` as ``new_name``.
+
+    Returns the clone and a mapping ``id(old value) -> new value`` covering
+    arguments, blocks, and instructions. Constants and globals are shared.
+    """
+    clone = Function(new_name, [(a.name, a.type) for a in func.args],
+                     func.return_type)
+    clone.attributes = dict(func.attributes)
+    mapping: Dict[int, Value] = {}
+    for old_arg, new_arg in zip(func.args, clone.args):
+        mapping[id(old_arg)] = new_arg
+
+    block_map: Dict[int, BasicBlock] = {}
+    for block in func.blocks:
+        new_block = clone.add_block(block.name)
+        block_map[id(block)] = new_block
+        mapping[id(block)] = new_block
+
+    # first pass: clone instructions (phi incomings deferred)
+    deferred_phis = []
+    for block in func.blocks:
+        new_block = block_map[id(block)]
+        for inst in block.instructions:
+            new_inst = _clone_inst(inst, mapping, block_map)
+            new_inst.name = inst.name
+            new_inst.parent = new_block
+            new_block.instructions.append(new_inst)
+            mapping[id(inst)] = new_inst
+            if isinstance(inst, PhiInst):
+                deferred_phis.append((inst, new_inst))
+
+    # second pass: phi incomings (may reference later blocks)
+    for old_phi, new_phi in deferred_phis:
+        for value, pred in zip(old_phi.operands, old_phi.incoming_blocks):
+            new_value = mapping.get(id(value), value)
+            new_phi.add_incoming(new_value, block_map[id(pred)])
+
+    return clone, mapping
+
+
+def _map(value: Value, mapping: Dict[int, Value]) -> Value:
+    if isinstance(value, Instruction):
+        try:
+            return mapping[id(value)]
+        except KeyError:
+            raise AssertionError(
+                f"operand {value.short()} used before definition while "
+                f"cloning — block order is not topological") from None
+    return mapping.get(id(value), value)
+
+
+def _clone_inst(inst: Instruction, mapping: Dict[int, Value],
+                block_map: Dict[int, BasicBlock]) -> Instruction:
+    if isinstance(inst, PhiInst):
+        return PhiInst(inst.type)
+    if isinstance(inst, BranchInst):
+        targets = [block_map[id(t)] for t in inst.targets]
+        if inst.is_conditional:
+            return BranchInst(targets[0], _map(inst.condition, mapping),
+                              targets[1])
+        return BranchInst(targets[0])
+    if isinstance(inst, RetInst):
+        value = inst.value
+        return RetInst(None if value is None else _map(value, mapping))
+    if isinstance(inst, LoadInst):
+        return LoadInst(_map(inst.pointer, mapping))
+    if isinstance(inst, StoreInst):
+        return StoreInst(_map(inst.value, mapping),
+                         _map(inst.pointer, mapping))
+    if isinstance(inst, GEPInst):
+        return GEPInst(_map(inst.pointer, mapping),
+                       _map(inst.index, mapping))
+    if isinstance(inst, AllocaInst):
+        return AllocaInst(inst.element_type)
+    if isinstance(inst, AtomicRMWInst):
+        return AtomicRMWInst(inst.operation, _map(inst.pointer, mapping),
+                             _map(inst.value, mapping))
+    if isinstance(inst, CmpInst):
+        return CmpInst(inst.opcode, inst.predicate,
+                       _map(inst.operands[0], mapping),
+                       _map(inst.operands[1], mapping))
+    if isinstance(inst, CastInst):
+        return CastInst(inst.opcode, _map(inst.operands[0], mapping),
+                        inst.type)
+    if isinstance(inst, SelectInst):
+        c, t, f = (_map(op, mapping) for op in inst.operands)
+        return SelectInst(c, t, f)
+    if isinstance(inst, CallInst):
+        return CallInst(inst.callee, inst.type,
+                        [_map(a, mapping) for a in inst.operands])
+    if isinstance(inst, BinaryInst):
+        return BinaryInst(inst.opcode, _map(inst.lhs, mapping),
+                          _map(inst.rhs, mapping))
+    raise TypeError(f"cannot clone {type(inst).__name__}")

@@ -1,0 +1,279 @@
+"""Decoupled Access/Execute program slicing (paper §VII-A).
+
+    "DAE program slicing can be implemented in the LLVM toolchain as a
+    compiler pass. The pass first creates two copies of the kernel, one
+    for access and one for execute. On the access slice, each memory
+    instruction is augmented with a special function to either (1) push to
+    the buffer for loads or, (2) replace a store value with a value from
+    the buffer for stores. The execute slice is transformed similarly."
+
+Given a kernel in SSA form, this pass produces:
+
+* the **access slice** — all memory operations, all address computation,
+  and all control flow (every slice keeps the full CFG, as in DeSC). Loads
+  whose values the execute slice needs are followed by ``dae_produce_*``;
+  stores whose values the execute slice computes take them from the
+  store-value queue via ``dae_store_take_*``.
+* the **execute slice** — value computation plus the duplicated control
+  flow. Loads it needs become ``dae_consume_*``; stores become
+  ``dae_store_value_*`` of the computed value.
+
+Because both slices traverse the same control-flow path, produce/consume
+pairs line up FIFO. Loads whose values feed only address computation or
+control never cross the queue (DeSC's *terminal loads* stay access-side).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    AtomicRMWInst, BranchInst, CallInst, Instruction, LoadInst, Opcode,
+    PhiInst, RetInst, StoreInst,
+)
+from ..ir.values import Value
+from ..ir.verifier import verify_function
+from .clone import clone_function
+from .mem2reg import dead_code_elimination
+
+#: calls that are pure queries and may be duplicated into both slices
+_DUPLICABLE_CALLS = {"tile_id", "num_tiles"}
+
+
+class DAESliceError(Exception):
+    """The kernel uses a construct the DAE slicer does not support."""
+
+
+def _queue_suffix(ty) -> str:
+    if ty.is_float:
+        return "f64"
+    if ty.is_integer:
+        return "i64"
+    raise DAESliceError(f"cannot queue values of type {ty}")
+
+
+def slice_dae(func: Function) -> Tuple[Function, Function]:
+    """Slice ``func`` into (access, execute) functions."""
+    loads: List[LoadInst] = []
+    stores: List[StoreInst] = []
+    for inst in func.instructions():
+        if isinstance(inst, AtomicRMWInst):
+            raise DAESliceError(
+                f"{func.name}: atomic operations cannot be DAE-sliced")
+        if isinstance(inst, CallInst) and \
+                inst.callee not in _DUPLICABLE_CALLS:
+            raise DAESliceError(
+                f"{func.name}: call to {inst.callee!r} cannot be DAE-sliced")
+        if isinstance(inst, LoadInst):
+            loads.append(inst)
+        elif isinstance(inst, StoreInst):
+            stores.append(inst)
+
+    access_set = _access_closure(func)
+    execute_set, consume_loads = _execute_closure(func)
+
+    access = _build_access(func, access_set, consume_loads)
+    execute = _build_execute(func, access_set, execute_set, consume_loads)
+    return access, execute
+
+
+# ---------------------------------------------------------------------------
+
+def _access_closure(func: Function) -> Set[int]:
+    """Instructions the access slice keeps: memory ops, their address
+    chains, and all control computation."""
+    kept: Set[int] = set()
+    worklist: List[Instruction] = []
+
+    def seed(value: Value) -> None:
+        if isinstance(value, Instruction):
+            worklist.append(value)
+
+    for inst in func.instructions():
+        if isinstance(inst, LoadInst):
+            seed(inst)
+        elif isinstance(inst, StoreInst):
+            seed(inst.pointer)
+            kept.add(id(inst))  # the store itself (value handled separately)
+        elif inst.is_terminator:
+            kept.add(id(inst))
+            if isinstance(inst, BranchInst) and inst.condition is not None:
+                seed(inst.condition)
+            if isinstance(inst, RetInst) and inst.value is not None:
+                seed(inst.value)
+
+    while worklist:
+        inst = worklist.pop()
+        if id(inst) in kept:
+            continue
+        kept.add(id(inst))
+        if isinstance(inst, LoadInst):
+            seed(inst.pointer)      # address chain only
+            continue
+        for op in inst.operands:
+            seed(op)
+    return kept
+
+
+def _execute_closure(func: Function) -> Tuple[Set[int], Set[int]]:
+    """Instructions the execute slice keeps, and the loads it consumes.
+
+    Closure stops at loads: a load needed by execute is consumed from the
+    queue rather than recomputed, so its address chain stays access-only.
+    """
+    kept: Set[int] = set()
+    consume: Set[int] = set()
+    worklist: List[Instruction] = []
+
+    def seed(value: Value) -> None:
+        if isinstance(value, Instruction):
+            worklist.append(value)
+
+    for inst in func.instructions():
+        if inst.is_terminator:
+            kept.add(id(inst))
+            if isinstance(inst, BranchInst) and inst.condition is not None:
+                seed(inst.condition)
+            if isinstance(inst, RetInst) and inst.value is not None:
+                seed(inst.value)
+        elif isinstance(inst, StoreInst):
+            seed(inst.value)
+
+    while worklist:
+        inst = worklist.pop()
+        if id(inst) in kept or id(inst) in consume:
+            continue
+        if isinstance(inst, LoadInst):
+            consume.add(id(inst))
+            continue
+        kept.add(id(inst))
+        for op in inst.operands:
+            seed(op)
+    return kept, consume
+
+
+# ---------------------------------------------------------------------------
+
+def _build_access(func: Function, access_set: Set[int],
+                  consume_loads: Set[int]) -> Function:
+    clone, mapping = clone_function(func, f"{func.name}_access")
+    for block, new_block in zip(func.blocks, clone.blocks):
+        for inst in list(block.instructions):
+            new_inst = mapping[id(inst)]
+            if isinstance(inst, StoreInst):
+                value = inst.value
+                if isinstance(value, Instruction) \
+                        and id(value) not in access_set:
+                    # value computed by the execute slice: take from queue
+                    suffix = _queue_suffix(value.type)
+                    take = CallInst(f"dae_store_take_{suffix}", value.type,
+                                    [])
+                    take.name = clone.unique_name("take")
+                    take.parent = new_block
+                    index = new_block.instructions.index(new_inst)
+                    new_block.instructions.insert(index, take)
+                    new_inst.replace_operand(mapping[id(value)], take)
+                continue
+            if isinstance(inst, LoadInst) and id(inst) in consume_loads:
+                suffix = _queue_suffix(inst.type)
+                produce = CallInst(f"dae_produce_{suffix}", _void(),
+                                   [new_inst])
+                produce.parent = new_block
+                index = new_block.instructions.index(new_inst)
+                new_block.instructions.insert(index + 1, produce)
+                continue
+            if inst.is_terminator or id(inst) in access_set:
+                continue
+            new_block.remove(new_inst)
+    dead_code_elimination(clone)
+    clone.finalize()
+    verify_function(clone)
+    clone.attributes["dae_slice"] = "access"
+    return clone
+
+
+def _build_execute(func: Function, access_set: Set[int],
+                   execute_set: Set[int],
+                   consume_loads: Set[int]) -> Function:
+    clone, mapping = clone_function(func, f"{func.name}_execute")
+    for block, new_block in zip(func.blocks, clone.blocks):
+        for inst in list(block.instructions):
+            new_inst = mapping[id(inst)]
+            if isinstance(inst, LoadInst):
+                if id(inst) in consume_loads:
+                    suffix = _queue_suffix(inst.type)
+                    consume = CallInst(f"dae_consume_{suffix}", inst.type,
+                                       [])
+                    consume.name = clone.unique_name("consume")
+                    consume.parent = new_block
+                    index = new_block.instructions.index(new_inst)
+                    new_block.instructions[index] = consume
+                    _replace_uses(clone, new_inst, consume)
+                else:
+                    new_block.remove(new_inst)
+                continue
+            if isinstance(inst, StoreInst):
+                value = inst.value
+                if isinstance(value, Instruction) \
+                        and id(value) not in access_set:
+                    suffix = _queue_suffix(value.type)
+                    send = CallInst(f"dae_store_value_{suffix}", _void(),
+                                    [mapping[id(value)]])
+                    send.parent = new_block
+                    index = new_block.instructions.index(new_inst)
+                    new_block.instructions[index] = send
+                else:
+                    new_block.remove(new_inst)
+                continue
+            if inst.is_terminator or id(inst) in execute_set:
+                continue
+            new_block.remove(new_inst)
+    dead_code_elimination(clone)
+    clone.finalize()
+    verify_function(clone)
+    clone.attributes["dae_slice"] = "execute"
+    return clone
+
+
+def _void():
+    from ..ir.types import VOID
+    return VOID
+
+
+def mark_decoupled(ddg) -> int:
+    """Mark DeSC's asynchronous structures in an access-slice DDG.
+
+    * loads whose value feeds only a ``dae_produce_*`` become *decoupled*:
+      the load retires at issue and its memory response flows straight
+      into the communication queue (terminal load buffer semantics); the
+      produce itself becomes free;
+    * ``dae_store_take_*`` + store pairs become *decoupled stores*: the
+      store retires once its address is ready (store address buffer) and
+      the write fires when the execute slice's value token arrives (store
+      value buffer).
+
+    Returns the number of nodes decoupled.
+    """
+    count = 0
+    for node in ddg.nodes:
+        if node.is_load and node.opcode is not Opcode.ATOMICRMW:
+            dependents = [ddg.nodes[d] for d in node.dependent_iids]
+            if len(dependents) == 1 and \
+                    dependents[0].callee.startswith("dae_produce"):
+                node.decoupled = True
+                dependents[0].folded = True
+                count += 1
+        elif node.callee.startswith("dae_store_take"):
+            dependents = [ddg.nodes[d] for d in node.dependent_iids]
+            if len(dependents) == 1 and dependents[0].is_store:
+                node.folded = True
+                dependents[0].decoupled_store = True
+                count += 1
+    return count
+
+
+def _replace_uses(func: Function, old: Value, new: Value) -> None:
+    for inst in func.instructions():
+        if inst is not new:
+            inst.replace_operand(old, new)

@@ -1,0 +1,133 @@
+"""Dominator analysis for mini-IR functions.
+
+Implements the Cooper–Harvey–Kennedy iterative algorithm for immediate
+dominators and the standard dominance-frontier computation. Used by the
+mem2reg pass to place phi nodes, and available to any analysis that needs
+dominance information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+
+class DominatorTree:
+    """Immediate-dominator tree plus dominance frontiers for a function."""
+
+    def __init__(self, func: Function):
+        self.function = func
+        #: reverse-postorder of reachable blocks
+        self.order: List[BasicBlock] = _reverse_postorder(func)
+        self._rpo_index: Dict[int, int] = {
+            id(b): i for i, b in enumerate(self.order)}
+        #: immediate dominator of each reachable block (entry maps to itself)
+        self.idom: Dict[int, BasicBlock] = {}
+        #: dominator-tree children
+        self.children: Dict[int, List[BasicBlock]] = {}
+        #: dominance frontier of each block
+        self.frontier: Dict[int, Set[int]] = {}
+        self._blocks_by_id: Dict[int, BasicBlock] = {
+            id(b): b for b in self.order}
+        self._compute_idoms()
+        self._compute_frontiers()
+
+    # ------------------------------------------------------------------
+    def _compute_idoms(self) -> None:
+        entry = self.function.entry
+        self.idom[id(entry)] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.order[1:]:
+                preds = [p for p in block.predecessors
+                         if id(p) in self._rpo_index]
+                processed = [p for p in preds if id(p) in self.idom]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for p in processed[1:]:
+                    new_idom = self._intersect(p, new_idom)
+                if self.idom.get(id(block)) is not new_idom:
+                    self.idom[id(block)] = new_idom
+                    changed = True
+        for block in self.order:
+            self.children.setdefault(id(block), [])
+        for block in self.order[1:]:
+            parent = self.idom[id(block)]
+            self.children[id(parent)].append(block)
+
+    def _intersect(self, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while self._rpo_index[id(a)] > self._rpo_index[id(b)]:
+                a = self.idom[id(a)]
+            while self._rpo_index[id(b)] > self._rpo_index[id(a)]:
+                b = self.idom[id(b)]
+        return a
+
+    def _compute_frontiers(self) -> None:
+        for block in self.order:
+            self.frontier[id(block)] = set()
+        for block in self.order:
+            preds = [p for p in block.predecessors
+                     if id(p) in self._rpo_index]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner is not self.idom[id(block)]:
+                    self.frontier[id(runner)].add(id(block))
+                    runner = self.idom[id(runner)]
+
+    # ------------------------------------------------------------------
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        entry = self.function.entry
+        node = b
+        while True:
+            if node is a:
+                return True
+            if node is entry:
+                return False
+            node = self.idom[id(node)]
+
+    def frontier_of(self, block: BasicBlock) -> List[BasicBlock]:
+        return [self._blocks_by_id[bid] for bid in self.frontier[id(block)]]
+
+    def iterated_frontier(self, blocks: List[BasicBlock]) -> List[BasicBlock]:
+        """Iterated dominance frontier of a set of blocks (for phi placement)."""
+        result: Set[int] = set()
+        worklist = list(blocks)
+        while worklist:
+            block = worklist.pop()
+            for bid in self.frontier[id(block)]:
+                if bid not in result:
+                    result.add(bid)
+                    worklist.append(self._blocks_by_id[bid])
+        return [self._blocks_by_id[bid] for bid in result]
+
+
+def _reverse_postorder(func: Function) -> List[BasicBlock]:
+    seen: Set[int] = set()
+    postorder: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors))]
+        seen.add(id(block))
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if id(succ) not in seen:
+                    seen.add(id(succ))
+                    stack.append((succ, iter(succ.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+
+    visit(func.entry)
+    return list(reversed(postorder))

@@ -1,0 +1,162 @@
+"""mem2reg: promote scalar ``alloca`` slots to SSA registers.
+
+The frontend lowers every local scalar variable to an ``alloca`` plus
+``load``/``store`` traffic (exactly as Clang does at ``-O0``). This pass
+rewrites those slots into SSA form — placing phi nodes at the iterated
+dominance frontier of the stores and renaming uses along the dominator
+tree — so that simulated kernels contain only *real* memory operations
+(array traffic through ``getelementptr``), not register spills.
+
+Only allocas whose address never escapes (used solely as the pointer of
+loads/stores) are promoted; any other alloca is left in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    AllocaInst, Instruction, LoadInst, PhiInst, StoreInst,
+)
+from ..ir.values import Constant, Value
+from .dominators import DominatorTree
+
+
+def _undef_for(alloca: AllocaInst) -> Constant:
+    """Value observed by a (buggy) read-before-write; zero of the slot type."""
+    ty = alloca.element_type
+    return Constant(ty, 0 if ty.is_integer else 0.0)
+
+
+def _promotable(func: Function, alloca: AllocaInst) -> bool:
+    for inst in func.instructions():
+        if inst is alloca:
+            continue
+        for op in inst.operands:
+            if op is alloca:
+                if isinstance(inst, LoadInst):
+                    continue
+                if isinstance(inst, StoreInst) and inst.pointer is alloca:
+                    continue
+                return False  # address escapes (gep, call arg, stored value…)
+    return True
+
+
+def promote_allocas(func: Function) -> int:
+    """Run mem2reg on ``func``; returns the number of allocas promoted."""
+    allocas = [i for i in func.instructions() if isinstance(i, AllocaInst)]
+    targets = [a for a in allocas if _promotable(func, a)]
+    if not targets:
+        return 0
+
+    dom = DominatorTree(func)
+    reachable = {id(b) for b in dom.order}
+
+    # 1. place empty phis at the iterated dominance frontier of each store
+    phis: Dict[int, AllocaInst] = {}  # id(phi) -> alloca it merges
+    for alloca in targets:
+        def_blocks: List[BasicBlock] = []
+        for inst in func.instructions():
+            if isinstance(inst, StoreInst) and inst.pointer is alloca:
+                if id(inst.parent) in reachable:
+                    def_blocks.append(inst.parent)
+        for block in dom.iterated_frontier(def_blocks):
+            phi = PhiInst(alloca.element_type)
+            phi.name = func.unique_name(alloca.name or "m2r")
+            block.insert_front(phi)
+            phis[id(phi)] = alloca
+
+    # 2. rename along the dominator tree
+    stacks: Dict[int, List[Value]] = {id(a): [] for a in targets}
+    target_ids = set(stacks)
+
+    def current(alloca: AllocaInst) -> Value:
+        stack = stacks[id(alloca)]
+        return stack[-1] if stack else _undef_for(alloca)
+
+    def rename(block: BasicBlock) -> None:
+        pushed: List[int] = []
+        for inst in list(block.instructions):
+            if isinstance(inst, PhiInst) and id(inst) in phis:
+                alloca = phis[id(inst)]
+                stacks[id(alloca)].append(inst)
+                pushed.append(id(alloca))
+            elif isinstance(inst, LoadInst) and id(inst.pointer) in target_ids:
+                alloca = inst.pointer
+                replacement = current(alloca)
+                _replace_uses(func, inst, replacement)
+                block.remove(inst)
+            elif isinstance(inst, StoreInst) and id(inst.pointer) in target_ids:
+                alloca = inst.pointer
+                stacks[id(alloca)].append(inst.value)
+                pushed.append(id(alloca))
+                block.remove(inst)
+        for succ in block.successors:
+            for phi in succ.phis:
+                if id(phi) in phis:
+                    phi.add_incoming(current(phis[id(phi)]), block)
+        for child in dom.children[id(block)]:
+            rename(child)
+        for alloca_id in pushed:
+            stacks[alloca_id].pop()
+
+    rename(func.entry)
+
+    # 3. drop the allocas themselves
+    for alloca in targets:
+        alloca.parent.remove(alloca)
+
+    _prune_degenerate_phis(func)
+    return len(targets)
+
+
+def _replace_uses(func: Function, old: Value, new: Value) -> None:
+    for inst in func.instructions():
+        inst.replace_operand(old, new)
+
+
+def _prune_degenerate_phis(func: Function) -> None:
+    """Remove phis that merge a single distinct value (or only themselves)."""
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for phi in list(block.phis):
+                distinct = [v for v in phi.operands if v is not phi]
+                if distinct and all(v is distinct[0] for v in distinct):
+                    _replace_uses(func, phi, distinct[0])
+                    block.remove(phi)
+                    changed = True
+
+
+def dead_code_elimination(func: Function) -> int:
+    """Remove side-effect-free instructions whose results are unused."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        used = set()
+        for inst in func.instructions():
+            for op in inst.operands:
+                used.add(id(op))
+        for block in func.blocks:
+            for inst in list(block.instructions):
+                if inst.is_terminator or inst.is_memory:
+                    continue
+                if inst.opcode.value in ("call", "store"):
+                    continue
+                if isinstance(inst, AllocaInst):
+                    # keep allocas that are still referenced
+                    if id(inst) in used:
+                        continue
+                    block.remove(inst)
+                    removed += 1
+                    changed = True
+                    continue
+                if id(inst) not in used:
+                    block.remove(inst)
+                    removed += 1
+                    changed = True
+    return removed

@@ -1,0 +1,24 @@
+"""Energy-delay product helpers (the §VII-C metric)."""
+
+from __future__ import annotations
+
+from ..sim.statistics import SystemStats
+
+
+def edp(stats: SystemStats) -> float:
+    """Energy-delay product in joule-seconds."""
+    return stats.edp
+
+
+def edp_improvement(baseline: SystemStats, improved: SystemStats) -> float:
+    """How many times better (smaller) the improved system's EDP is."""
+    if improved.edp == 0:
+        raise ValueError("improved system reports zero EDP")
+    return baseline.edp / improved.edp
+
+
+def speedup(baseline: SystemStats, improved: SystemStats) -> float:
+    """Runtime ratio baseline/improved (cycle counts scaled by clocks)."""
+    if improved.runtime_seconds == 0:
+        raise ValueError("improved system reports zero runtime")
+    return baseline.runtime_seconds / improved.runtime_seconds

@@ -1,0 +1,25 @@
+"""``repro.sim`` — the MosaicSim timing simulator.
+
+Tile models (cores, accelerators), the Interleaver that composes them, the
+inter-tile communication fabric, configuration, and statistics.
+"""
+
+from .config import (
+    CacheConfig, CoreConfig, DRAMSim2Config, MemoryHierarchyConfig,
+    PrefetcherConfig, SimpleDRAMConfig,
+)
+from .core.model import CoreTile
+from .events import Scheduler
+from .interleaver import DeadlockError, Interleaver, SimulationError, \
+    TileServices
+from .statistics import CacheStats, DRAMStats, SystemStats, TileStats
+from .tile import NEVER, Tile
+
+__all__ = [
+    "CacheConfig", "CoreConfig", "DRAMSim2Config", "MemoryHierarchyConfig",
+    "PrefetcherConfig", "SimpleDRAMConfig",
+    "CoreTile", "Scheduler",
+    "DeadlockError", "Interleaver", "SimulationError", "TileServices",
+    "CacheStats", "DRAMStats", "SystemStats", "TileStats",
+    "NEVER", "Tile",
+]

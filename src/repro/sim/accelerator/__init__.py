@@ -1,0 +1,17 @@
+"""Accelerator simulation (paper §IV)."""
+
+from .library import DESIGN_FACTORIES, params_from_invocation
+from .perf_model import (
+    AccelParams, AccelResult, AcceleratorDesign, GenericPerformanceModel,
+    LoopSpec, ProcessSpec,
+)
+from .rtl_sim import CommunicationModel, FPGAEmulation, RTLSimulation
+from .tile import AcceleratorFarm, AcceleratorTile
+
+__all__ = [
+    "DESIGN_FACTORIES", "params_from_invocation",
+    "AccelParams", "AccelResult", "AcceleratorDesign",
+    "GenericPerformanceModel", "LoopSpec", "ProcessSpec",
+    "CommunicationModel", "FPGAEmulation", "RTLSimulation",
+    "AcceleratorFarm", "AcceleratorTile",
+]

@@ -1,0 +1,285 @@
+"""Accelerator design library.
+
+Factory functions producing :class:`AcceleratorDesign` points for the
+paper's three fixed-function accelerators (§VI-A: matrix multiplication,
+saturating histogram, element-wise arithmetic) and for the neural-network
+kernels of §VII-C (convolution, dense, pooling, activation, batch norm).
+Each factory is parameterized by PLM size, which is the design-space knob
+swept in Figure 10 (4 KB–256 KB), and exposes the mapping from the
+``accel_*`` intrinsic's recorded trace arguments to model parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+from ...trace.tracefile import AccelInvocation
+from .perf_model import (
+    AccelParams, AcceleratorDesign, LoopSpec, ProcessSpec,
+)
+
+#: bytes per element everywhere (f64 / i64)
+ELEM = 8
+#: SRAM area per PLM byte, um^2 (22nm-flavored)
+_AREA_PER_PLM_BYTE = 2.6
+_BASE_AREA = {
+    "sgemm": 9.0e4, "histo": 5.5e4, "elementwise": 4.0e4,
+    "conv2d": 1.1e5, "dense": 8.0e4, "pool": 4.5e4, "relu": 3.0e4,
+    "batchnorm": 5.0e4,
+}
+#: datapath lanes (elements processed per compute-loop iteration)
+_LANES = {
+    "sgemm": 8, "histo": 2, "elementwise": 16, "conv2d": 16, "dense": 4,
+    "pool": 16, "relu": 32, "batchnorm": 16,
+}
+_BASE_POWER_W = {
+    "sgemm": 0.45, "histo": 0.18, "elementwise": 0.12, "conv2d": 0.45,
+    "dense": 0.80, "pool": 0.10, "relu": 0.08, "batchnorm": 0.15,
+}
+
+
+def _area(kind: str, plm_bytes: int) -> float:
+    return _BASE_AREA[kind] + _AREA_PER_PLM_BYTE * plm_bytes
+
+
+def _power(kind: str, plm_bytes: int) -> float:
+    return _BASE_POWER_W[kind] * (1.0 + plm_bytes / (1024 * 1024))
+
+
+def _chunks_by_input(input_bytes_fn):
+    """Workloads stream through half the PLM (double buffering)."""
+
+    def chunks(params: AccelParams, plm_bytes: int) -> int:
+        usable = max(ELEM, plm_bytes // 2)
+        return max(1, math.ceil(input_bytes_fn(params) / usable))
+
+    return chunks
+
+
+def _loaded(name: str, bytes_fn):
+    """Load/store processes modeled as streaming loops: one iteration per
+    interconnect word."""
+    return ProcessSpec(name, (LoopSpec(
+        f"{name}_stream", 1,
+        lambda p, plm, fn=bytes_fn: max(1, fn(p) // ELEM)),))
+
+
+# -- the three §VI-A accelerators ---------------------------------------------
+
+def sgemm_design(plm_bytes: int = 64 * 1024) -> AcceleratorDesign:
+    """C[n,m] += A[n,k] @ B[k,m], blocked into PLM-sized tiles.
+
+    The PLM holds an A tile, a B tile and a C tile (double-buffered), so
+    the block edge is b ~ sqrt(PLM/2 / (3*8B)). DMA traffic for A and B is
+    ~2*n*m*k/b bytes — smaller PLMs reload tiles more often, which is the
+    Figure 10a effect (execution time falls as PLM grows).
+    """
+    lanes = _LANES["sgemm"]
+    usable = max(3 * ELEM * 16, plm_bytes // 2)
+    block = max(4, math.isqrt(usable // (3 * ELEM)))
+
+    def in_bytes(p: AccelParams) -> int:
+        reuse_blocks = max(1, math.ceil(max(p["n"], p["m"]) / block))
+        return (p["n"] * p["k"] + p["k"] * p["m"]) * ELEM * reuse_blocks
+
+    def out_bytes(p: AccelParams) -> int:
+        return p["n"] * p["m"] * ELEM
+
+    def chunks(p: AccelParams, plm: int) -> int:
+        return max(1, math.ceil(p["n"] / block) * math.ceil(p["m"] / block))
+
+    compute = ProcessSpec("compute", (LoopSpec(
+        "macs", 1,
+        lambda p, plm: max(1, (p["n"] * p["m"] * p["k"]) // lanes)),))
+    return AcceleratorDesign(
+        name=f"sgemm_plm{plm_bytes // 1024}k",
+        processes=(_loaded("load", in_bytes), compute,
+                   _loaded("store", out_bytes)),
+        plm_bytes=plm_bytes,
+        bytes_transferred=lambda p: in_bytes(p) + 2 * out_bytes(p),
+        num_chunks=chunks,
+        avg_power_watts=_power("sgemm", plm_bytes),
+        area_um2=_area("sgemm", plm_bytes),
+    )
+
+
+def histo_design(plm_bytes: int = 64 * 1024) -> AcceleratorDesign:
+    """Saturating histogram over n inputs into `bins` bins."""
+    lanes = _LANES["histo"]
+
+    def in_bytes(p: AccelParams) -> int:
+        return p["n"] * ELEM
+
+    def out_bytes(p: AccelParams) -> int:
+        return p["bins"] * ELEM
+
+    compute = ProcessSpec("compute", (LoopSpec(
+        "binning", 1, lambda p, plm: max(1, p["n"] // lanes)),))
+    return AcceleratorDesign(
+        name=f"histo_plm{plm_bytes // 1024}k",
+        processes=(_loaded("load", in_bytes), compute,
+                   _loaded("store", out_bytes)),
+        plm_bytes=plm_bytes,
+        bytes_transferred=lambda p: in_bytes(p) + 2 * out_bytes(p),
+        num_chunks=_chunks_by_input(in_bytes),
+        avg_power_watts=_power("histo", plm_bytes),
+        area_um2=_area("histo", plm_bytes),
+    )
+
+
+def elementwise_design(plm_bytes: int = 64 * 1024) -> AcceleratorDesign:
+    """C[i] = A[i] * B[i] over n elements."""
+    lanes = _LANES["elementwise"]
+
+    def in_bytes(p: AccelParams) -> int:
+        return 2 * p["n"] * ELEM
+
+    def out_bytes(p: AccelParams) -> int:
+        return p["n"] * ELEM
+
+    compute = ProcessSpec("compute", (LoopSpec(
+        "ewise", 1, lambda p, plm: max(1, p["n"] // lanes)),))
+    return AcceleratorDesign(
+        name=f"elementwise_plm{plm_bytes // 1024}k",
+        processes=(_loaded("load", in_bytes), compute,
+                   _loaded("store", out_bytes)),
+        plm_bytes=plm_bytes,
+        bytes_transferred=lambda p: in_bytes(p) + out_bytes(p),
+        num_chunks=_chunks_by_input(in_bytes),
+        avg_power_watts=_power("elementwise", plm_bytes),
+        area_um2=_area("elementwise", plm_bytes),
+    )
+
+
+# -- §VII-C neural-network accelerators ---------------------------------------
+
+def conv2d_design(plm_bytes: int = 128 * 1024) -> AcceleratorDesign:
+    lanes = _LANES["conv2d"]
+
+    def macs(p: AccelParams) -> int:
+        oh = p["h"] - p["kh"] + 1
+        ow = p["w"] - p["kw"] + 1
+        return oh * ow * p["cout"] * p["kh"] * p["kw"] * p["cin"]
+
+    def in_bytes(p: AccelParams) -> int:
+        weights = p["kh"] * p["kw"] * p["cin"] * p["cout"]
+        return (p["h"] * p["w"] * p["cin"] + weights) * ELEM
+
+    def out_bytes(p: AccelParams) -> int:
+        oh = p["h"] - p["kh"] + 1
+        ow = p["w"] - p["kw"] + 1
+        return oh * ow * p["cout"] * ELEM
+
+    compute = ProcessSpec("compute", (LoopSpec(
+        "conv_macs", 1, lambda p, plm: max(1, macs(p) // lanes)),))
+    return AcceleratorDesign(
+        name=f"conv2d_plm{plm_bytes // 1024}k",
+        processes=(_loaded("load", in_bytes), compute,
+                   _loaded("store", out_bytes)),
+        plm_bytes=plm_bytes,
+        bytes_transferred=lambda p: in_bytes(p) + out_bytes(p),
+        num_chunks=_chunks_by_input(in_bytes),
+        avg_power_watts=_power("conv2d", plm_bytes),
+        area_um2=_area("conv2d", plm_bytes),
+    )
+
+
+def dense_design(plm_bytes: int = 128 * 1024) -> AcceleratorDesign:
+    lanes = _LANES["dense"]
+
+    def in_bytes(p: AccelParams) -> int:
+        return (p["batch"] * p["din"] + p["din"] * p["dout"]) * ELEM
+
+    def out_bytes(p: AccelParams) -> int:
+        return p["batch"] * p["dout"] * ELEM
+
+    compute = ProcessSpec("compute", (LoopSpec(
+        "gemv_macs", 1,
+        lambda p, plm: max(1, (p["batch"] * p["din"] * p["dout"]) // lanes)),))
+    return AcceleratorDesign(
+        name=f"dense_plm{plm_bytes // 1024}k",
+        processes=(_loaded("load", in_bytes), compute,
+                   _loaded("store", out_bytes)),
+        plm_bytes=plm_bytes,
+        bytes_transferred=lambda p: in_bytes(p) + out_bytes(p),
+        num_chunks=_chunks_by_input(in_bytes),
+        avg_power_watts=_power("dense", plm_bytes),
+        area_um2=_area("dense", plm_bytes),
+    )
+
+
+def _streaming_design(kind: str, plm_bytes: int,
+                      elems_fn) -> AcceleratorDesign:
+    lanes = _LANES[kind]
+
+    def in_bytes(p: AccelParams) -> int:
+        return elems_fn(p) * ELEM
+
+    compute = ProcessSpec("compute", (LoopSpec(
+        f"{kind}_ops", 1, lambda p, plm: max(1, elems_fn(p) // lanes)),))
+    return AcceleratorDesign(
+        name=f"{kind}_plm{plm_bytes // 1024}k",
+        processes=(_loaded("load", in_bytes), compute,
+                   _loaded("store", in_bytes)),
+        plm_bytes=plm_bytes,
+        bytes_transferred=lambda p: 2 * in_bytes(p),
+        num_chunks=_chunks_by_input(in_bytes),
+        avg_power_watts=_power(kind, plm_bytes),
+        area_um2=_area(kind, plm_bytes),
+    )
+
+
+def pool_design(plm_bytes: int = 32 * 1024) -> AcceleratorDesign:
+    return _streaming_design("pool", plm_bytes,
+                             lambda p: p["h"] * p["w"] * p["c"])
+
+
+def relu_design(plm_bytes: int = 16 * 1024) -> AcceleratorDesign:
+    return _streaming_design("relu", plm_bytes, lambda p: p["n"])
+
+
+def batchnorm_design(plm_bytes: int = 32 * 1024) -> AcceleratorDesign:
+    return _streaming_design("batchnorm", plm_bytes, lambda p: p["n"])
+
+
+DESIGN_FACTORIES = {
+    "sgemm": sgemm_design,
+    "histo": histo_design,
+    "elementwise": elementwise_design,
+    "conv2d": conv2d_design,
+    "dense": dense_design,
+    "pool": pool_design,
+    "relu": relu_design,
+    "batchnorm": batchnorm_design,
+}
+
+
+# -- intrinsic argument decoding ----------------------------------------------
+
+def params_from_invocation(invocation: AccelInvocation) -> Tuple[str,
+                                                                 AccelParams]:
+    """Map a traced ``accel_*`` call to (design kind, model parameters).
+
+    Argument layouts follow :mod:`repro.trace.accel_ops`.
+    """
+    name = invocation.name
+    a = [int(x) for x in invocation.args]
+    if name == "accel_sgemm":
+        return "sgemm", {"n": a[3], "m": a[4], "k": a[5]}
+    if name == "accel_elementwise":
+        return "elementwise", {"n": a[3]}
+    if name == "accel_histo":
+        return "histo", {"n": a[2], "bins": a[3]}
+    if name == "accel_conv2d":
+        return "conv2d", {"h": a[3], "w": a[4], "cin": a[5], "cout": a[6],
+                          "kh": a[7], "kw": a[8]}
+    if name == "accel_dense":
+        return "dense", {"batch": a[3], "din": a[4], "dout": a[5]}
+    if name == "accel_pool":
+        return "pool", {"h": a[2], "w": a[3], "c": a[4], "stride": a[5]}
+    if name == "accel_relu":
+        return "relu", {"n": a[2]}
+    if name == "accel_batchnorm":
+        return "batchnorm", {"n": a[2]}
+    raise KeyError(f"no parameter decoding for {name!r}")

@@ -1,0 +1,175 @@
+"""Generic accelerator performance model (paper §IV-B).
+
+The paper abstracts a loosely-coupled, fixed-function accelerator as a set
+of concurrent *processes* (load / one or more compute / store), each
+executing one or more *loops*. A specific accelerator instantiates the
+generic model with four arguments:
+
+1. the number of processes;
+2. the number of loops per process;
+3. the per-iteration latency of each internal loop (back-annotated from
+   instrumented RTL simulation — here, from the cycle-level RTL model in
+   :mod:`repro.sim.accelerator.rtl_sim`);
+4. the iteration count of each loop as a function of the invocation's
+   configuration parameters.
+
+The designer additionally supplies average power and an expression for the
+bytes moved to/from memory. The model pipelines processes over PLM-sized
+chunks (Figure 4: computation and communication overlap through a
+circular/double buffer), scales execution time when the implied bandwidth
+exceeds the system's maximum, and can invoke several accelerator instances
+in parallel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+#: configuration parameters of one invocation (accelerator-specific keys,
+#: e.g. {"n": 64, "m": 64, "k": 64})
+AccelParams = Dict[str, int]
+
+
+@dataclass
+class CommunicationModel:
+    """DMA/NoC parameters of the target SoC (§IV-B "Communication Model"):
+    access latency, bandwidth (interconnect bit-width), and average NoC
+    hops between the accelerator and the memory interface. Shared by the
+    cycle-level RTL simulation and the back-annotated generic model."""
+
+    #: memory access latency per DMA transaction (cycles)
+    access_latency: int = 60
+    #: interconnect width (bytes transferred per cycle at full rate)
+    interconnect_bytes: int = 8
+    #: average NoC hops between accelerator and memory interface
+    noc_hops: int = 2
+    #: per-hop latency (cycles)
+    hop_latency: int = 4
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        if nbytes <= 0:
+            return 0
+        wire = math.ceil(nbytes / self.interconnect_bytes)
+        return self.access_latency + self.noc_hops * self.hop_latency + wire
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One internal loop: fixed per-iteration latency, workload-dependent
+    trip count."""
+
+    name: str
+    iteration_latency: int
+    trip_count: Callable[[AccelParams, int], int]  # (params, plm_bytes)
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """One concurrent module of the accelerator pipeline."""
+
+    name: str
+    loops: Tuple[LoopSpec, ...]
+
+    def cycles(self, params: AccelParams, plm_bytes: int) -> int:
+        return sum(loop.iteration_latency * loop.trip_count(params, plm_bytes)
+                   for loop in self.loops)
+
+
+@dataclass
+class AcceleratorDesign:
+    """A design point: processes + PLM size + power/area annotations."""
+
+    name: str
+    processes: Tuple[ProcessSpec, ...]
+    #: private local memory size of this design point (bytes)
+    plm_bytes: int
+    #: bytes transferred to/from memory per invocation
+    bytes_transferred: Callable[[AccelParams], int]
+    #: chunks the workload is split into (pipelining granularity)
+    num_chunks: Callable[[AccelParams, int], int]
+    avg_power_watts: float = 0.5
+    frequency_ghz: float = 1.0
+    #: silicon area of this design point (um^2), for DSE plots (Fig. 10)
+    area_um2: float = 2.0e5
+    #: per-chunk DMA transaction overhead charged to the load and store
+    #: processes (back-annotated from the RTL communication model); this
+    #: is why larger PLMs — fewer, bigger transfers — run faster (Fig. 10)
+    chunk_overhead_cycles: int = 280
+
+    def process_cycles(self, params: AccelParams) -> List[int]:
+        return [p.cycles(params, self.plm_bytes) for p in self.processes]
+
+
+@dataclass
+class AccelResult:
+    """What an accelerator tile returns to the Interleaver (§IV-A): clock
+    cycles, bytes of memory accessed, average power -> energy."""
+
+    cycles: int
+    energy_nj: float
+    bytes_transferred: int
+    design: str = ""
+
+
+class GenericPerformanceModel:
+    """Closed-form pipelined execution-time estimate for a design point.
+
+    Per the paper's back-annotation methodology (§IV-B "Accelerator
+    Instrumentation"), the per-chunk latencies of the load/store processes
+    come from the same communication model the RTL simulation was
+    validated with; the compute processes use the design's instrumented
+    loop latencies. That is what keeps this model within a few percent of
+    cycle-level RTL simulation (Figure 10d).
+    """
+
+    def __init__(self, design: AcceleratorDesign,
+                 max_bandwidth_gbps: float = 16.0,
+                 comm: "CommunicationModel" = None):
+        self.design = design
+        self.max_bandwidth_gbps = max_bandwidth_gbps
+        self.comm = comm if comm is not None else CommunicationModel()
+
+    def estimate(self, params: AccelParams,
+                 num_instances: int = 1) -> AccelResult:
+        """Estimate one invocation, optionally spread over parallel
+        instances that share the memory bandwidth."""
+        design = self.design
+        chunks = max(1, design.num_chunks(params, design.plm_bytes))
+        nbytes_total = design.bytes_transferred(params)
+        in_bytes = math.ceil(nbytes_total * 0.5)
+        out_bytes = nbytes_total - in_bytes
+        load_chunk = self.comm.transfer_cycles(math.ceil(in_bytes / chunks))
+        store_chunk = self.comm.transfer_cycles(
+            math.ceil(out_bytes / chunks))
+        compute_totals = design.process_cycles(params)[1:-1]
+        if not compute_totals:
+            raise ValueError(
+                f"{design.name}: pipeline needs load/compute/store "
+                f"processes")
+        compute_chunk = max(
+            max(1, math.ceil(t / chunks)) for t in compute_totals)
+        per_chunk = [load_chunk, compute_chunk, store_chunk]
+        # pipelined: fill with one chunk of every stage, then the slowest
+        # stage dominates the remaining chunks
+        fill = sum(per_chunk)
+        steady = max(per_chunk) * (chunks - 1)
+        cycles = fill + steady
+
+        if num_instances > 1:
+            # work divides across instances; each handles ~1/N chunks
+            my_chunks = math.ceil(chunks / num_instances)
+            cycles = sum(per_chunk) + max(per_chunk) * max(0, my_chunks - 1)
+
+        nbytes = nbytes_total
+        # bandwidth scaling: N instances share the memory interface
+        seconds = cycles / (design.frequency_ghz * 1e9)
+        demand_gbps = (nbytes / max(seconds, 1e-12)) / 1e9 * num_instances
+        if demand_gbps > self.max_bandwidth_gbps:
+            cycles = math.ceil(cycles * demand_gbps / self.max_bandwidth_gbps)
+            seconds = cycles / (design.frequency_ghz * 1e9)
+
+        energy_nj = design.avg_power_watts * seconds * 1e9
+        return AccelResult(cycles=int(cycles), energy_nj=energy_nj,
+                           bytes_transferred=nbytes, design=design.name)

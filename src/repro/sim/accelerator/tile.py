@@ -1,0 +1,93 @@
+"""Accelerator tile: the Interleaver-facing wrapper (paper §IV-A).
+
+When a core's trace reaches an ``accel_*`` invocation, the Interleaver
+queries the matching accelerator tile for latency, energy and bytes. The
+tile decodes the recorded configuration parameters, runs its performance
+model (closed-form generic model by default; a cycle-level RTL simulation
+can be substituted — "a high-level accelerator model [can] be replaced by
+a more detailed one"), serializes invocations across its hardware
+instances, and returns the performance estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...trace.tracefile import AccelInvocation
+from .library import DESIGN_FACTORIES, params_from_invocation
+from .perf_model import AccelResult, AcceleratorDesign, \
+    GenericPerformanceModel
+from .rtl_sim import RTLSimulation
+
+
+class AcceleratorTile:
+    """One accelerator (possibly with several parallel instances)."""
+
+    def __init__(self, design: AcceleratorDesign, *,
+                 num_instances: int = 1,
+                 max_bandwidth_gbps: float = 16.0,
+                 period: int = 2,
+                 model: str = "generic"):
+        self.design = design
+        self.num_instances = num_instances
+        #: global cycles per accelerator cycle (clock-ratio scaling)
+        self.period = period
+        if model == "generic":
+            self._model = GenericPerformanceModel(design, max_bandwidth_gbps)
+            self._estimate = self._model.estimate
+        elif model == "rtl":
+            rtl = RTLSimulation(design)
+            self._estimate = lambda params, n=1: rtl.simulate(params)
+        else:
+            raise ValueError(f"unknown accelerator model {model!r}")
+        #: next-free global cycle per hardware instance
+        self._instance_free = [0] * num_instances
+        self.invocations = 0
+        self.busy_cycles = 0
+
+    def invoke(self, invocation: AccelInvocation, cycle: int):
+        """Returns ``(completion_cycle, energy_nj, bytes_transferred)``."""
+        _, params = params_from_invocation(invocation)
+        result: AccelResult = self._estimate(params)
+        # pick the earliest-free instance; invocations on one instance
+        # serialize
+        idx = min(range(self.num_instances),
+                  key=lambda i: self._instance_free[i])
+        start = max(cycle, self._instance_free[idx])
+        completion = start + result.cycles * self.period
+        self._instance_free[idx] = completion
+        self.invocations += 1
+        self.busy_cycles += completion - start
+        return completion, result.energy_nj, result.bytes_transferred
+
+
+class AcceleratorFarm:
+    """Registry of accelerator tiles keyed by intrinsic name; the
+    Interleaver consults it on every accelerator invocation."""
+
+    def __init__(self):
+        self._tiles: Dict[str, AcceleratorTile] = {}
+
+    def add(self, kind: str, tile: AcceleratorTile) -> "AcceleratorFarm":
+        self._tiles[f"accel_{kind}"] = tile
+        return self
+
+    def add_default(self, kind: str, plm_bytes: int = 64 * 1024,
+                    **kwargs) -> "AcceleratorFarm":
+        design = DESIGN_FACTORIES[kind](plm_bytes)
+        return self.add(kind, AcceleratorTile(design, **kwargs))
+
+    def get(self, intrinsic_name: str) -> Optional[AcceleratorTile]:
+        return self._tiles.get(intrinsic_name)
+
+    def invoke(self, invocation: AccelInvocation, cycle: int):
+        tile = self._tiles.get(invocation.name)
+        if tile is None:
+            raise KeyError(
+                f"no accelerator registered for {invocation.name!r}; "
+                f"available: {sorted(self._tiles)}")
+        return tile.invoke(invocation, cycle)
+
+    @property
+    def tiles(self) -> Dict[str, AcceleratorTile]:
+        return dict(self._tiles)

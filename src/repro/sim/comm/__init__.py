@@ -1,0 +1,5 @@
+"""Inter-tile communication (paper §II-C, §VII-A)."""
+
+from .fabric import CommFabric
+
+__all__ = ["CommFabric"]

@@ -1,0 +1,212 @@
+"""Configuration dataclasses for every simulated component.
+
+The paper ships "a comprehensive set of core and system configuration
+files" (§VI-B); these dataclasses are that configuration surface. Presets
+matching the paper's Tables I and II live in :mod:`repro.harness.systems`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..ir.instructions import OpClass
+
+#: default fixed instruction latencies (cycles) per functional-unit class
+DEFAULT_LATENCIES: Dict[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.FPALU: 3,
+    OpClass.FPMUL: 4,
+    OpClass.FPDIV: 12,
+    OpClass.BRANCH: 1,
+    OpClass.PHI: 0,
+    OpClass.CALL: 1,
+    OpClass.OTHER: 1,
+    # LOAD/STORE/ATOMIC latencies are dynamic (memory hierarchy)
+    OpClass.LOAD: 0,
+    OpClass.STORE: 0,
+    OpClass.ATOMIC: 0,
+}
+
+#: latency (cycles) of long FP intrinsics (sqrtf, expf, ...)
+FP_LONG_LATENCY = 18
+
+#: default per-instruction energy (nanojoules), McPAT-flavored 22nm values
+DEFAULT_ENERGY_NJ: Dict[OpClass, float] = {
+    OpClass.IALU: 0.05,
+    OpClass.IMUL: 0.15,
+    OpClass.FPALU: 0.20,
+    OpClass.FPMUL: 0.25,
+    OpClass.FPDIV: 0.60,
+    OpClass.BRANCH: 0.03,
+    OpClass.PHI: 0.0,
+    OpClass.CALL: 0.05,
+    OpClass.OTHER: 0.05,
+    OpClass.LOAD: 0.10,   # core-side cost; cache/DRAM energy added per access
+    OpClass.STORE: 0.10,
+    OpClass.ATOMIC: 0.30,
+}
+
+
+@dataclass
+class CoreConfig:
+    """Microarchitectural resource limits of a core tile (paper §III-A)."""
+
+    name: str = "core"
+    #: superscalar issue width W
+    issue_width: int = 4
+    #: sliding instruction window size (paper's "ROB")
+    rob_size: int = 128
+    #: MAO/LSQ capacity
+    lsq_size: int = 128
+    #: per-class functional unit counts; classes absent = unlimited
+    fu_counts: Dict[OpClass, int] = field(default_factory=dict)
+    #: max live DBBs per static basic block (None = unlimited); models
+    #: hardware-supported loop unrolling in accelerator tiles
+    live_dbb_limit: Optional[int] = None
+    #: clock frequency in GHz (tiles may differ; the Interleaver scales)
+    frequency_ghz: float = 2.0
+    #: "perfect" or "static" branch prediction (§III-C)
+    branch_predictor: str = "perfect"
+    #: cycles charged when static prediction contradicts the trace
+    mispredict_penalty: int = 10
+    #: perfect memory-address alias speculation (§III-C)
+    perfect_alias: bool = False
+    #: stores retire at issue through a store buffer (fire-and-forget);
+    #: the request still consumes cache/DRAM bandwidth
+    store_buffer: bool = True
+    #: extra cycles charged to atomic read-modify-writes on top of the
+    #: memory round trip (lock/unlock overhead; the paper flags atomics
+    #: as the hard-to-model case — this knob lets studies explore it)
+    atomic_penalty: int = 0
+    #: fixed instruction latencies per class
+    latencies: Dict[OpClass, int] = field(
+        default_factory=lambda: dict(DEFAULT_LATENCIES))
+    #: per-instruction energy per class (nJ)
+    energy_nj: Dict[OpClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_ENERGY_NJ))
+    #: latency of long FP intrinsics
+    fp_long_latency: int = FP_LONG_LATENCY
+    #: inter-tile message latency (send/recv, DAE queues) in cycles
+    comm_latency: int = 1
+    #: area (mm^2) for equal-area studies; from McPAT-style tables
+    area_mm2: float = 0.0
+
+    def scaled(self, **kwargs) -> "CoreConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class CacheConfig:
+    """One cache level (paper §V-A)."""
+
+    name: str = "L1"
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    associativity: int = 8
+    #: access (hit) latency in cycles
+    latency: int = 1
+    #: requests the cache can accept per cycle
+    ports: int = 2
+    #: MSHR entries (pending misses); requests to a pending line merge
+    mshr_entries: int = 16
+    #: energy per access (nJ)
+    energy_nj: float = 0.20
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.line_bytes * self.associativity)
+        if sets <= 0:
+            raise ValueError(f"cache {self.name} too small for geometry")
+        return sets
+
+
+@dataclass
+class PrefetcherConfig:
+    """Streaming prefetcher (§V-A): detect chains of accesses k words
+    apart and fetch ahead."""
+
+    enabled: bool = False
+    #: cachelines fetched ahead on a detected stream
+    degree: int = 4
+    #: accesses with a constant stride needed to trigger
+    trigger: int = 3
+    #: distance (in lines) ahead of the triggering access
+    distance: int = 2
+
+
+@dataclass
+class SimpleDRAMConfig:
+    """SimpleDRAM (§V-B): minimum latency + epoch-based max bandwidth."""
+
+    name: str = "SimpleDRAM"
+    #: minimum request latency in core cycles
+    min_latency: int = 200
+    #: peak bandwidth in GB/s
+    bandwidth_gbps: float = 24.0
+    #: epoch length in cycles over which bandwidth is enforced
+    epoch_cycles: int = 100
+    #: bytes moved per request (one cacheline)
+    line_bytes: int = 64
+    #: energy per access (nJ)
+    energy_nj: float = 15.0
+
+    def requests_per_epoch(self, frequency_ghz: float) -> int:
+        bytes_per_cycle = self.bandwidth_gbps / frequency_ghz
+        per_epoch = bytes_per_cycle * self.epoch_cycles / self.line_bytes
+        return max(1, int(per_epoch))
+
+
+@dataclass
+class DRAMSim2Config:
+    """Cycle-level DRAM model (DRAMSim2 stand-in): banked, row-buffer
+    aware, FR-FCFS scheduled."""
+
+    name: str = "DRAMSim2"
+    channels: int = 1
+    banks_per_channel: int = 8
+    row_bytes: int = 2048
+    #: timing in memory-controller cycles (scaled to core cycles by ratio)
+    t_rcd: int = 14
+    t_rp: int = 14
+    t_cas: int = 14
+    t_ras: int = 34
+    #: data burst occupancy of the channel per request
+    burst_cycles: int = 4
+    #: core cycles per DRAM cycle
+    clock_ratio: int = 2
+    queue_depth: int = 32
+    line_bytes: int = 64
+    energy_nj: float = 18.0
+
+
+@dataclass
+class MemoryHierarchyConfig:
+    """Private levels + shared LLC + DRAM."""
+
+    #: per-core private caches, ordered L1 first
+    private_levels: tuple = field(default_factory=lambda: (
+        CacheConfig(name="L1", size_bytes=32 * 1024, associativity=8,
+                    latency=1, energy_nj=0.10),
+        CacheConfig(name="L2", size_bytes=2 * 1024 * 1024, associativity=8,
+                    latency=6, mshr_entries=32, energy_nj=0.50),
+    ))
+    #: shared last-level cache (None for accelerator-only systems)
+    llc: Optional[CacheConfig] = field(default_factory=lambda: CacheConfig(
+        name="LLC", size_bytes=20 * 1024 * 1024, associativity=20,
+        latency=20, ports=4, mshr_entries=64, energy_nj=1.20))
+    prefetcher: PrefetcherConfig = field(default_factory=PrefetcherConfig)
+    #: "simple" or "dramsim2"
+    dram_model: str = "simple"
+    simple_dram: SimpleDRAMConfig = field(default_factory=SimpleDRAMConfig)
+    dramsim2: DRAMSim2Config = field(default_factory=DRAMSim2Config)
+    #: optional 2D-mesh NoC between cores and LLC banks (§V-A extension);
+    #: an instance of repro.memory.noc.NoCConfig
+    noc: Optional[object] = None
+    #: directory-based coherence across private hierarchies (§V-A
+    #: extension)
+    coherence: bool = False
+    #: flat invalidation round-trip cost when no NoC is attached
+    invalidation_latency: int = 10

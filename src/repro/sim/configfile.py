@@ -1,0 +1,158 @@
+"""Configuration files (paper §VI-B).
+
+"MosaicSim provides a comprehensive set of both core and system
+configuration files that include a number of reconfigurable parameters
+(e.g. ROB size, issue-width, memory hierarchy details, etc.). These are
+straightforward to modify or extend."
+
+This module serializes :class:`CoreConfig` and
+:class:`MemoryHierarchyConfig` to/from JSON so systems can be described
+as files, shared, and loaded from the CLI (``--core-config`` /
+``--hierarchy-config``). Unknown keys are rejected with the valid options
+listed, so typos fail loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..ir.instructions import OpClass
+from ..memory.noc import NoCConfig
+from .config import (
+    CacheConfig, CoreConfig, DRAMSim2Config, MemoryHierarchyConfig,
+    PrefetcherConfig, SimpleDRAMConfig,
+)
+
+PathLike = Union[str, Path]
+
+
+class ConfigFileError(Exception):
+    pass
+
+
+def _check_keys(data: Dict, cls, context: str) -> None:
+    valid = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ConfigFileError(
+            f"unknown {context} keys {sorted(unknown)}; valid keys: "
+            f"{sorted(valid)}")
+
+
+def _opclass_map_to_json(mapping: Dict[OpClass, object]) -> Dict[str, object]:
+    return {opclass.value: value for opclass, value in mapping.items()}
+
+
+def _opclass_map_from_json(data: Dict[str, object],
+                           context: str) -> Dict[OpClass, object]:
+    out = {}
+    valid = {c.value: c for c in OpClass}
+    for key, value in data.items():
+        if key not in valid:
+            raise ConfigFileError(
+                f"unknown functional-unit class {key!r} in {context}; "
+                f"valid: {sorted(valid)}")
+        out[valid[key]] = value
+    return out
+
+
+# -- core configs ---------------------------------------------------------------
+
+def core_to_dict(config: CoreConfig) -> Dict:
+    data = dataclasses.asdict(config)
+    data["fu_counts"] = _opclass_map_to_json(config.fu_counts)
+    data["latencies"] = _opclass_map_to_json(config.latencies)
+    data["energy_nj"] = _opclass_map_to_json(config.energy_nj)
+    return data
+
+
+def core_from_dict(data: Dict) -> CoreConfig:
+    _check_keys(data, CoreConfig, "core-config")
+    data = dict(data)
+    for key in ("fu_counts", "latencies", "energy_nj"):
+        if key in data:
+            converted = _opclass_map_from_json(data[key], key)
+            if key in ("latencies", "energy_nj"):
+                # partial tables overlay the defaults
+                defaults = dict(getattr(CoreConfig(), key))
+                defaults.update(converted)
+                converted = defaults
+            data[key] = converted
+    return CoreConfig(**data)
+
+
+# -- hierarchy configs -----------------------------------------------------------
+
+def hierarchy_to_dict(config: MemoryHierarchyConfig) -> Dict:
+    return {
+        "private_levels": [dataclasses.asdict(level)
+                           for level in config.private_levels],
+        "llc": dataclasses.asdict(config.llc)
+        if config.llc is not None else None,
+        "prefetcher": dataclasses.asdict(config.prefetcher),
+        "dram_model": config.dram_model,
+        "simple_dram": dataclasses.asdict(config.simple_dram),
+        "dramsim2": dataclasses.asdict(config.dramsim2),
+        "noc": dataclasses.asdict(config.noc)
+        if config.noc is not None else None,
+        "coherence": config.coherence,
+        "invalidation_latency": config.invalidation_latency,
+    }
+
+
+def hierarchy_from_dict(data: Dict) -> MemoryHierarchyConfig:
+    _check_keys(data, MemoryHierarchyConfig, "hierarchy-config")
+    kwargs = dict(data)
+    if "private_levels" in kwargs:
+        levels = []
+        for level in kwargs["private_levels"]:
+            _check_keys(level, CacheConfig, "cache")
+            levels.append(CacheConfig(**level))
+        kwargs["private_levels"] = tuple(levels)
+    if kwargs.get("llc") is not None:
+        _check_keys(kwargs["llc"], CacheConfig, "llc")
+        kwargs["llc"] = CacheConfig(**kwargs["llc"])
+    if "prefetcher" in kwargs:
+        _check_keys(kwargs["prefetcher"], PrefetcherConfig, "prefetcher")
+        kwargs["prefetcher"] = PrefetcherConfig(**kwargs["prefetcher"])
+    if "simple_dram" in kwargs:
+        _check_keys(kwargs["simple_dram"], SimpleDRAMConfig, "simple_dram")
+        kwargs["simple_dram"] = SimpleDRAMConfig(**kwargs["simple_dram"])
+    if "dramsim2" in kwargs:
+        _check_keys(kwargs["dramsim2"], DRAMSim2Config, "dramsim2")
+        kwargs["dramsim2"] = DRAMSim2Config(**kwargs["dramsim2"])
+    if kwargs.get("noc") is not None:
+        _check_keys(kwargs["noc"], NoCConfig, "noc")
+        kwargs["noc"] = NoCConfig(**kwargs["noc"])
+    return MemoryHierarchyConfig(**kwargs)
+
+
+# -- file I/O --------------------------------------------------------------------
+
+def save_core_config(config: CoreConfig, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(core_to_dict(config), indent=2) + "\n")
+
+def load_core_config(path: PathLike) -> CoreConfig:
+    return core_from_dict(_read_json(path))
+
+
+def save_hierarchy_config(config: MemoryHierarchyConfig,
+                          path: PathLike) -> None:
+    Path(path).write_text(
+        json.dumps(hierarchy_to_dict(config), indent=2) + "\n")
+
+
+def load_hierarchy_config(path: PathLike) -> MemoryHierarchyConfig:
+    return hierarchy_from_dict(_read_json(path))
+
+
+def _read_json(path: PathLike) -> Dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigFileError(f"{path}: invalid JSON ({exc})") from None
+    except OSError as exc:
+        raise ConfigFileError(f"cannot read {path}: {exc}") from None

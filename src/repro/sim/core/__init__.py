@@ -1,0 +1,5 @@
+"""Core tile models (paper §III)."""
+
+from .model import CoreTile, DynDBB, DynNode
+
+__all__ = ["CoreTile", "DynDBB", "DynNode"]

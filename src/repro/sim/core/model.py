@@ -1,0 +1,608 @@
+"""Core tile model: graph-based, trace-driven, cycle-level (paper §II-A,
+§III).
+
+A core executes the kernel's static DDG against its dynamic trace:
+
+* DBBs launch serially in control-flow-trace order — a new DBB launches
+  when the previous DBB's terminator completes (rule 3), or immediately
+  under branch speculation (§III-C);
+* an instruction issues once its DBB is live, all parents have completed
+  (rules 1–2), and the microarchitectural resource limits of §III-A allow:
+  issue width, sliding instruction window (ROB), MAO/LSQ occupancy and
+  ordering, functional units, live-DBB limits;
+* fixed-cost instructions complete after their latency; memory operations
+  are dispatched to the memory hierarchy and complete on response; comm
+  operations interact with the CommFabric (messages, DAE queues);
+  accelerator invocations query the accelerator tile model (§IV-A).
+
+The same class models in-order cores (window/LSQ of 1, width 1), OoO cores
+(wide window) and pre-RTL accelerator tiles (relaxed limits + live-DBB
+knobs), exactly as the paper uses one graph model with different resource
+constraints.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...ir.instructions import OpClass, Opcode
+from ...passes.ddg import DDGNode, StaticDDG
+from ...trace.tracefile import KernelTrace
+from ..config import CoreConfig
+from ..tile import NEVER, Tile
+from .branch import make_predictor
+
+_WAITING, _READY, _ISSUED, _DONE = 0, 1, 2, 3
+
+
+class DynNode:
+    """One dynamic instruction instance."""
+
+    __slots__ = ("seq", "snode", "pending", "dependents", "state",
+                 "address", "dbb", "addr_producer")
+
+    def __init__(self, seq: int, snode: DDGNode, dbb: "DynDBB"):
+        self.seq = seq
+        self.snode = snode
+        self.pending = 0
+        self.dependents: List["DynNode"] = []
+        self.state = _WAITING
+        self.address = 0
+        self.dbb = dbb
+        #: dynamic producer of the address operand (memory ops only);
+        #: the MAO treats the address as resolved once this completes
+        self.addr_producer: "DynNode" = None
+
+    @property
+    def addr_resolved(self) -> bool:
+        return self.addr_producer is None or self.addr_producer.completed
+
+    @property
+    def completed(self) -> bool:
+        return self.state == _DONE
+
+
+class DynDBB:
+    """One dynamic basic block instance (paper Figure 3)."""
+
+    __slots__ = ("index", "bid", "remaining")
+
+    def __init__(self, index: int, bid: int, size: int):
+        self.index = index       # position in the control-flow trace
+        self.bid = bid
+        self.remaining = size    # uncompleted instructions
+
+
+class CoreTile(Tile):
+    def __init__(self, name: str, tile_id: int, config: CoreConfig,
+                 ddg: StaticDDG, trace: KernelTrace,
+                 services=None, period: int = 1,
+                 mem_port: Optional[int] = None):
+        super().__init__(name, tile_id, period)
+        self.config = config
+        self.ddg = ddg
+        self.trace = trace
+        self.services = services
+        #: index into the memory system (defaults to tile id)
+        self.mem_port = tile_id if mem_port is None else mem_port
+
+        self._next_dbb = 0                     # cursor into block_trace
+        self._next_seq = 0
+        self._window_base = 0
+        self._in_flight: Dict[int, DynNode] = {}
+        self._ready: List[Tuple[int, DynNode]] = []
+        self._retry: List[DynNode] = []
+        self._last_dyn: Dict[int, DynNode] = {}
+        self._addr_cursor: Dict[int, int] = {}
+        self._comm_cursor: Dict[int, int] = {}
+        self._accel_cursor = 0
+        self._accel_inflight = 0
+        self._fu_used: Dict[OpClass, int] = {}
+        self._mao: List[DynNode] = []
+        self._mao_incomplete = 0
+        self._live_dbbs: Dict[int, int] = {}
+        self._completions: List[Tuple[int, int, DynNode]] = []
+        self._completion_seq = 0
+        #: terminator of the most recently launched DBB
+        self._last_terminator: Optional[DynNode] = None
+        self._last_terminator_done_at = 0
+        #: earliest cycle a mispredict-stalled launch may proceed
+        self._launch_stall_until = 0
+        #: prediction verdict (static or dynamic) for the *next* DBB launch
+        self._prediction_correct = True
+        self._dyn_predictor = (
+            make_predictor(config.branch_predictor)
+            if config.branch_predictor in ("twobit", "gshare") else None)
+        self._prev_bid: Optional[int] = None
+        self._finished = len(trace.block_trace) == 0
+        # hot-path tables precomputed per static instruction (avoids
+        # enum-keyed dict lookups on every issue)
+        latencies = config.latencies
+        energies = config.energy_nj
+        fu_counts = config.fu_counts
+        self._latency_by_iid = [
+            latencies[n.opclass] * period for n in ddg.nodes]
+        self._energy_by_iid = [energies[n.opclass] for n in ddg.nodes]
+        self._fu_limit_by_iid = [
+            fu_counts.get(n.opclass) for n in ddg.nodes]
+        #: memory ops per block, for the MAO launch gate
+        self._block_mem_ops = [
+            sum(1 for iid in b.node_iids if ddg.nodes[iid].is_memory)
+            for b in ddg.blocks]
+        #: DAE role, set by harness when this core is half of a DAE pair
+        self.dae_queue_names: Dict[str, str] = {}
+        #: SPMD barrier membership (set by the harness)
+        self.barrier_group = "spmd"
+        self.barrier_group_size = 1
+        self._barrier_generation = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._finished
+
+    def _check_finished(self) -> None:
+        if (self._next_dbb >= len(self.trace.block_trace)
+                and not self._in_flight):
+            self._finished = True
+
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> int:
+        self.next_attention = NEVER
+        # 1. internal fixed-latency completions due now
+        while self._completions and self._completions[0][0] <= cycle:
+            _, _, node = heapq.heappop(self._completions)
+            self._complete(node, cycle)
+        # 2. launch DBBs while the launch gate and resource limits allow
+        while self._next_dbb < len(self.trace.block_trace):
+            if not self._launch_allowed():
+                break
+            if not self._launch_dbb(cycle):
+                break
+        # 3. issue ready instructions
+        issue_saturated = self._issue(cycle)
+
+        self._check_finished()
+        self.stats.cycles = max(self.stats.cycles, cycle)
+        if self._finished:
+            return NEVER
+        nxt = NEVER
+        if self._completions:
+            nxt = self._completions[0][0]
+        if self._launch_stall_until > cycle:
+            nxt = min(nxt, self._launch_stall_until)
+        if issue_saturated:
+            # width exhausted with issuable work left: continue next cycle.
+            # Everything else (window slide, FU/MAO release, launch gates)
+            # changes only on completions, which wake the tile.
+            nxt = min(nxt, cycle + self.period)
+        return self.align(nxt) if nxt != NEVER else NEVER
+
+    #: predictor modes that speculate on correctly-predicted branches
+    _PREDICTED_MODES = ("static", "twobit", "gshare")
+
+    # -- DBB launching -----------------------------------------------------
+    def _launch_allowed(self) -> bool:
+        """Branch-speculation gate (paper §III-C)."""
+        if self._last_terminator is None:
+            return True  # first DBB
+        mode = self.config.branch_predictor
+        if mode == "perfect":
+            return True
+        if mode in self._PREDICTED_MODES and self._prediction_correct:
+            return True
+        # non-speculative (or mispredicted): wait for the terminator
+        return self._last_terminator.completed
+
+    def _mispredict_delay(self) -> int:
+        if (self.config.branch_predictor in self._PREDICTED_MODES
+                and not self._prediction_correct):
+            return self.config.mispredict_penalty * self.period
+        return 0
+
+    def _launch_dbb(self, cycle: int) -> bool:
+        """Try to launch the next DBB from the trace; False if blocked on
+        resource limits (window headroom, live-DBB limit, MAO space)."""
+        bid = self.trace.block_trace[self._next_dbb]
+        block = self.ddg.blocks[bid]
+
+        if self._next_seq >= self._window_base + self.config.rob_size:
+            return False
+        limit = self.config.live_dbb_limit
+        if limit is not None and self._live_dbbs.get(bid, 0) >= limit:
+            return False
+        mem_ops = self._block_mem_ops[bid]
+        if (self._mao_incomplete + mem_ops > self.config.lsq_size
+                and self._mao_incomplete > 0):
+            # Block on MAO space — except when the MAO is empty, in which
+            # case a DBB with more memory ops than the LSQ must still make
+            # progress (launched whole; issue order still serializes).
+            return False
+
+        delay = self._mispredict_delay()
+        if delay:
+            # mispredicted: the whole DBB launches only after the
+            # redirect penalty has elapsed past the terminator
+            earliest = self._last_terminator_done_at + delay
+            if cycle < earliest:
+                self._launch_stall_until = earliest
+                return False
+            self.stats.mispredictions += 1
+
+        dbb = DynDBB(self._next_dbb, bid, len(block.node_iids))
+        self._live_dbbs[bid] = self._live_dbbs.get(bid, 0) + 1
+        self.stats.dbbs_launched += 1
+        live_now = sum(self._live_dbbs.values())
+        if live_now > self.stats.max_live_dbbs:
+            self.stats.max_live_dbbs = live_now
+
+        prev_bid = self._prev_bid
+        last_dyn = self._last_dyn
+        nodes = self.ddg.nodes
+        for iid in block.node_iids:
+            snode = nodes[iid]
+            dyn = DynNode(self._next_seq, snode, dbb)
+            self._next_seq += 1
+            self._in_flight[dyn.seq] = dyn
+            if snode.opcode is Opcode.PHI:
+                producer = snode.phi_incoming.get(prev_bid)
+                producers = () if producer is None else (producer,)
+            else:
+                producers = snode.operand_iids
+            for producer_iid in producers:
+                last = last_dyn.get(producer_iid)
+                if last is not None and last.state != _DONE:
+                    last.dependents.append(dyn)
+                    dyn.pending += 1
+            last_dyn[iid] = dyn
+            if snode.is_memory:
+                cursor = self._addr_cursor.get(iid, 0)
+                dyn.address = self.trace.addr_trace[iid][cursor]
+                self._addr_cursor[iid] = cursor + 1
+                if snode.pointer_operand_iid is not None:
+                    producer = last_dyn.get(snode.pointer_operand_iid)
+                    if producer is not None and producer.state != _DONE:
+                        dyn.addr_producer = producer
+                self._mao.append(dyn)
+                self._mao_incomplete += 1
+            if dyn.pending == 0:
+                if snode.opclass is OpClass.PHI or snode.folded:
+                    # phis and ISA-folded nodes are free: complete at once
+                    self._complete(dyn, cycle)
+                else:
+                    dyn.state = _READY
+                    heapq.heappush(self._ready, (dyn.seq, dyn))
+
+        # record launch gate state for the *next* DBB
+        term = self._last_dyn[block.terminator_iid]
+        self._last_terminator = term
+        self._prev_bid = bid
+        self._next_dbb += 1
+        if self.config.branch_predictor in self._PREDICTED_MODES:
+            self._prediction_correct = self._prediction_matches(block)
+        return True
+
+    def _prediction_matches(self, block) -> bool:
+        """Consult the configured predictor for the branch that ends
+        ``block``; dynamic predictors also train on the actual outcome."""
+        if self._next_dbb >= len(self.trace.block_trace):
+            return True
+        actual = self.trace.block_trace[self._next_dbb]
+        successors = block.successor_bids
+        if len(successors) <= 1:
+            return True
+        taken_actual = actual == successors[0]
+        if self._dyn_predictor is not None:
+            backward = successors[0] <= block.bid
+            predicted_taken = self._dyn_predictor.predict(
+                block.terminator_iid, backward)
+            self._dyn_predictor.update(block.terminator_iid, taken_actual)
+            return predicted_taken == taken_actual
+        # static: backward-taken / forward-not-taken
+        backward_targets = [s for s in successors if s <= block.bid]
+        predicted = backward_targets[0] if backward_targets \
+            else successors[0]
+        return predicted == actual
+
+    # -- issue ---------------------------------------------------------------
+    def _issue(self, cycle: int) -> bool:
+        """Issue up to ``issue_width`` ready instructions; returns True when
+        the width was exhausted with issuable work remaining (so the tile
+        must step again next cycle)."""
+        budget = self.config.issue_width
+        window_limit = self._window_base + self.config.rob_size
+        while budget > 0 and self._ready:
+            seq, node = self._ready[0]
+            if seq >= window_limit:
+                break  # heap is seq-ordered: all others are younger
+            heapq.heappop(self._ready)
+            snode = node.snode
+            fu_limit = self._fu_limit_by_iid[snode.iid]
+            if fu_limit is not None and \
+                    self._fu_used.get(snode.opclass, 0) >= fu_limit:
+                self._retry.append(node)
+                continue
+            if snode.is_memory and not self._mao_permits(node):
+                self.stats.mao_stalls += 1
+                self._retry.append(node)
+                continue
+            if snode.decoupled and not self.services.fabric.queue_try_reserve(
+                    self.dae_queue_names["load"],
+                    lambda c: self.wake(c)):
+                # load queue full: back-pressure from the execute slice
+                self._retry.append(node)
+                continue
+            if snode.callee == "barrier" and seq != self._window_base:
+                # barriers are full fences: all older work must retire first
+                self._retry.append(node)
+                continue
+            if snode.intrinsic_timing == "accel" and self._accel_inflight:
+                # accelerator invocations block through the device driver:
+                # a tile's calls serialize (their dataflow passes through
+                # memory, which the IR cannot order for us)
+                self._retry.append(node)
+                continue
+            # issue!
+            budget -= 1
+            node.state = _ISSUED
+            if fu_limit is not None:
+                self._fu_used[snode.opclass] = \
+                    self._fu_used.get(snode.opclass, 0) + 1
+            self.stats.energy_nj += self._energy_by_iid[snode.iid]
+            self._dispatch(node, cycle)
+        saturated = (budget == 0 and bool(self._ready)
+                     and self._ready[0][0] < window_limit)
+        if self._retry:
+            # structurally blocked nodes rejoin the pool; they become
+            # issuable again only after a completion, which wakes the tile
+            for node in self._retry:
+                heapq.heappush(self._ready, (node.seq, node))
+            self._retry = []
+        return saturated
+
+    def _dispatch(self, node: DynNode, cycle: int) -> None:
+        snode = node.snode
+        if snode.is_memory:
+            self.stats.memory_accesses += 1
+            if snode.decoupled:
+                # DeSC decoupled load: the response flows straight into the
+                # pair's load queue; the core retires the load immediately
+                queue = self.dae_queue_names["load"]
+                latency = self.config.comm_latency * self.period
+                fabric = self.services.fabric
+                self.services.mem_access(
+                    self.mem_port, node.address, snode.access_size or 8,
+                    is_write=False, is_atomic=False, cycle=cycle,
+                    callback=lambda c, q=queue, l=latency:
+                        fabric.queue_deposit_reserved(q, c + l))
+                self._schedule_completion(node, cycle + self.period)
+                return
+            if snode.decoupled_store:
+                # DeSC store address/value buffers: retire now; the write
+                # fires once the execute slice's value token arrives
+                queue = self.dae_queue_names["store"]
+                latency = self.config.comm_latency * self.period
+                port, address = self.mem_port, node.address
+                size = snode.access_size or 8
+
+                def fire_write(c: int) -> None:
+                    self.services.mem_access(
+                        port, address, size, is_write=True, is_atomic=False,
+                        cycle=c, callback=lambda c2: None)
+
+                if self.services.fabric.queue_try_consume(
+                        queue, cycle,
+                        lambda c: self.services.schedule(
+                            max(c, cycle + latency), fire_write)):
+                    self.services.schedule(cycle + latency, fire_write)
+                self._schedule_completion(node, cycle + self.period)
+                return
+            if (snode.is_store and not snode.is_load
+                    and self.config.store_buffer):
+                # store buffer: retire at issue, request drains async
+                self.services.mem_access(
+                    self.mem_port, node.address, snode.access_size or 8,
+                    is_write=True, is_atomic=False, cycle=cycle,
+                    callback=lambda c: None)
+                self._schedule_completion(node, cycle + self.period)
+                return
+            is_atomic = snode.opcode is Opcode.ATOMICRMW
+            penalty = self.config.atomic_penalty * self.period \
+                if is_atomic else 0
+            self.services.mem_access(
+                self.mem_port, node.address, snode.access_size or 8,
+                is_write=snode.is_store and not snode.is_load,
+                is_atomic=is_atomic,
+                cycle=cycle,
+                callback=lambda c, n=node, p=penalty:
+                    self._complete_later(n, c + p) if p
+                    else self._external_complete(n, c))
+            return
+        if snode.opcode is Opcode.CALL:
+            self._dispatch_call(node, cycle)
+            return
+        self._schedule_completion(
+            node, cycle + self._latency_by_iid[snode.iid])
+
+    def _dispatch_call(self, node: DynNode, cycle: int) -> None:
+        snode = node.snode
+        timing = snode.intrinsic_timing
+        config = self.config
+        if timing == "fp_long":
+            self._schedule_completion(
+                node, cycle + config.fp_long_latency * self.period)
+            return
+        if timing == "accel":
+            invocation = self.trace.accel_calls[self._accel_cursor]
+            self._accel_cursor += 1
+            completion, energy, nbytes = self.services.accel_invoke(
+                invocation, cycle)
+            self.stats.accel_invocations += 1
+            self.stats.accel_cycles += completion - cycle
+            self.stats.accel_bytes += nbytes
+            self.stats.energy_nj += energy
+            self._accel_inflight += 1
+
+            def finish(c: int, n=node) -> None:
+                self._accel_inflight -= 1
+                self._external_complete(n, c)
+
+            self.services.schedule(completion, finish)
+            return
+        if timing == "comm":
+            self._dispatch_comm(node, cycle)
+            return
+        # free intrinsics (tile_id/num_tiles) and anything else: 1 cycle
+        self._schedule_completion(
+            node, cycle + config.latencies[OpClass.CALL] * self.period)
+
+    def _dispatch_comm(self, node: DynNode, cycle: int) -> None:
+        name = node.snode.callee
+        fabric = self.services.fabric
+        latency = self.config.comm_latency * self.period
+        if name == "barrier":
+            generation = self._barrier_generation
+            self._barrier_generation += 1
+            if fabric.barrier_arrive(
+                    self.barrier_group, self.barrier_group_size, generation,
+                    cycle + latency,
+                    lambda c, n=node: self._complete_later(
+                        n, max(c, cycle + latency))):
+                self._schedule_completion(node, cycle + latency)
+            return
+        if name.startswith("send_"):
+            peer = self._next_peer(node)
+            fabric.send(self.tile_id, peer, cycle + latency)
+            self._schedule_completion(node, cycle + latency)
+            return
+        if name.startswith("recv_"):
+            peer = self._next_peer(node)
+            if fabric.try_recv(peer, self.tile_id, cycle,
+                               lambda c, n=node: self._complete_later(
+                                   n, max(c, cycle + latency))):
+                self._schedule_completion(node, cycle + latency)
+            return
+        if name.startswith("dae_produce") or \
+                name.startswith("dae_store_value"):
+            queue = self.dae_queue_names[
+                "load" if name.startswith("dae_produce") else "store"]
+            self._try_produce(node, queue, cycle, latency)
+            return
+        if name.startswith("dae_consume") or name.startswith("dae_store_take"):
+            queue = self.dae_queue_names[
+                "load" if name.startswith("dae_consume") else "store"]
+            if fabric.queue_try_consume(
+                    queue, cycle,
+                    lambda c, n=node: self._complete_later(
+                        n, max(c, cycle + latency))):
+                self._schedule_completion(node, cycle + latency)
+            return
+        raise ValueError(f"unknown comm intrinsic {name!r}")
+
+    def _try_produce(self, node: DynNode, queue: str, cycle: int,
+                     latency: int) -> None:
+        fabric = self.services.fabric
+
+        def on_space(space_cycle: int, n=node) -> None:
+            # retry the deposit once a consumer freed a slot
+            self._try_produce(n, queue, space_cycle, latency)
+            self.wake(space_cycle)
+
+        if fabric.queue_try_produce(queue, cycle + latency, on_space):
+            self._complete_later(node, cycle + latency)
+
+    def _next_peer(self, node: DynNode) -> int:
+        iid = node.snode.iid
+        cursor = self._comm_cursor.get(iid, 0)
+        self._comm_cursor[iid] = cursor + 1
+        return self.trace.comm_trace[iid][cursor]
+
+    # -- MAO (paper §II-A "Data Dependencies") -------------------------------
+    def _mao_permits(self, node: DynNode) -> bool:
+        """Loads: no incomplete older store with matching or unresolved
+        address. Stores: same, against every older memory access. With
+        perfect alias speculation (§III-C), only true same-address hazards
+        block."""
+        perfect = self.config.perfect_alias
+        is_store = node.snode.is_store
+        node_seq = node.seq
+        line = node.address >> 3  # compare at 8-byte granularity
+        for other in self._mao:
+            if other.seq >= node_seq:
+                break
+            if other.state == _DONE:
+                continue
+            if not is_store and not other.snode.is_store:
+                continue  # load vs older load: no hazard
+            if perfect:
+                if (other.address >> 3) == line:
+                    return False
+                continue
+            producer = other.addr_producer
+            if producer is not None and producer.state != _DONE:
+                return False  # unresolved older address
+            if (other.address >> 3) == line:
+                return False
+        return True
+
+    def _mao_compact(self) -> None:
+        if len(self._mao) > 2 * max(16, self.config.lsq_size):
+            self._mao = [n for n in self._mao if n.state != _DONE]
+
+    # -- completion ---------------------------------------------------------
+    def _schedule_completion(self, node: DynNode, cycle: int) -> None:
+        heapq.heappush(self._completions,
+                       (cycle, self._completion_seq, node))
+        self._completion_seq += 1
+
+    def _external_complete(self, node: DynNode, cycle: int) -> None:
+        """Completion driven by an external event (memory, comm, accel)."""
+        self._complete(node, cycle)
+        self.wake(cycle)
+
+    def _complete_later(self, node: DynNode, cycle: int) -> None:
+        """Completion known now but effective at a future cycle: route it
+        through the scheduler so effects apply in timestamp order."""
+        self.services.schedule(
+            cycle, lambda c, n=node: self._external_complete(n, c))
+
+    def _complete(self, node: DynNode, cycle: int) -> None:
+        snode = node.snode
+        node.state = _DONE
+        if snode.opclass is not OpClass.PHI and not snode.folded:
+            # phis and folded nodes are free and not counted (keeps
+            # reported IPC below the issue width, as real commit would)
+            self.stats.instructions += 1
+        self.stats.cycles = max(self.stats.cycles, cycle)
+        if self._fu_limit_by_iid[snode.iid] is not None:
+            self._fu_used[snode.opclass] -= 1
+        if snode.is_memory:
+            self._mao_incomplete -= 1
+            self._mao_compact()
+        # wake dependents (rule 2)
+        for dependent in node.dependents:
+            dependent.pending -= 1
+            if dependent.pending == 0 and dependent.state == _WAITING:
+                if dependent.snode.opclass is OpClass.PHI or \
+                        dependent.snode.folded:
+                    self._complete(dependent, cycle)
+                else:
+                    dependent.state = _READY
+                    heapq.heappush(self._ready, (dependent.seq, dependent))
+        node.dependents = []
+        # slide the instruction window (§III-A "ROB")
+        in_flight = self._in_flight
+        base = self._window_base
+        while base in in_flight and in_flight[base].state == _DONE:
+            del in_flight[base]
+            base += 1
+        self._window_base = base
+        if node is self._last_terminator:
+            self._last_terminator_done_at = cycle
+        # retire DBB bookkeeping
+        dbb = node.dbb
+        dbb.remaining -= 1
+        if dbb.remaining == 0:
+            self._live_dbbs[dbb.bid] -= 1
+        self._check_finished()

@@ -1,0 +1,38 @@
+"""Cycle-stamped event scheduler shared by the Interleaver and the memory
+system.
+
+Events are callbacks tagged with the global cycle at which they fire.
+Insertion order breaks ties so behavior is deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class Scheduler:
+    def __init__(self):
+        self._heap: List[Tuple[int, int, Callable[[int], None]]] = []
+        self._seq = 0
+
+    def at(self, cycle: int, callback: Callable[[int], None]) -> None:
+        """Schedule ``callback(cycle)`` to run at ``cycle``."""
+        heapq.heappush(self._heap, (cycle, self._seq, callback))
+        self._seq += 1
+
+    def next_cycle(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def run_due(self, cycle: int) -> int:
+        """Run every event scheduled at or before ``cycle``; returns count."""
+        count = 0
+        while self._heap and self._heap[0][0] <= cycle:
+            _, _, callback = heapq.heappop(self._heap)
+            callback(cycle)
+            count += 1
+        return count
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

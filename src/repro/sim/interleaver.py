@@ -1,0 +1,162 @@
+"""The Interleaver (paper Figure 2, §II "Timing Integration").
+
+Tiles are modeled to operate concurrently; the Interleaver queries each
+tile to advance it through the next time unit of execution, coordinates
+tiles running at different clock speeds via per-tile periods, routes
+inter-tile transactions (messages, DAE queue tokens) through the
+CommFabric, dispatches memory requests to the shared hierarchy, and
+invokes accelerator tiles on behalf of cores.
+
+The main loop is cycle-driven but skips cycles in which no tile needs
+attention and no event fires — a pure optimization that cannot change
+results, since tiles self-report the next cycle at which their state can
+evolve and every external interaction goes through the event scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..trace.tracefile import AccelInvocation
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import with
+    from ..memory.hierarchy import MemorySystem  # repro.memory.cache
+from .accelerator.tile import AcceleratorFarm
+from .comm.fabric import CommFabric
+from .events import Scheduler
+from .statistics import SystemStats
+from .tile import NEVER, Tile
+
+
+class SimulationError(Exception):
+    pass
+
+
+class DeadlockError(SimulationError):
+    """No tile can make progress and no event is pending."""
+
+
+class TileServices:
+    """The interface tiles use to interact with the rest of the system."""
+
+    def __init__(self, scheduler: Scheduler,
+                 memory: Optional["MemorySystem"],
+                 fabric: CommFabric,
+                 accelerators: Optional[AcceleratorFarm]):
+        self.scheduler = scheduler
+        self.memory = memory
+        self.fabric = fabric
+        self.accelerators = accelerators
+
+    def schedule(self, cycle: int, callback: Callable[[int], None]) -> None:
+        self.scheduler.at(cycle, callback)
+
+    def mem_access(self, port: int, address: int, size: int, *,
+                   is_write: bool, is_atomic: bool, cycle: int,
+                   callback: Callable[[int], None]) -> None:
+        if self.memory is None:
+            # no hierarchy configured: fixed ideal latency
+            self.scheduler.at(cycle + 1, callback)
+            return
+        self.memory.access(port, address, size, is_write=is_write,
+                           is_atomic=is_atomic, cycle=cycle,
+                           callback=callback)
+
+    def accel_invoke(self, invocation: AccelInvocation, cycle: int):
+        if self.accelerators is None:
+            raise SimulationError(
+                f"kernel invokes {invocation.name} but no accelerators are "
+                f"configured")
+        return self.accelerators.invoke(invocation, cycle)
+
+
+class Interleaver:
+    def __init__(self, tiles: List[Tile],
+                 memory: Optional["MemorySystem"] = None,
+                 fabric: Optional[CommFabric] = None,
+                 accelerators: Optional[AcceleratorFarm] = None,
+                 frequency_ghz: float = 2.0,
+                 max_cycles: int = 2_000_000_000,
+                 scheduler: Optional[Scheduler] = None):
+        if not tiles:
+            raise ValueError("Interleaver needs at least one tile")
+        self.tiles = tiles
+        if scheduler is not None:
+            self.scheduler = scheduler
+        elif memory is not None:
+            self.scheduler = memory.scheduler
+        else:
+            self.scheduler = Scheduler()
+        self.memory = memory
+        self.fabric = fabric if fabric is not None else CommFabric()
+        self.accelerators = accelerators
+        self.frequency_ghz = frequency_ghz
+        self.max_cycles = max_cycles
+        self.services = TileServices(self.scheduler, memory, self.fabric,
+                                     accelerators)
+        for tile in tiles:
+            tile.services = self.services
+
+    # ------------------------------------------------------------------
+    def run(self) -> SystemStats:
+        tiles = self.tiles
+        scheduler = self.scheduler
+        cycle = 0
+        while True:
+            active = [t for t in tiles if not t.done]
+            if not active:
+                break
+            next_cycle = NEVER
+            event_cycle = scheduler.next_cycle()
+            if event_cycle is not None:
+                next_cycle = event_cycle
+            for tile in active:
+                if tile.next_attention < next_cycle:
+                    next_cycle = tile.next_attention
+            if next_cycle >= NEVER:
+                self._raise_deadlock(cycle)
+            cycle = max(cycle, next_cycle)
+            if cycle > self.max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {self.max_cycles} cycles")
+
+            # events first (memory responses, message deliveries), which
+            # may wake tiles at this very cycle
+            scheduler.run_due(cycle)
+            # then step every tile due at this cycle; stepping can wake
+            # peers at the same cycle (e.g. a consume frees queue space),
+            # so iterate to a fixed point
+            for _ in range(64):
+                progressed = False
+                for tile in tiles:
+                    if not tile.done and tile.next_attention <= cycle:
+                        returned = tile.step(cycle)
+                        if returned < tile.next_attention:
+                            tile.next_attention = returned
+                        progressed = True
+                if not progressed:
+                    break
+            else:  # pragma: no cover - indicates a livelock bug
+                raise SimulationError(
+                    f"tiles did not reach a fixed point at cycle {cycle}")
+        return self._collect(cycle)
+
+    def _raise_deadlock(self, cycle: int) -> None:
+        details = []
+        for tile in self.tiles:
+            if not tile.done:
+                details.append(f"{tile.name} (attention={tile.next_attention})")
+        raise DeadlockError(
+            f"deadlock at cycle {cycle}: no events pending, waiting tiles: "
+            f"{', '.join(details) or 'none'}")
+
+    def _collect(self, cycle: int) -> SystemStats:
+        stats = SystemStats(cycles=cycle, frequency_ghz=self.frequency_ghz)
+        stats.tiles = [t.stats for t in self.tiles]
+        if self.memory is not None:
+            stats.caches = dict(self.memory.cache_stats)
+            stats.dram = self.memory.dram_stats
+            stats.memory_energy_nj = self.memory.energy_nj
+            stats.cache_energy_nj = self.memory.cache_energy_nj
+            stats.dram_energy_nj = self.memory.dram_energy_nj
+        return stats

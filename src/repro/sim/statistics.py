@@ -1,0 +1,125 @@
+"""Simulation statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CacheStats:
+    name: str = ""
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    prefetches: int = 0
+    mshr_merges: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class DRAMStats:
+    requests: int = 0
+    throttled: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    total_latency: int = 0
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_latency / self.requests if self.requests else 0.0
+
+
+@dataclass
+class TileStats:
+    """Per-tile results reported by the Interleaver."""
+
+    name: str = ""
+    cycles: int = 0
+    instructions: int = 0          # dynamic instructions completed
+    memory_accesses: int = 0
+    mispredictions: int = 0
+    mao_stalls: int = 0            # cycles a ready memory op waited on MAO
+    energy_nj: float = 0.0
+    dbbs_launched: int = 0
+    #: peak simultaneously-live DBBs observed
+    max_live_dbbs: int = 0
+    accel_invocations: int = 0
+    accel_cycles: int = 0
+    accel_bytes: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class SystemStats:
+    """Whole-system results for one simulation."""
+
+    cycles: int = 0                     # global cycles until all tiles done
+    frequency_ghz: float = 2.0
+    tiles: List[TileStats] = field(default_factory=list)
+    caches: Dict[str, CacheStats] = field(default_factory=dict)
+    dram: DRAMStats = field(default_factory=DRAMStats)
+    memory_energy_nj: float = 0.0
+    cache_energy_nj: float = 0.0
+    dram_energy_nj: float = 0.0
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def instructions(self) -> int:
+        return sum(t.instructions for t in self.tiles)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def total_energy_nj(self) -> float:
+        return sum(t.energy_nj for t in self.tiles) + self.memory_energy_nj
+
+    @property
+    def energy_joules(self) -> float:
+        return self.total_energy_nj * 1e-9
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds (paper §VII-C metric)."""
+        return self.energy_joules * self.runtime_seconds
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles: {self.cycles}  (runtime {self.runtime_seconds * 1e3:.3f} ms "
+            f"@ {self.frequency_ghz} GHz)",
+            f"instructions: {self.instructions}  IPC: {self.ipc:.3f}",
+            f"energy: {self.total_energy_nj / 1e3:.1f} uJ "
+            f"(cores {sum(t.energy_nj for t in self.tiles) / 1e3:.1f} / "
+            f"caches {self.cache_energy_nj / 1e3:.1f} / "
+            f"DRAM {self.dram_energy_nj / 1e3:.1f})  "
+            f"EDP: {self.edp:.3e} J*s",
+        ]
+        for tile in self.tiles:
+            lines.append(
+                f"  {tile.name}: {tile.cycles} cyc, {tile.instructions} inst, "
+                f"IPC {tile.ipc:.3f}")
+        for cache in self.caches.values():
+            lines.append(
+                f"  {cache.name}: {cache.accesses} accesses, "
+                f"{cache.miss_rate * 100:.1f}% miss")
+        if self.dram.requests:
+            lines.append(
+                f"  DRAM: {self.dram.requests} requests, "
+                f"avg latency {self.dram.average_latency:.1f} cyc, "
+                f"{self.dram.throttled} throttled")
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Tile abstraction (paper §II).
+
+Every hardware unit — CPU core, pre-RTL accelerator, future NoC module —
+is a tile: the Interleaver repeatedly calls :meth:`Tile.step` to advance it
+through one cycle of execution, and tiles report when they next need
+attention so idle stretches can be skipped without changing results.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from .statistics import TileStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interleaver import TileServices
+
+#: sentinel "no attention needed until an external event wakes the tile"
+NEVER = 1 << 62
+
+
+class Tile(abc.ABC):
+    """Base class for everything the Interleaver coordinates."""
+
+    def __init__(self, name: str, tile_id: int, period: int = 1):
+        self.name = name
+        self.tile_id = tile_id
+        #: global cycles per tile cycle (clock-ratio scaling, §II "tiles may
+        #: run at different clock speeds")
+        self.period = period
+        self.stats = TileStats(name=name)
+        #: earliest global cycle at which step() should next run
+        self.next_attention = 0
+
+    @abc.abstractmethod
+    def step(self, cycle: int) -> int:
+        """Advance the tile at ``cycle``; return next attention cycle."""
+
+    @property
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """True when the tile has retired all of its work."""
+
+    def wake(self, cycle: int) -> None:
+        """External event (memory response, message) needs servicing."""
+        if cycle < self.next_attention:
+            self.next_attention = cycle
+
+    def align(self, cycle: int) -> int:
+        """Round ``cycle`` up to this tile's next clock edge."""
+        if self.period == 1:
+            return cycle
+        remainder = cycle % self.period
+        return cycle if remainder == 0 else cycle + self.period - remainder

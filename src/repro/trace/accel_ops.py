@@ -1,0 +1,116 @@
+"""Functional semantics of the accelerator-invocation intrinsics.
+
+During trace generation, an ``accel_*`` call must actually *do* the work —
+later kernel code (and host-side result checks) observe its output — while
+the timing simulator separately charges its cost through an accelerator
+tile model. These numpy implementations are shared by the interpreter and
+the test suite.
+
+Argument conventions (all pointers are base addresses into
+:class:`~repro.trace.memory.SimMemory`):
+
+==================  ==========================================================
+``accel_sgemm``     ``(A, B, C, n, m, k)`` — C[n,m] += A[n,k] @ B[k,m]
+``accel_elementwise`` ``(A, B, C, n)`` — C[i] = A[i] * B[i]
+``accel_histo``     ``(data, hist, n, bins, sat)`` — saturating histogram
+``accel_conv2d``    ``(X, W, Y, h, w, cin, cout, kh, kw)`` — valid conv
+``accel_dense``     ``(X, W, Y, batch, din, dout)`` — Y = X @ W
+``accel_relu``      ``(X, Y, n)`` — Y = max(X, 0)
+``accel_pool``      ``(X, Y, h, w, c, stride)`` — max pool
+``accel_batchnorm`` ``(X, Y, n)`` — normalize to zero mean / unit variance
+==================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .memory import SimMemory
+
+
+def apply_accelerator(name: str, args: Sequence, memory: SimMemory) -> None:
+    """Execute the functional effect of accelerator intrinsic ``name``."""
+    handler = _HANDLERS.get(name)
+    if handler is None:
+        raise KeyError(f"no functional model for accelerator {name!r}")
+    handler(memory, *[int(a) for a in args])
+
+
+def _sgemm(mem: SimMemory, a: int, b: int, c: int, n: int, m: int,
+           k: int) -> None:
+    A = mem.view(a, n * k).reshape(n, k)
+    B = mem.view(b, k * m).reshape(k, m)
+    C = mem.view(c, n * m).reshape(n, m)
+    C += A @ B
+
+
+def _elementwise(mem: SimMemory, a: int, b: int, c: int, n: int) -> None:
+    A = mem.view(a, n)
+    B = mem.view(b, n)
+    C = mem.view(c, n)
+    np.multiply(A, B, out=C)
+
+
+def _histo(mem: SimMemory, data: int, hist: int, n: int, bins: int,
+           sat: int) -> None:
+    values = mem.view(data, n).astype(np.int64) % bins
+    H = mem.view(hist, bins)
+    counts = np.bincount(values, minlength=bins)
+    np.minimum(H + counts, sat, out=H)
+
+
+def _conv2d(mem: SimMemory, x: int, w: int, y: int, h: int, width: int,
+            cin: int, cout: int, kh: int, kw: int) -> None:
+    X = mem.view(x, h * width * cin).reshape(h, width, cin)
+    W = mem.view(w, kh * kw * cin * cout).reshape(kh, kw, cin, cout)
+    oh, ow = h - kh + 1, width - kw + 1
+    Y = mem.view(y, oh * ow * cout).reshape(oh, ow, cout)
+    Y[:] = 0
+    for di in range(kh):
+        for dj in range(kw):
+            patch = X[di:di + oh, dj:dj + ow, :]
+            Y += np.tensordot(patch, W[di, dj], axes=([2], [0]))
+
+
+def _dense(mem: SimMemory, x: int, w: int, y: int, batch: int, din: int,
+           dout: int) -> None:
+    X = mem.view(x, batch * din).reshape(batch, din)
+    W = mem.view(w, din * dout).reshape(din, dout)
+    Y = mem.view(y, batch * dout).reshape(batch, dout)
+    Y[:] = X @ W
+
+
+def _relu(mem: SimMemory, x: int, y: int, n: int) -> None:
+    X = mem.view(x, n)
+    Y = mem.view(y, n)
+    np.maximum(X, 0, out=Y)
+
+
+def _pool(mem: SimMemory, x: int, y: int, h: int, w: int, c: int,
+          stride: int) -> None:
+    X = mem.view(x, h * w * c).reshape(h, w, c)
+    oh, ow = h // stride, w // stride
+    Y = mem.view(y, oh * ow * c).reshape(oh, ow, c)
+    trimmed = X[:oh * stride, :ow * stride, :]
+    Y[:] = trimmed.reshape(oh, stride, ow, stride, c).max(axis=(1, 3))
+
+
+def _batchnorm(mem: SimMemory, x: int, y: int, n: int) -> None:
+    X = mem.view(x, n)
+    Y = mem.view(y, n)
+    std = X.std()
+    Y[:] = (X - X.mean()) / (std if std > 0 else 1.0)
+
+
+_HANDLERS = {
+    "accel_sgemm": _sgemm,
+    "accel_elementwise": _elementwise,
+    "accel_histo": _histo,
+    "accel_conv2d": _conv2d,
+    "accel_dense": _dense,
+    "accel_relu": _relu,
+    "accel_pool": _pool,
+    "accel_batchnorm": _batchnorm,
+}

@@ -1,0 +1,7 @@
+"""``repro.workloads`` — benchmark kernels and dataset generators."""
+
+from .base import Workload
+from .parboil import PAPER_ORDER, PARBOIL
+from .parboil import build as build_parboil
+
+__all__ = ["Workload", "PAPER_ORDER", "PARBOIL", "build_parboil"]

@@ -1,0 +1,46 @@
+"""Shared infrastructure for benchmark workloads.
+
+Each workload module exposes ``build(size=..., seed=...) -> Workload``; a
+:class:`Workload` bundles the kernel function (in the Python kernel
+dialect), its argument list (with arrays allocated in a fresh
+:class:`SimMemory`), and a ``check()`` that validates the kernel's output
+against a numpy reference after trace generation — so every simulated
+workload is also functionally verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..trace.memory import SimMemory
+
+
+@dataclass
+class Workload:
+    """One runnable benchmark instance."""
+
+    name: str
+    kernel: Callable
+    args: List
+    memory: SimMemory
+    #: validates outputs against a host-side reference; None when the
+    #: kernel's effect is validated elsewhere
+    check: Optional[Callable[[], bool]] = None
+    #: paper-reported characterization ("compute", "memory", "bandwidth",
+    #: "latency") for documentation and test assertions
+    bound: str = ""
+    #: free-form notes (dataset scale etc.)
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def verify(self) -> None:
+        """Raise if the functional output does not match the reference."""
+        if self.check is not None and not self.check():
+            raise AssertionError(
+                f"workload {self.name} produced incorrect output")
+
+
+def partition(total: int) -> str:
+    """Reusable docstring note: kernels partition ``total`` items in
+    contiguous blocks via tile_id()/num_tiles() (OpenMP static style)."""
+    return f"block-partitioned over {total} items"

@@ -1,0 +1,109 @@
+"""Synthetic dataset generators (stand-ins for the Parboil default
+datasets, which are not redistributable here).
+
+All generators are seeded and deterministic. Graphs, sparse matrices and
+sampled signals are shaped to preserve the bottleneck character the paper
+reports for each benchmark: BFS graphs have small diameter and irregular
+neighbor lists (latency-bound pointer chasing), SPMV matrices are large
+and low-reuse (bandwidth-bound), SGEMM operands are dense and cache-
+resident per block (compute-bound), and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def dense_matrix(n: int, m: int, seed: int = 0) -> np.ndarray:
+    return rng(seed).uniform(-1.0, 1.0, size=(n, m))
+
+
+def csr_matrix(rows: int, cols: int, nnz_per_row: int,
+               seed: int = 0) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random CSR: returns (row_ptr, col_idx, values)."""
+    generator = rng(seed)
+    row_ptr = np.zeros(rows + 1, dtype=np.int64)
+    cols_list = []
+    for r in range(rows):
+        nnz = max(1, int(generator.poisson(nnz_per_row)))
+        nnz = min(nnz, cols)
+        chosen = np.sort(generator.choice(cols, size=nnz, replace=False))
+        cols_list.append(chosen)
+        row_ptr[r + 1] = row_ptr[r] + nnz
+    col_idx = np.concatenate(cols_list).astype(np.int64)
+    values = generator.uniform(-1.0, 1.0, size=len(col_idx))
+    return row_ptr, col_idx, values
+
+
+def random_graph_csr(num_vertices: int, avg_degree: int,
+                     seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Random directed graph in CSR form: (row_ptr, neighbors)."""
+    generator = rng(seed)
+    row_ptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    neighbor_list = []
+    for v in range(num_vertices):
+        degree = max(1, int(generator.poisson(avg_degree)))
+        degree = min(degree, num_vertices - 1)
+        targets = generator.choice(num_vertices, size=degree, replace=False)
+        targets = targets[targets != v]
+        neighbor_list.append(targets.astype(np.int64))
+        row_ptr[v + 1] = row_ptr[v] + len(targets)
+    neighbors = (np.concatenate(neighbor_list)
+                 if neighbor_list else np.zeros(0, dtype=np.int64))
+    return row_ptr, neighbors
+
+
+def bipartite_graph(num_left: int, num_right: int, avg_degree: int,
+                    seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Bipartite graph: CSR from left vertices to right vertices."""
+    generator = rng(seed)
+    row_ptr = np.zeros(num_left + 1, dtype=np.int64)
+    edge_list = []
+    for v in range(num_left):
+        degree = max(1, int(generator.poisson(avg_degree)))
+        degree = min(degree, num_right)
+        targets = generator.choice(num_right, size=degree, replace=False)
+        edge_list.append(np.sort(targets).astype(np.int64))
+        row_ptr[v + 1] = row_ptr[v] + degree
+    edges = np.concatenate(edge_list)
+    return row_ptr, edges
+
+
+def atoms_3d(count: int, box: float = 16.0,
+             seed: int = 0) -> np.ndarray:
+    """Random atom positions+charges, shape (count, 4): x, y, z, q."""
+    generator = rng(seed)
+    atoms = generator.uniform(0.0, box, size=(count, 4))
+    atoms[:, 3] = generator.uniform(-1.0, 1.0, size=count)
+    return atoms
+
+
+def kspace_samples(count: int, seed: int = 0) -> np.ndarray:
+    """MRI k-space trajectory samples, shape (count, 5): kx,ky,kz,phiR,phiI."""
+    generator = rng(seed)
+    return generator.uniform(-0.5, 0.5, size=(count, 5))
+
+
+def image_frames(height: int, width: int, seed: int = 0,
+                 shift: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+    """Two correlated integer frames for SAD (current, reference)."""
+    generator = rng(seed)
+    current = generator.integers(0, 256, size=(height, width),
+                                 dtype=np.int64)
+    reference = np.roll(current, shift, axis=1)
+    noise = generator.integers(-4, 5, size=(height, width))
+    reference = np.clip(reference + noise, 0, 255).astype(np.int64)
+    return current, reference
+
+
+def angular_points(count: int, seed: int = 0) -> np.ndarray:
+    """Unit vectors on the sphere for TPACF, shape (count, 3)."""
+    generator = rng(seed)
+    xyz = generator.normal(size=(count, 3))
+    return xyz / np.linalg.norm(xyz, axis=1, keepdims=True)

@@ -1,0 +1,44 @@
+"""The Parboil benchmark suite, re-implemented in the kernel dialect
+(paper §VI-A evaluates all eleven).
+
+``PARBOIL`` maps benchmark name -> build function; ``build(name)``
+constructs a workload at its default (test-friendly) size. Benchmarks
+accept size parameters for larger runs.
+"""
+
+from . import (
+    bfs, cutcp, histo, lbm, mri_gridding, mriq, sad, sgemm, spmv, stencil,
+    tpacf,
+)
+from ..base import Workload
+
+PARBOIL = {
+    "bfs": bfs.build,
+    "cutcp": cutcp.build,
+    "histo": histo.build,
+    "lbm": lbm.build,
+    "mri-gridding": mri_gridding.build,
+    "mri-q": mriq.build,
+    "sad": sad.build,
+    "sgemm": sgemm.build,
+    "spmv": spmv.build,
+    "stencil": stencil.build,
+    "tpacf": tpacf.build,
+}
+
+#: the paper's Figure 5/6 x-axis order
+PAPER_ORDER = ["bfs", "cutcp", "histo", "lbm", "mri-gridding", "mri-q",
+               "sad", "sgemm", "spmv", "stencil", "tpacf"]
+
+
+def build(name: str, **kwargs) -> Workload:
+    try:
+        factory = PARBOIL[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown Parboil benchmark {name!r}; "
+            f"available: {sorted(PARBOIL)}") from None
+    return factory(**kwargs)
+
+
+__all__ = ["PARBOIL", "PAPER_ORDER", "build", "Workload"]

@@ -1,0 +1,98 @@
+"""Parboil BFS — level-synchronized, frontier-queue breadth-first search
+(latency-bound).
+
+The paper characterizes BFS as memory-latency-bound (lowest IPC in
+Figure 6): the frontier walk chases ``nbr[e]`` and ``dist[v]`` pointers
+with no locality, and next-frontier slots are claimed with atomic
+read-modify-writes — which the paper singles out as the hard-to-model
+part of this kernel. Tiles partition the current frontier and
+synchronize per level with ``barrier()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir.types import I64
+from ...trace.memory import SimMemory
+from ..base import Workload
+from .. import datasets
+
+#: sentinel distance for unreached vertices
+INF_DIST = 1 << 30
+
+
+def bfs_kernel(row_ptr: 'i64*', nbr: 'i64*', dist: 'i64*',
+               frontier: 'i64*', next_frontier: 'i64*', sizes: 'i64*',
+               nverts: int):
+    """Frontier BFS. ``sizes[0]``/``sizes[1]`` hold the current/next
+    frontier sizes; ``frontier[0]`` must hold the source, ``sizes[0]=1``.
+    """
+    level = 0
+    while sizes[0] > 0 and level < 64:
+        cur = sizes[0]
+        start = (cur * tile_id()) // num_tiles()
+        end = (cur * (tile_id() + 1)) // num_tiles()
+        for f in range(start, end):
+            u = frontier[f]
+            for e in range(row_ptr[u], row_ptr[u + 1]):
+                v = nbr[e]
+                if dist[v] > level + 1:
+                    dist[v] = level + 1
+                    slot = atomic_add(sizes, 1, 1)
+                    next_frontier[slot] = v
+        barrier()
+        nxt = sizes[1]
+        cstart = (nxt * tile_id()) // num_tiles()
+        cend = (nxt * (tile_id() + 1)) // num_tiles()
+        for f in range(cstart, cend):
+            frontier[f] = next_frontier[f]
+        barrier()
+        if tile_id() == 0:
+            sizes[0] = nxt
+            sizes[1] = 0
+        level = level + 1
+        barrier()
+
+
+def _reference_bfs(row_ptr: np.ndarray, neighbors: np.ndarray,
+                   nverts: int, source: int) -> np.ndarray:
+    from collections import deque
+    dist = np.full(nverts, INF_DIST, dtype=np.int64)
+    dist[source] = 0
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for e in range(row_ptr[u], row_ptr[u + 1]):
+            v = neighbors[e]
+            if dist[v] == INF_DIST:
+                dist[v] = dist[u] + 1
+                frontier.append(v)
+    return dist
+
+
+def build(nverts: int = 1024, avg_degree: int = 6, seed: int = 0,
+          source: int = 0) -> Workload:
+    row_ptr, neighbors = datasets.random_graph_csr(nverts, avg_degree, seed)
+    mem = SimMemory()
+    RP = mem.alloc(nverts + 1, I64, "row_ptr", init=row_ptr)
+    NB = mem.alloc(max(1, len(neighbors)), I64, "nbr",
+                   init=neighbors if len(neighbors) else [0])
+    dist_init = np.full(nverts, INF_DIST, dtype=np.int64)
+    dist_init[source] = 0
+    D = mem.alloc(nverts, I64, "dist", init=dist_init)
+    frontier_init = np.zeros(nverts + 1, dtype=np.int64)
+    frontier_init[0] = source
+    F = mem.alloc(nverts + 1, I64, "frontier", init=frontier_init)
+    NF = mem.alloc(nverts + 1, I64, "next_frontier")
+    SZ = mem.alloc(2, I64, "sizes", init=[1, 0])
+
+    expected = _reference_bfs(row_ptr, neighbors, nverts, source)
+
+    def check() -> bool:
+        return bool(np.array_equal(D.data, expected))
+
+    return Workload(name="bfs", kernel=bfs_kernel,
+                    args=[RP, NB, D, F, NF, SZ, nverts], memory=mem,
+                    check=check, bound="latency",
+                    params={"nverts": nverts, "avg_degree": avg_degree})

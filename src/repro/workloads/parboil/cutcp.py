@@ -1,0 +1,67 @@
+"""Parboil CUTCP — cutoff-limited Coulombic potential (compute-bound).
+
+For every lattice point, sums charge/distance contributions from atoms
+within a cutoff radius: dense FP arithmetic with square roots and good
+locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir.types import F64
+from ...trace.memory import SimMemory
+from ..base import Workload
+from .. import datasets
+
+
+def cutcp_kernel(atoms: 'f64*', grid: 'f64*', natoms: int, gx: int, gy: int,
+                 spacing: float, cutoff2: float):
+    """2D lattice of potentials; lattice rows block-partitioned."""
+    ystart = (gy * tile_id()) // num_tiles()
+    yend = (gy * (tile_id() + 1)) // num_tiles()
+    for j in range(ystart, yend):
+        for i in range(gx):
+            px = i * spacing
+            py = j * spacing
+            pot = 0.0
+            for a in range(natoms):
+                dx = atoms[a * 4] - px
+                dy = atoms[a * 4 + 1] - py
+                r2 = dx * dx + dy * dy
+                if r2 < cutoff2:
+                    pot = pot + atoms[a * 4 + 3] / sqrtf(r2 + 0.01)
+            grid[j * gx + i] = pot
+
+
+def _reference(atoms: np.ndarray, gx: int, gy: int, spacing: float,
+               cutoff2: float) -> np.ndarray:
+    grid = np.zeros((gy, gx))
+    for j in range(gy):
+        for i in range(gx):
+            dx = atoms[:, 0] - i * spacing
+            dy = atoms[:, 1] - j * spacing
+            r2 = dx * dx + dy * dy
+            mask = r2 < cutoff2
+            grid[j, i] = np.sum(atoms[mask, 3]
+                                / np.sqrt(r2[mask] + 0.01))
+    return grid
+
+
+def build(natoms: int = 64, gx: int = 12, gy: int = 12,
+          spacing: float = 0.5, cutoff: float = 4.0,
+          seed: int = 0) -> Workload:
+    atoms = datasets.atoms_3d(natoms, box=max(gx, gy) * spacing, seed=seed)
+    cutoff2 = cutoff * cutoff
+    mem = SimMemory()
+    A = mem.alloc(natoms * 4, F64, "atoms", init=atoms.ravel())
+    G = mem.alloc(gx * gy, F64, "grid")
+    expected = _reference(atoms, gx, gy, spacing, cutoff2)
+
+    def check() -> bool:
+        return np.allclose(G.data.reshape(gy, gx), expected, atol=1e-6)
+
+    return Workload(name="cutcp", kernel=cutcp_kernel,
+                    args=[A, G, natoms, gx, gy, spacing, cutoff2],
+                    memory=mem, check=check, bound="compute",
+                    params={"natoms": natoms, "gx": gx, "gy": gy})

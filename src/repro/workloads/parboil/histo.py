@@ -1,0 +1,50 @@
+"""Parboil HISTO — saturating histogram (scatter/atomic-bound).
+
+Irregular scatter updates with atomic increments and 8-bit-style
+saturation (Parboil saturates at 255).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir.types import I64
+from ...trace.memory import SimMemory
+from ..base import Workload
+from .. import datasets
+
+SATURATE = 255
+
+
+def histo_kernel(data: 'i64*', hist: 'i64*', n: int, bins: int):
+    """Saturating histogram; inputs block-partitioned across tiles."""
+    start = (n * tile_id()) // num_tiles()
+    end = (n * (tile_id() + 1)) // num_tiles()
+    for i in range(start, end):
+        b = data[i] % bins
+        old = atomic_add(hist, b, 1)
+        if old >= 255:
+            hist[b] = 255
+
+
+def build(n: int = 2048, bins: int = 64, seed: int = 0,
+          hot_fraction: float = 0.25) -> Workload:
+    generator = datasets.rng(seed)
+    # skewed distribution so some bins saturate (as in Parboil's datasets)
+    hot = generator.integers(0, max(1, bins // 8), size=int(n * hot_fraction))
+    cold = generator.integers(0, bins, size=n - len(hot))
+    values = np.concatenate([hot, cold]).astype(np.int64)
+    generator.shuffle(values)
+    mem = SimMemory()
+    DATA = mem.alloc(n, I64, "data", init=values)
+    HIST = mem.alloc(bins, I64, "hist")
+
+    counts = np.bincount(values % bins, minlength=bins)
+    expected = np.minimum(counts, SATURATE)
+
+    def check() -> bool:
+        return bool(np.array_equal(HIST.data, expected))
+
+    return Workload(name="histo", kernel=histo_kernel,
+                    args=[DATA, HIST, n, bins], memory=mem, check=check,
+                    bound="memory", params={"n": n, "bins": bins})

@@ -1,0 +1,99 @@
+"""Parboil LBM — Lattice-Boltzmann method (memory-intensive streaming).
+
+A D2Q9-style collide-and-stream update: 9 distribution reads and 9 writes
+per cell per timestep with large working sets and little reuse — one of
+the most memory-intensive Parboil kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir.types import F64
+from ...trace.memory import SimMemory
+from ..base import Workload
+from .. import datasets
+
+OMEGA = 1.2
+#: D2Q9 weights
+_W = [4.0 / 9] + [1.0 / 9] * 4 + [1.0 / 36] * 4
+#: D2Q9 velocities
+_CX = [0, 1, -1, 0, 0, 1, -1, 1, -1]
+_CY = [0, 0, 0, 1, -1, 1, 1, -1, -1]
+
+
+def lbm_kernel(f_in: 'f64*', f_out: 'f64*', w: 'f64*', cx: 'f64*',
+               cy: 'f64*', nx: int, ny: int, steps: int, omega: float):
+    """BGK collision for all 9 directions (streaming omitted: collision
+    dominates traffic); rows block-partitioned across tiles."""
+    ystart = (ny * tile_id()) // num_tiles()
+    yend = (ny * (tile_id() + 1)) // num_tiles()
+    cells = nx * ny
+    for s in range(steps):
+        for y in range(ystart, yend):
+            for x in range(nx):
+                cell = y * nx + x
+                rho = 0.0
+                ux = 0.0
+                uy = 0.0
+                for q in range(9):
+                    fq = f_in[q * cells + cell]
+                    rho = rho + fq
+                    ux = ux + fq * cx[q]
+                    uy = uy + fq * cy[q]
+                ux = ux / rho
+                uy = uy / rho
+                usq = ux * ux + uy * uy
+                for q in range(9):
+                    cu = cx[q] * ux + cy[q] * uy
+                    feq = w[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu
+                                        - 1.5 * usq)
+                    f_out[q * cells + cell] = f_in[q * cells + cell] \
+                        + omega * (feq - f_in[q * cells + cell])
+        barrier()
+        for y in range(ystart, yend):
+            for x in range(nx):
+                cell = y * nx + x
+                for q in range(9):
+                    f_in[q * cells + cell] = f_out[q * cells + cell]
+        barrier()
+
+
+def _reference(f: np.ndarray, nx: int, ny: int, steps: int,
+               omega: float) -> np.ndarray:
+    w = np.array(_W)
+    cx = np.array(_CX, dtype=float)
+    cy = np.array(_CY, dtype=float)
+    f = f.copy()  # shape (9, cells)
+    for _ in range(steps):
+        rho = f.sum(axis=0)
+        ux = (f * cx[:, None]).sum(axis=0) / rho
+        uy = (f * cy[:, None]).sum(axis=0) / rho
+        usq = ux * ux + uy * uy
+        cu = cx[:, None] * ux[None, :] + cy[:, None] * uy[None, :]
+        feq = w[:, None] * rho[None, :] * (1 + 3 * cu + 4.5 * cu * cu
+                                           - 1.5 * usq[None, :])
+        f = f + omega * (feq - f)
+    return f
+
+
+def build(nx: int = 12, ny: int = 12, steps: int = 1,
+          seed: int = 0) -> Workload:
+    cells = nx * ny
+    generator = datasets.rng(seed)
+    f0 = generator.uniform(0.5, 1.5, size=(9, cells))
+    mem = SimMemory()
+    FIN = mem.alloc(9 * cells, F64, "f_in", init=f0.ravel())
+    FOUT = mem.alloc(9 * cells, F64, "f_out")
+    W = mem.alloc(9, F64, "w", init=_W)
+    CX = mem.alloc(9, F64, "cx", init=np.array(_CX, dtype=float))
+    CY = mem.alloc(9, F64, "cy", init=np.array(_CY, dtype=float))
+    expected = _reference(f0, nx, ny, steps, OMEGA)
+
+    def check() -> bool:
+        return np.allclose(FIN.data.reshape(9, cells), expected, atol=1e-9)
+
+    return Workload(name="lbm", kernel=lbm_kernel,
+                    args=[FIN, FOUT, W, CX, CY, nx, ny, steps, OMEGA],
+                    memory=mem, check=check, bound="memory",
+                    params={"nx": nx, "ny": ny, "steps": steps})

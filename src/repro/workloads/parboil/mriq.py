@@ -1,0 +1,72 @@
+"""Parboil MRI-Q — k-space Q-matrix computation (compute-bound, trig).
+
+For each voxel, accumulates cos/sin phase contributions over all k-space
+samples: almost pure FP with long-latency transcendental ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir.types import F64
+from ...trace.memory import SimMemory
+from ..base import Workload
+from .. import datasets
+
+TWO_PI = 6.283185307179586
+
+
+def mriq_kernel(kdata: 'f64*', voxels: 'f64*', qr: 'f64*', qi: 'f64*',
+                nk: int, nvox: int):
+    """Q computation; voxels block-partitioned across tiles.
+
+    kdata rows: (kx, ky, kz, phiR, phiI); voxel rows: (x, y, z).
+    """
+    start = (nvox * tile_id()) // num_tiles()
+    end = (nvox * (tile_id() + 1)) // num_tiles()
+    for v in range(start, end):
+        x = voxels[v * 3]
+        y = voxels[v * 3 + 1]
+        z = voxels[v * 3 + 2]
+        accr = 0.0
+        acci = 0.0
+        for k in range(nk):
+            phase = 6.283185307179586 * (kdata[k * 5] * x
+                                         + kdata[k * 5 + 1] * y
+                                         + kdata[k * 5 + 2] * z)
+            c = cosf(phase)
+            s = sinf(phase)
+            phir = kdata[k * 5 + 3]
+            phii = kdata[k * 5 + 4]
+            accr = accr + phir * c - phii * s
+            acci = acci + phii * c + phir * s
+        qr[v] = accr
+        qi[v] = acci
+
+
+def _reference(kdata: np.ndarray, voxels: np.ndarray):
+    phase = TWO_PI * (voxels @ kdata[:, :3].T)  # (nvox, nk)
+    c, s = np.cos(phase), np.sin(phase)
+    phir, phii = kdata[:, 3], kdata[:, 4]
+    qr = (phir[None, :] * c - phii[None, :] * s).sum(axis=1)
+    qi = (phii[None, :] * c + phir[None, :] * s).sum(axis=1)
+    return qr, qi
+
+
+def build(nk: int = 48, nvox: int = 48, seed: int = 0) -> Workload:
+    kdata = datasets.kspace_samples(nk, seed)
+    voxels = datasets.rng(seed + 1).uniform(-1, 1, size=(nvox, 3))
+    mem = SimMemory()
+    K = mem.alloc(nk * 5, F64, "kdata", init=kdata.ravel())
+    V = mem.alloc(nvox * 3, F64, "voxels", init=voxels.ravel())
+    QR = mem.alloc(nvox, F64, "qr")
+    QI = mem.alloc(nvox, F64, "qi")
+    expected_r, expected_i = _reference(kdata, voxels)
+
+    def check() -> bool:
+        return (np.allclose(QR.data, expected_r, atol=1e-6)
+                and np.allclose(QI.data, expected_i, atol=1e-6))
+
+    return Workload(name="mri-q", kernel=mriq_kernel,
+                    args=[K, V, QR, QI, nk, nvox], memory=mem, check=check,
+                    bound="compute", params={"nk": nk, "nvox": nvox})

@@ -1,0 +1,84 @@
+"""Parboil SAD — sum of absolute differences (integer streaming,
+compute-dense).
+
+For each 4x4 macroblock and each search offset, accumulates |cur - ref|:
+the highest-IPC Parboil kernel in the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir.types import I64
+from ...trace.memory import SimMemory
+from ..base import Workload
+from .. import datasets
+
+BLOCK = 4
+
+
+def sad_kernel(cur: 'i64*', ref: 'i64*', sads: 'i64*', height: int,
+               width: int, search: int):
+    """SAD of every 4x4 block against (2*search+1) horizontal offsets;
+    block rows partitioned across tiles."""
+    blocks_y = height // 4
+    blocks_x = width // 4
+    offsets = 2 * search + 1
+    ystart = (blocks_y * tile_id()) // num_tiles()
+    yend = (blocks_y * (tile_id() + 1)) // num_tiles()
+    for by in range(ystart, yend):
+        for bx in range(blocks_x):
+            for o in range(offsets):
+                shift = o - search
+                total = 0
+                for dy in range(4):
+                    for dx in range(4):
+                        y = by * 4 + dy
+                        x = bx * 4 + dx
+                        rx = x + shift
+                        if rx < 0:
+                            rx = 0
+                        if rx >= width:
+                            rx = width - 1
+                        total = total + abs(cur[y * width + x]
+                                            - ref[y * width + rx])
+                sads[(by * blocks_x + bx) * offsets + o] = total
+
+
+def _reference(cur: np.ndarray, ref: np.ndarray, search: int) -> np.ndarray:
+    height, width = cur.shape
+    blocks_y, blocks_x = height // BLOCK, width // BLOCK
+    offsets = 2 * search + 1
+    out = np.zeros((blocks_y * blocks_x, offsets), dtype=np.int64)
+    for by in range(blocks_y):
+        for bx in range(blocks_x):
+            block = cur[by * 4:by * 4 + 4, bx * 4:bx * 4 + 4]
+            for o in range(offsets):
+                shift = o - search
+                xs = np.clip(np.arange(bx * 4, bx * 4 + 4) + shift, 0,
+                             width - 1)
+                ref_block = ref[by * 4:by * 4 + 4][:, xs]
+                out[by * blocks_x + bx, o] = np.abs(
+                    block - ref_block).sum()
+    return out.ravel()
+
+
+def build(height: int = 16, width: int = 16, search: int = 2,
+          seed: int = 0) -> Workload:
+    cur, ref = datasets.image_frames(height, width, seed)
+    offsets = 2 * search + 1
+    blocks = (height // BLOCK) * (width // BLOCK)
+    mem = SimMemory()
+    C = mem.alloc(height * width, I64, "cur", init=cur.ravel())
+    R = mem.alloc(height * width, I64, "ref", init=ref.ravel())
+    S = mem.alloc(blocks * offsets, I64, "sads")
+    expected = _reference(cur, ref, search)
+
+    def check() -> bool:
+        return bool(np.array_equal(S.data, expected))
+
+    return Workload(name="sad", kernel=sad_kernel,
+                    args=[C, R, S, height, width, search], memory=mem,
+                    check=check, bound="compute",
+                    params={"height": height, "width": width,
+                            "search": search})

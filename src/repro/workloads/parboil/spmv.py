@@ -1,0 +1,54 @@
+"""Parboil SPMV — sparse matrix-vector multiply, CSR (bandwidth-bound).
+
+The paper characterizes SPMV as bandwidth-bound: streaming through the
+matrix with no reuse, occasionally throttled by DRAM bandwidth, producing
+the sublinear scaling of Figure 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir.types import F64, I64
+from ...trace.memory import SimMemory
+from ..base import Workload
+from .. import datasets
+
+
+def spmv_kernel(row_ptr: 'i64*', col: 'i64*', val: 'f64*', x: 'f64*',
+                y: 'f64*', rows: int):
+    """y = A @ x with A in CSR; rows block-partitioned across tiles."""
+    start = (rows * tile_id()) // num_tiles()
+    end = (rows * (tile_id() + 1)) // num_tiles()
+    for r in range(start, end):
+        acc = 0.0
+        for e in range(row_ptr[r], row_ptr[r + 1]):
+            acc = acc + val[e] * x[col[e]]
+        y[r] = acc
+
+
+def build(rows: int = 384, cols: int = 2048, nnz_per_row: int = 10,
+          seed: int = 0) -> Workload:
+    row_ptr, col_idx, values = datasets.csr_matrix(rows, cols, nnz_per_row,
+                                                   seed)
+    x_host = datasets.rng(seed + 1).uniform(-1, 1, size=cols)
+    mem = SimMemory()
+    RP = mem.alloc(rows + 1, I64, "row_ptr", init=row_ptr)
+    CI = mem.alloc(len(col_idx), I64, "col", init=col_idx)
+    V = mem.alloc(len(values), F64, "val", init=values)
+    X = mem.alloc(cols, F64, "x", init=x_host)
+    Y = mem.alloc(rows, F64, "y")
+
+    expected = np.zeros(rows)
+    for r in range(rows):
+        sl = slice(row_ptr[r], row_ptr[r + 1])
+        expected[r] = np.dot(values[sl], x_host[col_idx[sl]])
+
+    def check() -> bool:
+        return np.allclose(Y.data, expected, atol=1e-9)
+
+    return Workload(name="spmv", kernel=spmv_kernel,
+                    args=[RP, CI, V, X, Y, rows], memory=mem, check=check,
+                    bound="bandwidth",
+                    params={"rows": rows, "cols": cols,
+                            "nnz_per_row": nnz_per_row})

@@ -1,0 +1,75 @@
+"""Parboil STENCIL — 7-point 3D Jacobi iteration (memory-streaming).
+
+Streams through a 3D grid reading 7 neighbors per point; moderate reuse
+in-plane, streaming across planes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir.types import F64
+from ...trace.memory import SimMemory
+from ..base import Workload
+from .. import datasets
+
+
+def stencil_kernel(a0: 'f64*', a1: 'f64*', nx: int, ny: int, nz: int,
+                   c0: float, c1: float, iters: int):
+    """Jacobi 7-point stencil, ping-ponging a0 <-> a1 each iteration;
+    z-planes block-partitioned across tiles; barrier between iterations."""
+    zstart = ((nz - 2) * tile_id()) // num_tiles() + 1
+    zend = ((nz - 2) * (tile_id() + 1)) // num_tiles() + 1
+    for it in range(iters):
+        for z in range(zstart, zend):
+            for y in range(1, ny - 1):
+                for x in range(1, nx - 1):
+                    idx = z * ny * nx + y * nx + x
+                    if it % 2 == 0:
+                        a1[idx] = c1 * (a0[idx + 1] + a0[idx - 1]
+                                        + a0[idx + nx] + a0[idx - nx]
+                                        + a0[idx + nx * ny]
+                                        + a0[idx - nx * ny]) \
+                            + c0 * a0[idx]
+                    else:
+                        a0[idx] = c1 * (a1[idx + 1] + a1[idx - 1]
+                                        + a1[idx + nx] + a1[idx - nx]
+                                        + a1[idx + nx * ny]
+                                        + a1[idx - nx * ny]) \
+                            + c0 * a1[idx]
+        barrier()
+
+
+def _reference(grid: np.ndarray, c0: float, c1: float,
+               iters: int) -> np.ndarray:
+    a0 = grid.copy()
+    a1 = grid.copy()
+    for it in range(iters):
+        src, dst = (a0, a1) if it % 2 == 0 else (a1, a0)
+        dst[1:-1, 1:-1, 1:-1] = c1 * (
+            src[1:-1, 1:-1, 2:] + src[1:-1, 1:-1, :-2]
+            + src[1:-1, 2:, 1:-1] + src[1:-1, :-2, 1:-1]
+            + src[2:, 1:-1, 1:-1] + src[:-2, 1:-1, 1:-1]
+        ) + c0 * src[1:-1, 1:-1, 1:-1]
+    return a0 if iters % 2 == 0 else a1
+
+
+def build(nx: int = 10, ny: int = 10, nz: int = 10, iters: int = 2,
+          seed: int = 0) -> Workload:
+    c0, c1 = 0.5, 1.0 / 12.0
+    grid = datasets.rng(seed).uniform(0, 1, size=(nz, ny, nx))
+    mem = SimMemory()
+    A0 = mem.alloc(nx * ny * nz, F64, "a0", init=grid.ravel())
+    A1 = mem.alloc(nx * ny * nz, F64, "a1", init=grid.ravel())
+    expected = _reference(grid, c0, c1, iters)
+    result_ref = A0 if iters % 2 == 0 else A1
+
+    def check() -> bool:
+        got = result_ref.data.reshape(nz, ny, nx)
+        return np.allclose(got[1:-1, 1:-1, 1:-1],
+                           expected[1:-1, 1:-1, 1:-1], atol=1e-9)
+
+    return Workload(name="stencil", kernel=stencil_kernel,
+                    args=[A0, A1, nx, ny, nz, c0, c1, iters], memory=mem,
+                    check=check, bound="memory",
+                    params={"nx": nx, "ny": ny, "nz": nz, "iters": iters})

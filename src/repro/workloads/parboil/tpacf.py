@@ -1,0 +1,65 @@
+"""Parboil TPACF — two-point angular correlation function.
+
+Computes angular separations between sky points and histograms them into
+logarithmic bins: pairwise FP with sqrt/log and a small scatter at the
+end. Compute-leaning with an irregular histogram tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir.types import F64, I64
+from ...trace.memory import SimMemory
+from ..base import Workload
+from .. import datasets
+
+
+def tpacf_kernel(points: 'f64*', hist: 'i64*', npoints: int, nbins: int):
+    """DD histogram of pairwise dot products, binned uniformly in
+    cos(theta); outer points block-partitioned across tiles."""
+    start = (npoints * tile_id()) // num_tiles()
+    end = (npoints * (tile_id() + 1)) // num_tiles()
+    for i in range(start, end):
+        xi = points[i * 3]
+        yi = points[i * 3 + 1]
+        zi = points[i * 3 + 2]
+        for j in range(i + 1, npoints):
+            dot = xi * points[j * 3] + yi * points[j * 3 + 1] \
+                + zi * points[j * 3 + 2]
+            if dot > 1.0:
+                dot = 1.0
+            if dot < -1.0:
+                dot = -1.0
+            b = int((dot + 1.0) * 0.5 * float(nbins))
+            if b >= nbins:
+                b = nbins - 1
+            atomic_add(hist, b, 1)
+
+
+def _reference(points: np.ndarray, nbins: int) -> np.ndarray:
+    hist = np.zeros(nbins, dtype=np.int64)
+    n = len(points)
+    dots = points @ points.T
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = min(1.0, max(-1.0, dots[i, j]))
+            b = int((d + 1.0) * 0.5 * nbins)
+            hist[min(b, nbins - 1)] += 1
+    return hist
+
+
+def build(npoints: int = 64, nbins: int = 32, seed: int = 0) -> Workload:
+    points = datasets.angular_points(npoints, seed)
+    mem = SimMemory()
+    P = mem.alloc(npoints * 3, F64, "points", init=points.ravel())
+    H = mem.alloc(nbins, I64, "hist")
+    expected = _reference(points, nbins)
+
+    def check() -> bool:
+        return bool(np.array_equal(H.data, expected))
+
+    return Workload(name="tpacf", kernel=tpacf_kernel,
+                    args=[P, H, npoints, nbins], memory=mem, check=check,
+                    bound="compute",
+                    params={"npoints": npoints, "nbins": nbins})

@@ -1,0 +1,133 @@
+"""Sinkhorn-distance phases: SGEMM (dense, compute-bound) and EWSD
+(element-wise sparse-dense, memory-bound) — paper §VII-B.
+
+The application alternates a dense matrix multiplication with an
+element-wise product where one operand is sparse: ``out[j] = sval[j] *
+dense[col[j]]`` — an irregular gather that benefits from DAE latency
+tolerance, while SGEMM benefits from a fixed-function accelerator.
+
+``build_combined`` constructs the serial SGEMM+EWSD kernel at the paper's
+three cycle mixes (dense-heavy 75/25, equal 50/50, sparse-heavy 25/75).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.types import F64, I64
+from ..trace.memory import SimMemory
+from .base import Workload
+from . import datasets
+from .parboil.sgemm import sgemm_kernel
+
+
+def ewsd_kernel(sval: 'f64*', col: 'i64*', dense: 'f64*', out: 'f64*',
+                nnz: int):
+    """out[j] = sval[j] * dense[col[j]]; nonzeros block-partitioned."""
+    start = (nnz * tile_id()) // num_tiles()
+    end = (nnz * (tile_id() + 1)) // num_tiles()
+    for j in range(start, end):
+        out[j] = sval[j] * dense[col[j]]
+
+
+def build_ewsd(nnz: int = 2048, dense_len: int = 4096,
+               seed: int = 0) -> Workload:
+    generator = datasets.rng(seed)
+    sval = generator.uniform(-1, 1, size=nnz)
+    col = generator.integers(0, dense_len, size=nnz)
+    dense = generator.uniform(-1, 1, size=dense_len)
+    mem = SimMemory()
+    SV = mem.alloc(nnz, F64, "sval", init=sval)
+    CO = mem.alloc(nnz, I64, "col", init=col)
+    DE = mem.alloc(dense_len, F64, "dense", init=dense)
+    OUT = mem.alloc(nnz, F64, "out")
+    expected = sval * dense[col]
+
+    def check() -> bool:
+        return np.allclose(OUT.data, expected, atol=1e-9)
+
+    return Workload(name="ewsd", kernel=ewsd_kernel,
+                    args=[SV, CO, DE, OUT, nnz], memory=mem, check=check,
+                    bound="latency",
+                    params={"nnz": nnz, "dense_len": dense_len})
+
+
+def combined_kernel(A: 'f64*', B: 'f64*', C: 'f64*', n: int, m: int, k: int,
+                    sval: 'f64*', col: 'i64*', dense: 'f64*', out: 'f64*',
+                    nnz: int):
+    """Serial SGEMM then EWSD phases (the paper's combined benchmark)."""
+    start = (n * tile_id()) // num_tiles()
+    end = (n * (tile_id() + 1)) // num_tiles()
+    for i in range(start, end):
+        for j in range(m):
+            acc = 0.0
+            for p in range(k):
+                acc = acc + A[i * k + p] * B[p * m + j]
+            C[i * m + j] = acc
+    barrier()
+    estart = (nnz * tile_id()) // num_tiles()
+    eend = (nnz * (tile_id() + 1)) // num_tiles()
+    for j in range(estart, eend):
+        out[j] = sval[j] * dense[col[j]]
+
+
+def accel_combined_kernel(A: 'f64*', B: 'f64*', C: 'f64*', n: int, m: int,
+                          k: int, sval: 'f64*', col: 'i64*', dense: 'f64*',
+                          out: 'f64*', nnz: int):
+    """Combined kernel with the dense phase offloaded to the SGEMM
+    accelerator (the §VII-B heterogeneous configuration)."""
+    if tile_id() == 0:
+        accel_sgemm(A, B, C, n, m, k)
+    barrier()
+    estart = (nnz * tile_id()) // num_tiles()
+    eend = (nnz * (tile_id() + 1)) // num_tiles()
+    for j in range(estart, eend):
+        out[j] = sval[j] * dense[col[j]]
+
+
+def build_combined(mix: str = "equal", seed: int = 0, scale: int = 1,
+                   accelerated: bool = False) -> Workload:
+    """``mix``: "dense-heavy" (75% SGEMM cycles), "equal", or
+    "sparse-heavy" (25% SGEMM), calibrated by expected InO cycle shares as
+    in the paper (§VII-B: percentages of total cycles on one InO core)."""
+    # ~costs on an InO core: SGEMM ~ c1*n^3 ; EWSD ~ c2*nnz with c1/c2 ~ 2
+    mixes = {
+        "dense-heavy": (14, 4000),
+        "equal": (12, 10000),
+        "sparse-heavy": (9, 14000),
+    }
+    try:
+        n, nnz = mixes[mix]
+    except KeyError:
+        raise KeyError(f"mix must be one of {sorted(mixes)}") from None
+    n *= scale
+    nnz *= scale * scale
+    generator = datasets.rng(seed)
+    a = generator.uniform(-1, 1, size=(n, n))
+    b = generator.uniform(-1, 1, size=(n, n))
+    dense_len = max(nnz // 2, 16)
+    sval = generator.uniform(-1, 1, size=nnz)
+    col = generator.integers(0, dense_len, size=nnz)
+    dense = generator.uniform(-1, 1, size=dense_len)
+
+    mem = SimMemory()
+    A = mem.alloc(n * n, F64, "A", init=a.ravel())
+    B = mem.alloc(n * n, F64, "B", init=b.ravel())
+    C = mem.alloc(n * n, F64, "C")
+    SV = mem.alloc(nnz, F64, "sval", init=sval)
+    CO = mem.alloc(nnz, I64, "col", init=col)
+    DE = mem.alloc(dense_len, F64, "dense", init=dense)
+    OUT = mem.alloc(nnz, F64, "out")
+
+    expected_c = a @ b
+    expected_out = sval * dense[col]
+
+    def check() -> bool:
+        return (np.allclose(C.data.reshape(n, n), expected_c, atol=1e-6)
+                and np.allclose(OUT.data, expected_out, atol=1e-9))
+
+    kernel = accel_combined_kernel if accelerated else combined_kernel
+    return Workload(name=f"sinkhorn-{mix}", kernel=kernel,
+                    args=[A, B, C, n, n, n, SV, CO, DE, OUT, nnz],
+                    memory=mem, check=check, bound="mixed",
+                    params={"n": n, "nnz": nnz})

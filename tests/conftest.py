@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.ir import F64, I64
+from repro.trace import Interpreter, SimMemory
+from repro.ir.function import Module
+
+from . import kernels
+
+
+@pytest.fixture
+def mem():
+    return SimMemory()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def run_kernel(kernel, args, *, num_tiles=1, memory=None):
+    """Compile + interpret a kernel; returns (traces, memory)."""
+    from repro.ir.function import Function
+    func = kernel if isinstance(kernel, Function) else compile_kernel(kernel)
+    module = Module(func.name)
+    module.add_function(func)
+    memory = memory if memory is not None else SimMemory()
+    interp = Interpreter(module, memory)
+    from repro.trace.memory import ArrayRef
+    if memory is None:
+        for a in args:
+            if isinstance(a, ArrayRef):
+                memory = a.memory
+                break
+    traces = interp.run_spmd(func.name, args, num_tiles)
+    return traces, memory
+
+
+@pytest.fixture
+def saxpy_setup(mem, rng):
+    n = 64
+    A = mem.alloc(n, F64, "A", init=rng.uniform(-1, 1, n))
+    B = mem.alloc(n, F64, "B", init=rng.uniform(-1, 1, n))
+    return mem, A, B, n

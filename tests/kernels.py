@@ -1,0 +1,168 @@
+"""Shared kernels for the test suite.
+
+Kernels live in a real module (not test function bodies) so
+``inspect.getsource`` works for the front-end compiler.
+"""
+
+
+def saxpy(A: 'f64*', B: 'f64*', n: int, alpha: float):
+    for i in range(tile_id(), n, num_tiles()):
+        B[i] = alpha * A[i] + B[i]
+
+
+def saxpy_blocked(A: 'f64*', B: 'f64*', n: int, alpha: float):
+    start = (n * tile_id()) // num_tiles()
+    end = (n * (tile_id() + 1)) // num_tiles()
+    for i in range(start, end):
+        B[i] = alpha * A[i] + B[i]
+
+
+def vector_sum(A: 'f64*', n: int) -> float:
+    acc = 0.0
+    for i in range(n):
+        acc += A[i]
+    return acc
+
+
+def count_if_positive(A: 'f64*', n: int) -> int:
+    count = 0
+    for i in range(n):
+        if A[i] > 0.0:
+            count += 1
+    return count
+
+
+def gather(idx: 'i64*', src: 'f64*', dst: 'f64*', n: int):
+    for i in range(n):
+        dst[i] = src[idx[i]]
+
+
+def scatter_add(idx: 'i64*', vals: 'f64*', out: 'f64*', n: int):
+    for i in range(n):
+        atomic_add(out, idx[i], vals[i])
+
+
+def collatz_steps(n: int) -> int:
+    steps = 0
+    x = n
+    while x != 1:
+        if x % 2 == 0:
+            x = x // 2
+        else:
+            x = 3 * x + 1
+        steps += 1
+    return steps
+
+
+def branchy(A: 'f64*', B: 'f64*', n: int):
+    for i in range(n):
+        v = A[i]
+        if v > 0.5:
+            B[i] = v * 2.0
+        elif v > 0.0:
+            B[i] = v + 1.0
+        else:
+            B[i] = 0.0 - v
+
+
+def nested_break(A: 'i64*', n: int, needle: int) -> int:
+    found = -1
+    for i in range(n):
+        if A[i] == needle:
+            found = i
+            break
+    return found
+
+
+def continue_evens(A: 'i64*', B: 'i64*', n: int):
+    for i in range(n):
+        if A[i] % 2 == 0:
+            continue
+        B[i] = A[i]
+
+
+def math_mix(A: 'f64*', B: 'f64*', n: int):
+    for i in range(n):
+        B[i] = sqrtf(fabsf(A[i])) + expf(0.0 - fabsf(A[i])) \
+            + sinf(A[i]) * cosf(A[i])
+
+
+def int_ops(A: 'i64*', B: 'i64*', n: int):
+    for i in range(n):
+        v = A[i]
+        B[i] = ((v * 3 - 7) // 2) % 1000 + (v & 15) + (v ^ 3) \
+            + (v << 1) + (v >> 2) + (v | 1)
+
+
+def select_min_max(A: 'f64*', B: 'f64*', n: int):
+    for i in range(n):
+        B[i] = min(A[i], 1.0) + max(A[i], -1.0) + abs(A[i])
+
+
+def bool_logic(A: 'i64*', B: 'i64*', n: int, lo: int, hi: int):
+    for i in range(n):
+        v = A[i]
+        if v > lo and v < hi:
+            B[i] = 1
+        elif v <= lo or v >= hi:
+            B[i] = 2
+        if not (v == 0):
+            B[i] = B[i] + 10
+
+
+def ping_pong(total: int):
+    if tile_id() == 0:
+        for i in range(total):
+            send_i64(1, i)
+        for i in range(total):
+            recv_i64(1)
+    else:
+        for i in range(total):
+            v = recv_i64(0)
+            send_i64(0, v + 1)
+
+
+def barrier_phases(A: 'i64*', n: int, phases: int):
+    start = (n * tile_id()) // num_tiles()
+    end = (n * (tile_id() + 1)) // num_tiles()
+    for p in range(phases):
+        for i in range(start, end):
+            A[i] = A[i] + 1
+        barrier()
+
+
+def accel_sgemm_wrapper(A: 'f64*', B: 'f64*', C: 'f64*', n: int, m: int,
+                        k: int):
+    accel_sgemm(A, B, C, n, m, k)
+
+
+def ifexp_kernel(A: 'f64*', B: 'f64*', n: int):
+    for i in range(n):
+        B[i] = A[i] * 2.0 if A[i] > 0.0 else A[i] * -1.0
+
+
+def cast_kernel(A: 'i64*', B: 'f64*', n: int):
+    for i in range(n):
+        B[i] = float(A[i]) / 2.0
+        A[i] = int(B[i] * 3.0)
+
+
+def store_forward(A: 'f64*', n: int):
+    """Read-after-write through memory inside one iteration (MAO test)."""
+    for i in range(1, n):
+        A[i] = A[i - 1] + 1.0
+
+
+def dae_friendly(src: 'f64*', idx: 'i64*', out: 'f64*', n: int):
+    """Gather-multiply-store: slices cleanly into access/execute."""
+    start = (n * tile_id()) // num_tiles()
+    end = (n * (tile_id() + 1)) // num_tiles()
+    for i in range(start, end):
+        out[i] = src[idx[i]] * 3.0 + 1.0
+
+
+def empty_loop(n: int) -> int:
+    total = 0
+    for i in range(n):
+        total += i
+    return total

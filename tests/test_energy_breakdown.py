@@ -1,0 +1,45 @@
+"""Per-component energy accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.harness import dae_hierarchy, ooo_core, simulate
+from repro.ir import F64
+from repro.trace import SimMemory
+
+from . import kernels
+
+
+@pytest.fixture
+def stats(rng):
+    mem = SimMemory()
+    n = 256
+    A = mem.alloc(n, F64, "A", init=rng.uniform(-1, 1, n))
+    B = mem.alloc(n, F64, "B", init=rng.uniform(-1, 1, n))
+    return simulate(kernels.saxpy, [A, B, n, 2.0], core=ooo_core(),
+                    hierarchy=dae_hierarchy(), memory=mem)
+
+
+def test_components_sum_to_memory_energy(stats):
+    assert stats.memory_energy_nj == pytest.approx(
+        stats.cache_energy_nj + stats.dram_energy_nj)
+    assert stats.total_energy_nj == pytest.approx(
+        sum(t.energy_nj for t in stats.tiles) + stats.memory_energy_nj)
+
+
+def test_all_components_nonzero(stats):
+    assert stats.cache_energy_nj > 0
+    assert stats.dram_energy_nj > 0
+    assert all(t.energy_nj > 0 for t in stats.tiles)
+
+
+def test_dram_energy_tracks_requests(stats):
+    # SimpleDRAM charges a fixed energy per request
+    per_request = dae_hierarchy().simple_dram.energy_nj
+    assert stats.dram_energy_nj == pytest.approx(
+        stats.dram.requests * per_request)
+
+
+def test_summary_shows_breakdown(stats):
+    text = stats.summary()
+    assert "cores" in text and "caches" in text and "DRAM" in text

@@ -1,0 +1,57 @@
+"""Smoke tests for the example scripts.
+
+Each example asserts its own numerics internally; these tests execute the
+fast ones in-process so a broken public API surfaces in CI, not when a
+user first runs the quickstart.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "LLVM-style IR" in out
+    assert "DAXPY on three systems" in out
+    assert "out-of-order" in out
+
+
+def test_nn_inference_soc(capsys):
+    out = _run("nn_inference_soc.py", capsys)
+    assert "generated kernel" in out
+    assert "accel_conv2d" in out
+    assert "identical in every" in out
+
+
+def test_heterogeneous_soc(capsys):
+    out = _run("heterogeneous_soc.py", capsys)
+    assert "1 Big + 3 Little" in out
+    assert "mesh NoC + directory coherence" in out
+
+
+@pytest.mark.parametrize("name", [
+    "dae_exploration.py", "accelerator_design_space.py",
+    "characterize_parboil.py", "nn_training_costs.py",
+    "design_space_exploration.py",
+])
+def test_remaining_examples_importable(name):
+    """The slower examples are at least syntactically valid and import
+    all their dependencies (full runs happen in the benchmarks)."""
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")
+    module = {}
+    exec(compile("\n".join(
+        line for line in source.splitlines()
+        if not line.startswith('if __name__')), name, "exec"), module)
+    assert any(callable(v) for k, v in module.items()
+               if not k.startswith("_"))

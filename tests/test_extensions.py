@@ -1,0 +1,277 @@
+"""Tests for the paper-anticipated extensions: dynamic branch predictors
+(§III-C future work), the mesh NoC and directory coherence (§V-A
+sketch), and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    dae_hierarchy, ooo_core, prepare, simulate, xeon_core, xeon_hierarchy,
+)
+from repro.ir import F64, I64
+from repro.memory import Directory, MeshNoC, NoCConfig
+from repro.sim.core.branch import (
+    GSharePredictor, TwoBitPredictor, make_predictor,
+)
+from repro.trace import SimMemory
+from repro.workloads import build_parboil
+
+from . import kernels
+
+
+class TestPredictorUnits:
+    def test_twobit_learns_taken_loop(self):
+        predictor = TwoBitPredictor(64)
+        for _ in range(4):
+            predictor.update(5, True)
+        assert predictor.predict(5)
+        predictor.update(5, False)       # one exit doesn't flip it
+        assert predictor.predict(5)
+
+    def test_twobit_hysteresis(self):
+        predictor = TwoBitPredictor(64)
+        for _ in range(4):
+            predictor.update(9, False)
+        assert not predictor.predict(9)
+        predictor.update(9, True)
+        assert not predictor.predict(9)  # needs two to flip
+        predictor.update(9, True)
+        assert predictor.predict(9)
+
+    def test_twobit_size_validation(self):
+        with pytest.raises(ValueError):
+            TwoBitPredictor(100)
+
+    def test_gshare_learns_alternating_pattern(self):
+        """T,N,T,N... defeats a per-branch counter but not gshare."""
+        gshare = GSharePredictor(history_bits=4)
+        pattern = [True, False] * 64
+        correct = 0
+        for outcome in pattern:
+            correct += gshare.predict(3) == outcome
+            gshare.update(3, outcome)
+        # after warmup, gshare nails the alternation
+        assert correct > len(pattern) * 0.7
+
+        twobit = TwoBitPredictor(64)
+        twobit_correct = 0
+        for outcome in pattern:
+            twobit_correct += twobit.predict(3) == outcome
+            twobit.update(3, outcome)
+        assert correct > twobit_correct
+
+    def test_factory(self):
+        assert isinstance(make_predictor("twobit"), TwoBitPredictor)
+        assert isinstance(make_predictor("gshare"), GSharePredictor)
+        with pytest.raises(ValueError):
+            make_predictor("neural")
+
+
+class TestPredictorsInCore:
+    @pytest.fixture(scope="class")
+    def sad_prepared(self):
+        w = build_parboil("sad")
+        return prepare(w.kernel, w.args, memory=w.memory)
+
+    def test_dynamic_between_static_and_perfect(self, sad_prepared):
+        cycles = {}
+        for mode in ("none", "static", "twobit", "gshare", "perfect"):
+            core = xeon_core().scaled(branch_predictor=mode)
+            cycles[mode] = simulate(sad_prepared.function, [], core=core,
+                                    hierarchy=xeon_hierarchy(),
+                                    prepared=sad_prepared).cycles
+        assert cycles["perfect"] <= cycles["gshare"] <= cycles["static"]
+        assert cycles["perfect"] <= cycles["twobit"] <= cycles["static"]
+        # SAD's data-dependent clamps mispredict heavily under BTFN, so
+        # static can end up *worse* than not speculating (each mispredict
+        # pays resolution + redirect); the dynamic predictors must still
+        # beat no-speculation
+        assert cycles["gshare"] <= cycles["none"]
+        assert cycles["twobit"] <= cycles["none"]
+
+    def test_dynamic_mispredicts_fewer_than_static(self, sad_prepared):
+        def mispredicts(mode):
+            core = xeon_core().scaled(branch_predictor=mode)
+            return simulate(sad_prepared.function, [], core=core,
+                            hierarchy=xeon_hierarchy(),
+                            prepared=sad_prepared).tiles[0].mispredictions
+
+        assert mispredicts("gshare") < mispredicts("static")
+        assert mispredicts("twobit") < mispredicts("static")
+
+
+class TestMeshNoC:
+    def test_geometry_auto_sizing(self):
+        noc = MeshNoC(NoCConfig(llc_banks=4), num_cores=4)
+        assert noc.width * noc.height >= 8
+
+    def test_xy_distance(self):
+        noc = MeshNoC(NoCConfig(width=4, height=4, llc_banks=4),
+                      num_cores=4)
+        assert noc.hops(0, 0) == 0
+        assert noc.hops(0, 3) == 3          # same row
+        assert noc.hops(0, 5) == 2          # one right, one down
+
+    def test_latency_counts_routers_and_links(self):
+        config = NoCConfig(width=4, height=4, link_latency=2,
+                           router_latency=3, llc_banks=4)
+        noc = MeshNoC(config, num_cores=4)
+        # 2 hops: 2 links * 2 + 3 routers * 3
+        assert noc.latency(0, 5) == 2 * 2 + 3 * 3
+
+    def test_banks_interleave_by_line(self):
+        noc = MeshNoC(NoCConfig(llc_banks=4), num_cores=4)
+        banks = {noc.bank_of(line * 64) for line in range(8)}
+        assert banks == {0, 1, 2, 3}
+
+    def test_average_hops_tracked(self):
+        noc = MeshNoC(NoCConfig(width=4, height=2, llc_banks=4),
+                      num_cores=4)
+        noc.latency(0, 7)
+        assert noc.average_hops > 0
+
+    def test_noc_slows_memory_traffic(self):
+        def run(noc):
+            mem = SimMemory()
+            n = 256
+            A = mem.alloc(n, F64, "A", init=np.ones(n))
+            B = mem.alloc(n, F64, "B", init=np.ones(n))
+            hierarchy = dae_hierarchy()
+            hierarchy.noc = noc
+            prepared = prepare(kernels.saxpy, [A, B, n, 2.0], memory=mem)
+            return simulate(prepared.function, [], prepared=prepared,
+                            core=ooo_core(), hierarchy=hierarchy).cycles
+
+        assert run(NoCConfig(link_latency=4, router_latency=8)) > run(None)
+
+
+class TestDirectoryCoherence:
+    def test_read_sharers_accumulate(self):
+        directory = Directory(4)
+        for core in range(3):
+            assert directory.access(core, 0x1000, is_write=False) == 0
+        assert directory.sharers_of(0x1000) == {0, 1, 2}
+
+    def test_write_invalidates_other_sharers(self):
+        directory = Directory(4, invalidation_latency=12)
+        dropped = []
+        directory.invalidate_hooks[0] = dropped.append
+        directory.invalidate_hooks[1] = dropped.append
+        directory.access(0, 0x2000, is_write=False)
+        directory.access(1, 0x2000, is_write=False)
+        delay = directory.access(2, 0x2000, is_write=True)
+        assert delay == 12
+        assert len(dropped) == 2
+        assert directory.sharers_of(0x2000) == {2}
+        assert directory.stats.invalidations == 2
+        assert directory.stats.upgrades == 1
+
+    def test_write_by_sole_sharer_is_free(self):
+        directory = Directory(2)
+        directory.access(0, 0x40, is_write=False)
+        assert directory.access(0, 0x40, is_write=True) == 0
+
+    def test_line_granularity(self):
+        directory = Directory(2)
+        directory.access(0, 0x1000, is_write=False)
+        directory.access(1, 0x1008, is_write=False)  # same 64B line
+        assert directory.sharers_of(0x1000) == {0, 1}
+        assert directory.sharers_of(0x1040) == set()
+
+    def test_coherent_sharing_costs_cycles(self):
+        """A kernel where tiles ping-pong a shared counter: coherence adds
+        invalidation traffic and latency."""
+        def run(coherence):
+            mem = SimMemory()
+            counters = mem.alloc(1, I64, "counters")
+            vals = mem.alloc(512, F64, "vals",
+                             init=np.random.default_rng(0).uniform(
+                                 0, 1, 512))
+            hierarchy = dae_hierarchy()
+            hierarchy.coherence = coherence
+            prepared = prepare(kernels.scatter_add,
+                               [mem.alloc(512, I64, "idx"), vals,
+                                mem.alloc(8, F64, "out"), 512],
+                               num_tiles=4, memory=mem)
+            return simulate(prepared.function, [], prepared=prepared,
+                            num_tiles=4, core=ooo_core(),
+                            hierarchy=hierarchy)
+
+        base = run(False)
+        coherent = run(True)
+        assert coherent.cycles >= base.cycles
+
+    def test_directory_invalidates_private_tags(self):
+        """End-to-end: after core 1 writes a line, core 0's private copy
+        is gone (a re-read misses)."""
+        from repro.memory.hierarchy import MemorySystem
+        from repro.sim.events import Scheduler
+
+        hierarchy = dae_hierarchy()
+        hierarchy.coherence = True
+        scheduler = Scheduler()
+        memsys = MemorySystem(hierarchy, 2, scheduler, 2.0)
+
+        done = []
+        memsys.access(0, 0x10000, 8, is_write=False, cycle=0,
+                      callback=done.append)
+        while scheduler.pending:
+            scheduler.run_due(scheduler.next_cycle())
+        l1_core0 = memsys.private_caches[0][0]
+        assert l1_core0.contains(0x10000)
+        memsys.access(1, 0x10000, 8, is_write=True, cycle=1000,
+                      callback=done.append)
+        while scheduler.pending:
+            scheduler.run_due(scheduler.next_cycle())
+        assert not l1_core0.contains(0x10000)
+        assert memsys.directory.stats.invalidations == 1
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.cli import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sgemm" in out and "ewsd" in out
+
+    def test_simulate(self, capsys):
+        from repro.cli import main
+        assert main(["simulate", "sgemm", "--core", "ino",
+                     "--size", "n=8", "--size", "m=8", "--size", "k=8"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out and "IPC" in out
+
+    def test_ir(self, capsys):
+        from repro.cli import main
+        assert main(["ir", "spmv"]) == 0
+        assert "define void @spmv_kernel" in capsys.readouterr().out
+
+    def test_dae(self, capsys):
+        from repro.cli import main
+        assert main(["dae", "ewsd", "--pairs", "1", "--size", "nnz=128",
+                     "--size", "dense_len=512"]) == 0
+        assert "DAE pair" in capsys.readouterr().out
+
+    def test_characterize_subset(self, capsys):
+        from repro.cli import main
+        assert main(["characterize", "histo", "sad"]) == 0
+        out = capsys.readouterr().out
+        assert "histo" in out and "sad" in out and "IPC" in out
+
+    def test_trace(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.trace import load_traces
+        output = tmp_path / "t.bin"
+        assert main(["trace", "histo", "--tiles", "2", "-o",
+                     str(output), "--size", "n=256"]) == 0
+        assert len(load_traces(output)) == 2
+
+    def test_unknown_workload_fails(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["simulate", "nonesuch"])
+
+    def test_bad_size_argument(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="key=value"):
+            main(["simulate", "sgemm", "--size", "oops"])

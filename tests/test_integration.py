@@ -1,0 +1,136 @@
+"""End-to-end integration tests mirroring the paper's headline claims at
+reduced scale. These are the "does the whole stack reproduce the shapes"
+checks; the full-size regenerations live in benchmarks/."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    dae_hierarchy, inorder_core, ooo_core, prepare, prepare_dae_sliced,
+    simulate, simulate_dae, xeon_core, xeon_hierarchy,
+)
+from repro.sim.accelerator import AcceleratorFarm
+from repro.workloads import build_parboil
+from repro.workloads.graphproj import build as build_graphproj
+from repro.workloads.sinkhorn import build_combined, build_ewsd
+
+
+class TestScalingTrends:
+    """Figures 7-9 at reduced scale: SGEMM scales near-linearly, SPMV
+    sublinearly, BFS worst."""
+
+    def _scaling(self, name, threads=(1, 4), **kwargs):
+        cycles = {}
+        for t in threads:
+            w = build_parboil(name, **kwargs)
+            stats = simulate(w.kernel, w.args, core=xeon_core(),
+                             num_tiles=t, hierarchy=xeon_hierarchy())
+            cycles[t] = stats.cycles
+        return cycles[threads[0]] / cycles[threads[-1]]
+
+    def test_sgemm_scales_nearly_linearly(self):
+        speedup = self._scaling("sgemm", n=24, m=24, k=24)
+        assert speedup > 2.5
+
+    def test_spmv_scales_sublinearly(self):
+        spmv = self._scaling("spmv", rows=192, cols=192, nnz_per_row=8)
+        sgemm = self._scaling("sgemm", n=24, m=24, k=24)
+        assert 1.0 < spmv < sgemm + 0.5
+
+    def test_bfs_scales_worst(self):
+        bfs = self._scaling("bfs", nverts=192, avg_degree=4)
+        sgemm = self._scaling("sgemm", n=24, m=24, k=24)
+        assert bfs < sgemm
+
+
+class TestDAECaseStudy:
+    """Figure 11's qualitative claims at reduced scale."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        def fresh():
+            return build_graphproj(nleft=32, nright=24, avg_degree=4)
+
+        out = {}
+        w = fresh()
+        out["1 InO"] = simulate(w.kernel, w.args, core=inorder_core(),
+                                hierarchy=dae_hierarchy()).cycles
+        w = fresh()
+        out["1 OoO"] = simulate(w.kernel, w.args, core=ooo_core(),
+                                hierarchy=dae_hierarchy()).cycles
+        w = fresh()
+        out["8 InO"] = simulate(w.kernel, w.args, core=inorder_core(),
+                                num_tiles=8,
+                                hierarchy=dae_hierarchy()).cycles
+        w = fresh()
+        specs = prepare_dae_sliced(w.kernel, w.args, pairs=4)
+        out["4 DAE pairs"] = simulate_dae(
+            specs, access_core=inorder_core(),
+            execute_core=inorder_core(),
+            hierarchy=dae_hierarchy()).cycles
+        return out
+
+    def test_ooo_beats_ino(self, results):
+        assert results["1 OoO"] < results["1 InO"]
+
+    def test_dae_beats_equal_area_homogeneous(self, results):
+        """The paper's headline: at OoO-equal area (8 InO cores), 4 DAE
+        pairs outperform 8 homogeneous InO cores."""
+        assert results["4 DAE pairs"] < results["8 InO"]
+
+    def test_dae_beats_one_ooo(self, results):
+        assert results["4 DAE pairs"] < results["1 OoO"]
+
+
+class TestAcceleratedSystem:
+    """Figure 12/13 shapes: SGEMM gains most from the accelerator; the
+    combined kernel gains from DAE + accelerator heterogeneity."""
+
+    def test_sgemm_accelerator_speedup(self):
+        w = build_parboil("sgemm", n=24, m=24, k=24)
+        ino = simulate(w.kernel, w.args, core=inorder_core(),
+                       hierarchy=dae_hierarchy()).cycles
+
+        from repro.workloads.sinkhorn import build_combined
+        from tests.kernels import accel_sgemm_wrapper
+        from repro.trace import SimMemory
+        from repro.ir import F64
+        mem = SimMemory()
+        n = 24
+        rng = np.random.default_rng(0)
+        a, b = rng.uniform(-1, 1, (n, n)), rng.uniform(-1, 1, (n, n))
+        A = mem.alloc(n * n, F64, "A", init=a.ravel())
+        B = mem.alloc(n * n, F64, "B", init=b.ravel())
+        C = mem.alloc(n * n, F64, "C")
+        farm = AcceleratorFarm().add_default("sgemm", plm_bytes=64 * 1024)
+        accel = simulate(accel_sgemm_wrapper, [A, B, C, n, n, n],
+                         core=inorder_core(), hierarchy=dae_hierarchy(),
+                         accelerators=farm)
+        assert np.allclose(C.data.reshape(n, n), a @ b)
+        assert ino / accel.cycles > 5  # large accelerator win
+
+    def test_combined_kernel_accelerated(self):
+        w = build_combined(mix="equal", accelerated=True)
+        farm = AcceleratorFarm().add_default("sgemm", plm_bytes=64 * 1024)
+        stats = simulate(w.kernel, w.args, core=inorder_core(),
+                         num_tiles=2, hierarchy=dae_hierarchy(),
+                         accelerators=farm)
+        w.verify()
+        plain = build_combined(mix="equal")
+        base = simulate(plain.kernel, plain.args, core=inorder_core(),
+                        num_tiles=2, hierarchy=dae_hierarchy())
+        assert stats.cycles < base.cycles
+
+
+class TestWholeToolchain:
+    def test_prepare_simulate_verify_all_in_one(self):
+        """The full pipeline on one workload, end to end, twice (trace
+        reuse via prepared)."""
+        w = build_parboil("stencil", nx=8, ny=8, nz=8, iters=1)
+        prepared = prepare(w.kernel, w.args, num_tiles=2, memory=w.memory)
+        w.verify()
+        first = simulate(w.kernel, [], prepared=prepared, num_tiles=2,
+                         core=ooo_core(), hierarchy=xeon_hierarchy())
+        second = simulate(w.kernel, [], prepared=prepared, num_tiles=2,
+                          core=ooo_core(), hierarchy=xeon_hierarchy())
+        assert first.cycles == second.cycles  # deterministic

@@ -1,0 +1,206 @@
+"""Unit tests for IR values, instructions, blocks, and functions."""
+
+import pytest
+
+from repro.ir import (
+    F64, I1, I64, VOID, Argument, BasicBlock, Constant, Function, IRBuilder,
+    Module, Opcode, OpClass, const_float, const_int, pointer_to,
+)
+from repro.ir.instructions import (
+    AtomicRMWInst, BinaryInst, BranchInst, CmpInst, GEPInst, LoadInst,
+    PhiInst, RetInst, StoreInst,
+)
+
+
+class TestConstants:
+    def test_int_constant(self):
+        c = const_int(42)
+        assert c.value == 42 and c.type == I64
+
+    def test_float_constant(self):
+        c = const_float(1.5)
+        assert c.value == 1.5 and c.type == F64
+
+    def test_constant_coercion(self):
+        assert Constant(I64, 3.9).value == 3
+        assert Constant(F64, 3).value == 3.0
+
+    def test_constant_equality(self):
+        assert const_int(7) == const_int(7)
+        assert const_int(7) != const_int(8)
+        assert const_int(0) != const_float(0.0)
+
+    def test_non_scalar_constant_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(pointer_to(F64), 0)
+
+
+class TestInstructionConstruction:
+    def test_binary_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryInst(Opcode.ADD, const_int(1), const_float(1.0))
+
+    def test_binary_result_type(self):
+        add = BinaryInst(Opcode.FADD, const_float(1.0), const_float(2.0))
+        assert add.type == F64
+
+    def test_cmp_produces_i1(self):
+        cmp = CmpInst(Opcode.ICMP, "slt", const_int(1), const_int(2))
+        assert cmp.type == I1
+
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            CmpInst(Opcode.ICMP, "ult", const_int(1), const_int(2))
+        with pytest.raises(ValueError):
+            CmpInst(Opcode.FCMP, "slt", const_float(1), const_float(2))
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            LoadInst(const_int(0))
+
+    def test_store_type_checked(self):
+        arg = Argument(pointer_to(F64), "p", 0)
+        with pytest.raises(TypeError):
+            StoreInst(const_int(1), arg)
+        StoreInst(const_float(1.0), arg)  # ok
+
+    def test_gep_index_must_be_integer(self):
+        arg = Argument(pointer_to(F64), "p", 0)
+        with pytest.raises(TypeError):
+            GEPInst(arg, const_float(1.0))
+        gep = GEPInst(arg, const_int(3))
+        assert gep.type == pointer_to(F64)
+
+    def test_atomicrmw_operations(self):
+        arg = Argument(pointer_to(I64), "p", 0)
+        for op in AtomicRMWInst.OPERATIONS:
+            inst = AtomicRMWInst(op, arg, const_int(1))
+            assert inst.type == I64
+        with pytest.raises(ValueError):
+            AtomicRMWInst("nand", arg, const_int(1))
+
+    def test_opclass_mapping(self):
+        assert BinaryInst(Opcode.MUL, const_int(1), const_int(2)).opclass \
+            is OpClass.IMUL
+        assert BinaryInst(Opcode.FDIV, const_float(1),
+                          const_float(2)).opclass is OpClass.FPDIV
+
+    def test_memory_flags(self):
+        arg = Argument(pointer_to(I64), "p", 0)
+        load = LoadInst(arg)
+        store = StoreInst(const_int(0), arg)
+        atomic = AtomicRMWInst("add", arg, const_int(1))
+        assert load.is_load and not load.is_store
+        assert store.is_store and not store.is_load
+        assert atomic.is_load and atomic.is_store
+
+
+class TestBasicBlocks:
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        target = BasicBlock("t")
+        block.append(BranchInst(target))
+        with pytest.raises(ValueError):
+            block.append(RetInst())
+
+    def test_phi_must_lead(self):
+        block = BasicBlock("b")
+        block.append(BinaryInst(Opcode.ADD, const_int(1), const_int(2)))
+        with pytest.raises(ValueError):
+            block.append(PhiInst(I64))
+
+    def test_successors(self):
+        a, b, c = BasicBlock("a"), BasicBlock("b"), BasicBlock("c")
+        a.append(BranchInst(b, CmpInst(Opcode.ICMP, "eq", const_int(0),
+                                       const_int(0)), c))
+        assert a.successors == [b, c]
+        assert b.successors == []
+
+    def test_phis_property(self):
+        block = BasicBlock("b")
+        phi = PhiInst(I64)
+        block.append(phi)
+        block.append(RetInst())
+        assert block.phis == [phi]
+        assert block.non_phi_instructions[0].opcode is Opcode.RET
+
+
+class TestFunctionAndModule:
+    def test_unique_names(self):
+        func = Function("f", [("x", I64)])
+        assert func.unique_name("v") == "v"
+        assert func.unique_name("v") == "v.1"
+        assert func.unique_name("v") == "v.2"
+
+    def test_finalize_assigns_contiguous_iids(self):
+        func = Function("f", [])
+        block = func.add_block("entry")
+        builder = IRBuilder(block)
+        builder.add(const_int(1), const_int(2))
+        builder.ret()
+        func.finalize()
+        assert [i.iid for i in func.instructions()] == [0, 1]
+
+    def test_entry_is_first_block(self):
+        func = Function("f", [])
+        first = func.add_block("entry")
+        func.add_block("other")
+        assert func.entry is first
+
+    def test_module_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function(Function("f", []))
+        with pytest.raises(ValueError):
+            module.add_function(Function("f", []))
+
+    def test_module_lookup(self):
+        module = Module("m")
+        f = module.add_function(Function("f", []))
+        assert module.get_function("f") is f
+        with pytest.raises(KeyError):
+            module.get_function("g")
+
+
+class TestPhi:
+    def test_incoming_type_checked(self):
+        phi = PhiInst(I64)
+        block = BasicBlock("b")
+        with pytest.raises(TypeError):
+            phi.add_incoming(const_float(1.0), block)
+
+    def test_incoming_for(self):
+        phi = PhiInst(I64)
+        b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+        phi.add_incoming(const_int(1), b1)
+        phi.add_incoming(const_int(2), b2)
+        assert phi.incoming_for(b1).value == 1
+        assert phi.incoming_for(b2).value == 2
+        with pytest.raises(KeyError):
+            phi.incoming_for(BasicBlock("b3"))
+
+
+class TestGlobals:
+    def test_module_globals_print_and_verify(self):
+        from repro.ir import (
+            GlobalVariable, IRBuilder, format_module, pointer_to,
+            verify_module,
+        )
+        module = Module("m")
+        table = module.add_global(
+            GlobalVariable(pointer_to(F64), "lut", count=16))
+        func = Function("touch", [("i", I64)], F64)
+        builder = IRBuilder(func.add_block("entry"))
+        element = builder.gep(table, func.args[0], name="p")
+        builder.ret(builder.load(element, name="v"))
+        module.add_function(func.finalize())
+        verify_module(module)
+        text = format_module(module)
+        assert "@lut = global [16 x f64]" in text
+        assert "@lut" in text.split("define")[1]
+
+    def test_duplicate_global_rejected(self):
+        from repro.ir import GlobalVariable, pointer_to
+        module = Module("m")
+        module.add_global(GlobalVariable(pointer_to(I64), "g", 4))
+        with pytest.raises(ValueError):
+            module.add_global(GlobalVariable(pointer_to(I64), "g", 4))

@@ -1,0 +1,96 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    F32, F64, I1, I8, I32, I64, VOID, FloatType, IntType, PointerType,
+    parse_type, pointer_to,
+)
+
+
+class TestScalarTypes:
+    def test_integer_widths(self):
+        assert I1.bits == 1
+        assert I64.bits == 64
+        assert I8.size == 1
+        assert I32.size == 4
+        assert I64.size == 8
+
+    def test_float_widths(self):
+        assert F32.size == 4
+        assert F64.size == 8
+
+    def test_void_has_no_size(self):
+        assert VOID.size == 0
+        assert VOID.is_void
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(7)
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_classification(self):
+        assert I64.is_integer and not I64.is_float
+        assert F64.is_float and not F64.is_integer
+        assert not I64.is_pointer
+
+
+class TestTypeEquality:
+    def test_same_width_types_equal(self):
+        assert IntType(64) == I64
+        assert FloatType(32) == F32
+
+    def test_different_types_unequal(self):
+        assert I32 != I64
+        assert F32 != F64
+        assert I64 != F64
+
+    def test_types_hashable(self):
+        assert len({I64, IntType(64), F64}) == 2
+
+
+class TestPointerTypes:
+    def test_pointer_size_is_8(self):
+        assert pointer_to(F64).size == 8
+        assert pointer_to(I8).size == 8
+
+    def test_pointee_preserved(self):
+        assert pointer_to(F64).pointee == F64
+
+    def test_nested_pointers(self):
+        pp = pointer_to(pointer_to(I64))
+        assert pp.pointee.pointee == I64
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(ValueError):
+            pointer_to(VOID)
+
+    def test_pointer_equality(self):
+        assert pointer_to(F64) == pointer_to(F64)
+        assert pointer_to(F64) != pointer_to(I64)
+
+
+class TestParseType:
+    @pytest.mark.parametrize("text,expected", [
+        ("i64", I64), ("f64", F64), ("i1", I1), ("f32", F32),
+        ("void", VOID),
+    ])
+    def test_scalars(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_pointers(self):
+        assert parse_type("f64*") == pointer_to(F64)
+        assert parse_type("i64**") == pointer_to(pointer_to(I64))
+
+    def test_whitespace_tolerated(self):
+        assert parse_type("  i32 ") == I32
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            parse_type("u64")
+
+    def test_roundtrip(self):
+        for ty in (I1, I8, I32, I64, F32, F64, pointer_to(F64),
+                   pointer_to(pointer_to(I32))):
+            assert parse_type(str(ty)) == ty

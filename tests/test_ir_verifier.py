@@ -1,0 +1,100 @@
+"""Verifier tests: malformed IR must be rejected with useful messages."""
+
+import pytest
+
+from repro.ir import (
+    I1, I64, BasicBlock, Constant, Function, IRBuilder, VerificationError,
+    verify_function,
+)
+from repro.ir.instructions import BinaryInst, BranchInst, Opcode, PhiInst, \
+    RetInst
+
+
+def _trivial() -> Function:
+    func = Function("f", [])
+    builder = IRBuilder(func.add_block("entry"))
+    builder.ret()
+    return func
+
+
+def test_valid_function_passes():
+    verify_function(_trivial())
+
+
+def test_missing_terminator_rejected():
+    func = Function("f", [])
+    func.add_block("entry")
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_function(func)
+
+
+def test_empty_function_rejected():
+    with pytest.raises(VerificationError, match="no blocks"):
+        verify_function(Function("f", []))
+
+
+def test_foreign_branch_target_rejected():
+    func = Function("f", [])
+    entry = func.add_block("entry")
+    rogue = BasicBlock("rogue")
+    entry.append(BranchInst(rogue))
+    with pytest.raises(VerificationError, match="foreign block"):
+        verify_function(func)
+
+
+def test_undefined_operand_rejected():
+    func = Function("f", [])
+    entry = func.add_block("entry")
+    other = Function("g", [])
+    foreign_block = other.add_block("entry")
+    foreign = BinaryInst(Opcode.ADD, Constant(I64, 1), Constant(I64, 2))
+    foreign.parent = foreign_block
+    foreign_block.instructions.append(foreign)
+    use = BinaryInst(Opcode.ADD, foreign, Constant(I64, 1))
+    use.parent = entry
+    entry.instructions.append(use)
+    entry.append(RetInst())
+    with pytest.raises(VerificationError, match="not defined"):
+        verify_function(func)
+
+
+def test_phi_incoming_count_mismatch_rejected():
+    func = Function("f", [])
+    entry = func.add_block("entry")
+    merge = func.add_block("merge")
+    left = func.add_block("left")
+    builder = IRBuilder(entry)
+    cond = Constant(I1, 1)
+    builder.cbranch(cond, left, merge)
+    builder.position_at_end(left)
+    builder.branch(merge)
+    phi = PhiInst(I64)
+    phi.add_incoming(Constant(I64, 1), left)  # missing entry's incoming
+    merge.insert_front(phi)
+    builder.position_at_end(merge)
+    builder.ret()
+    with pytest.raises(VerificationError, match="incoming"):
+        verify_function(func)
+
+
+def test_phi_in_entry_rejected():
+    func = Function("f", [])
+    entry = func.add_block("entry")
+    phi = PhiInst(I64)
+    entry.insert_front(phi)
+    builder = IRBuilder(entry)
+    builder.ret()
+    with pytest.raises(VerificationError, match="entry block contains phi"):
+        verify_function(func)
+
+
+def test_error_lists_all_problems():
+    func = Function("f", [])
+    func.add_block("entry")
+    func.add_block("orphan")
+    try:
+        verify_function(func)
+    except VerificationError as e:
+        assert len(e.problems) >= 2
+    else:
+        pytest.fail("expected VerificationError")

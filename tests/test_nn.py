@@ -1,0 +1,156 @@
+"""NN front-end and training-cost-model tests (paper §VII-C)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.harness import prepare
+from repro.ir import F64, I64
+from repro.nn import (
+    Conv2D, Dense, Flatten, MaxPool, ReLU, Sequential, TrainingCostModel,
+    convnet, graphsage, op_flops, recsys,
+)
+from repro.nn import ops as cpu_ops
+from repro.trace import SimMemory
+from repro.workloads import datasets
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return TrainingCostModel()
+
+
+class TestLayers:
+    def test_conv_shape(self):
+        layer = Conv2D(16)
+        assert layer.output_shape((32, 32, 3)) == (32, 32, 16)
+
+    def test_dense_shape(self):
+        assert Dense(10).output_shape((128,)) == (10,)
+
+    def test_pool_shape(self):
+        assert MaxPool(2).output_shape((8, 8, 4)) == (4, 4, 4)
+
+    def test_flatten_shape(self):
+        assert Flatten().output_shape((4, 4, 2)) == (32,)
+
+    def test_conv_backward_not_accelerable(self):
+        ops = Conv2D(8).training_ops((16, 16, 3), batch=4)
+        assert ops[0].accelerable       # forward
+        assert not ops[1].accelerable   # dX
+        assert not ops[2].accelerable   # dW
+
+    def test_dense_backward_accelerable(self):
+        ops = Dense(8).training_ops((16,), batch=4)
+        assert all(op.accelerable for op in ops)
+
+    def test_op_flops_positive(self):
+        for op in convnet().training_ops(4):
+            assert op.flops > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            op_flops("warp_drive", {})
+
+
+class TestModels:
+    @pytest.mark.parametrize("factory", [convnet, graphsage, recsys])
+    def test_models_lower(self, factory):
+        model = factory()
+        ops = model.training_ops(batch=8)
+        assert ops
+        assert "->" in model.summary(8)
+
+    def test_convnet_has_cpu_only_ops(self):
+        ops = convnet().training_ops(8)
+        assert any(not op.accelerable for op in ops)
+
+    def test_recsys_fully_accelerable(self):
+        ops = recsys().training_ops(8)
+        assert all(op.accelerable for op in ops)
+
+    def test_graphsage_sampling_is_cpu(self):
+        ops = graphsage().training_ops(8)
+        kinds = {op.kind for op in ops if not op.accelerable}
+        assert "random_walk" in kinds and "embedding" in kinds
+
+
+class TestCpuKernels:
+    def test_cpu_conv_matches_numpy(self, rng):
+        h = w = 6
+        cin, cout, kh, kw = 2, 3, 3, 3
+        x = rng.uniform(-1, 1, (h, w, cin))
+        wts = rng.uniform(-1, 1, (kh, kw, cin, cout))
+        mem = SimMemory()
+        X = mem.alloc(h * w * cin, F64, "X", init=x.ravel())
+        W = mem.alloc(kh * kw * cin * cout, F64, "W", init=wts.ravel())
+        oh, ow = h - kh + 1, w - kw + 1
+        Y = mem.alloc(oh * ow * cout, F64, "Y")
+        prepare(cpu_ops.cpu_conv2d, [X, W, Y, h, w, cin, cout, kh, kw],
+                memory=mem)
+        expected = np.zeros((oh, ow, cout))
+        for di in range(kh):
+            for dj in range(kw):
+                expected += np.tensordot(x[di:di + oh, dj:dj + ow],
+                                         wts[di, dj], axes=([2], [0]))
+        assert np.allclose(Y.data.reshape(oh, ow, cout), expected)
+
+    def test_cpu_batchnorm_normalizes(self, rng):
+        n = 64
+        x = rng.uniform(-3, 5, n)
+        mem = SimMemory()
+        X = mem.alloc(n, F64, "X", init=x)
+        Y = mem.alloc(n, F64, "Y")
+        prepare(cpu_ops.cpu_batchnorm, [X, Y, n], memory=mem)
+        assert abs(Y.data.mean()) < 1e-6
+        assert abs(Y.data.std() - 1.0) < 1e-2
+
+    def test_cpu_random_walk_visits_valid_vertices(self):
+        row_ptr, nbr = datasets.random_graph_csr(64, 4, seed=0)
+        mem = SimMemory()
+        RP = mem.alloc(len(row_ptr), I64, "rp", init=row_ptr)
+        NB = mem.alloc(len(nbr), I64, "nb", init=nbr)
+        ST = mem.alloc(8, I64, "st", init=np.arange(8, dtype=np.int64))
+        VI = mem.alloc(8 * 5, I64, "vi", init=np.full(40, -1))
+        prepare(cpu_ops.cpu_random_walk, [RP, NB, ST, VI, 8, 5], memory=mem)
+        assert VI.data.min() >= 0
+        assert VI.data.max() < 64
+        # walks start at their start vertices
+        assert np.array_equal(VI.data.reshape(8, 5)[:, 0], np.arange(8))
+
+
+class TestCostModel:
+    def test_cpu_cost_scales_with_flops(self, cost_model):
+        from repro.nn.layers import Op
+        small = cost_model.cpu_cost(Op("gemm", {"n": 16, "m": 16, "k": 16}))
+        large = cost_model.cpu_cost(Op("gemm", {"n": 64, "m": 64, "k": 64}))
+        assert large.seconds > 10 * small.seconds
+
+    def test_accel_faster_than_cpu_on_dense(self, cost_model):
+        from repro.nn.layers import Op
+        op = Op("dense", {"batch": 32, "din": 256, "dout": 256})
+        assert cost_model.accel_cost(op).seconds < \
+            cost_model.cpu_cost(op).seconds
+
+    def test_figure14_ordering(self, cost_model):
+        """ConvNet < GraphSage < RecSys in EDP improvement, as in the
+        paper (7.22x, 38x, 282.24x)."""
+        improvements = {
+            m.name: cost_model.edp_improvement(m, batch=32)
+            for m in (convnet(), graphsage(), recsys())
+        }
+        assert improvements["ConvNet"] < improvements["GraphSage"] \
+            < improvements["RecSys"]
+        assert improvements["ConvNet"] > 2
+        assert improvements["RecSys"] > 100
+
+    def test_breakdown_sums_to_total(self, cost_model):
+        cost = cost_model.training_step_cost(recsys(), 16, accelerated=True)
+        assert cost.seconds == pytest.approx(sum(cost.breakdown.values()))
+
+    def test_proxy_cache_reused(self, cost_model):
+        from repro.nn.layers import Op
+        cost_model.cpu_cost(Op("relu", {"n": 100}))
+        first = dict(cost_model._proxy_cache)
+        cost_model.cpu_cost(Op("relu", {"n": 200}))
+        assert cost_model._proxy_cache["relu"] == first["relu"]

@@ -1,0 +1,225 @@
+"""Tests for analysis/transform passes: dominators, mem2reg, DDG, clone."""
+
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.ir import (
+    F64, I1, I64, Constant, Function, IRBuilder, Opcode, verify_function,
+)
+from repro.ir.instructions import AllocaInst, PhiInst
+from repro.passes import DominatorTree, build_ddg, promote_allocas
+from repro.passes.clone import clone_function
+from repro.passes.mem2reg import dead_code_elimination
+
+from . import kernels
+
+
+def _diamond() -> Function:
+    """entry -> (left | right) -> merge."""
+    func = Function("diamond", [("c", I1)])
+    entry = func.add_block("entry")
+    left = func.add_block("left")
+    right = func.add_block("right")
+    merge = func.add_block("merge")
+    builder = IRBuilder(entry)
+    builder.cbranch(func.args[0], left, right)
+    builder.position_at_end(left)
+    builder.branch(merge)
+    builder.position_at_end(right)
+    builder.branch(merge)
+    builder.position_at_end(merge)
+    builder.ret()
+    return func
+
+
+def _loop() -> Function:
+    func = Function("loop", [("c", I1)])
+    entry = func.add_block("entry")
+    header = func.add_block("header")
+    body = func.add_block("body")
+    exit_block = func.add_block("exit")
+    builder = IRBuilder(entry)
+    builder.branch(header)
+    builder.position_at_end(header)
+    builder.cbranch(func.args[0], body, exit_block)
+    builder.position_at_end(body)
+    builder.branch(header)
+    builder.position_at_end(exit_block)
+    builder.ret()
+    return func
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        func = _diamond()
+        dom = DominatorTree(func)
+        for block in func.blocks:
+            assert dom.dominates(func.entry, block)
+
+    def test_diamond_idoms(self):
+        func = _diamond()
+        dom = DominatorTree(func)
+        entry, left, right, merge = func.blocks
+        assert dom.idom[id(left)] is entry
+        assert dom.idom[id(right)] is entry
+        assert dom.idom[id(merge)] is entry  # not left or right
+
+    def test_diamond_frontiers(self):
+        func = _diamond()
+        dom = DominatorTree(func)
+        entry, left, right, merge = func.blocks
+        assert dom.frontier_of(left) == [merge]
+        assert dom.frontier_of(right) == [merge]
+        assert dom.frontier_of(entry) == []
+
+    def test_loop_header_in_own_frontier(self):
+        func = _loop()
+        dom = DominatorTree(func)
+        header = func.blocks[1]
+        body = func.blocks[2]
+        assert header in dom.frontier_of(body)
+        assert header in dom.frontier_of(header)
+
+    def test_branches_do_not_dominate_each_other(self):
+        func = _diamond()
+        dom = DominatorTree(func)
+        _, left, right, merge = func.blocks
+        assert not dom.dominates(left, right)
+        assert not dom.dominates(left, merge)
+
+    def test_iterated_frontier(self):
+        func = _loop()
+        dom = DominatorTree(func)
+        body = func.blocks[2]
+        idf = dom.iterated_frontier([body])
+        assert func.blocks[1] in idf  # the header needs the phi
+
+
+class TestMem2Reg:
+    def test_promotes_diamond_variable(self):
+        source = (
+            "def f(c: int) -> int:\n"
+            "    if c > 0:\n        x = 1\n"
+            "    else:\n        x = 2\n"
+            "    return x\n"
+        )
+        func = compile_kernel(source, optimize=False)
+        promoted = promote_allocas(func)
+        assert promoted >= 1
+        assert not any(isinstance(i, AllocaInst) for i in
+                       func.instructions())
+        phis = [i for i in func.instructions() if isinstance(i, PhiInst)]
+        assert len(phis) == 1
+        func.finalize()
+        verify_function(func)
+
+    def test_loop_carried_phi(self):
+        func = compile_kernel(kernels.vector_sum, optimize=False)
+        promote_allocas(func)
+        dead_code_elimination(func)
+        func.finalize()
+        verify_function(func)
+        header = func.block_by_name("for.header")
+        # accumulator + induction variable
+        assert len(header.phis) == 2
+
+    def test_degenerate_phis_pruned(self):
+        source = (
+            "def f(c: int) -> int:\n"
+            "    x = 5\n"
+            "    if c > 0:\n        pass\n"
+            "    return x\n"
+        )
+        func = compile_kernel(source, optimize=False)
+        promote_allocas(func)
+        # x is constant on all paths: no phi should survive
+        assert not any(isinstance(i, PhiInst) for i in func.instructions())
+
+    def test_escaping_alloca_not_promoted(self):
+        func = Function("f", [])
+        entry = func.add_block("entry")
+        builder = IRBuilder(entry)
+        slot = builder.alloca(I64, name="slot")
+        builder.gep(slot, Constant(I64, 0))  # address escapes
+        builder.ret()
+        assert promote_allocas(func) == 0
+        assert any(isinstance(i, AllocaInst) for i in func.instructions())
+
+    def test_dce_removes_unused_arithmetic(self):
+        func = Function("f", [("x", I64)])
+        builder = IRBuilder(func.add_block("entry"))
+        builder.add(func.args[0], Constant(I64, 1))
+        builder.ret()
+        assert dead_code_elimination(func) == 1
+        assert func.num_instructions == 1
+
+
+class TestDDG:
+    def test_node_count_matches(self):
+        func = compile_kernel(kernels.saxpy)
+        ddg = build_ddg(func)
+        assert ddg.num_nodes == func.num_instructions
+
+    def test_data_edges(self):
+        func = compile_kernel(kernels.saxpy)
+        ddg = build_ddg(func)
+        loads = [n for n in ddg.nodes if n.opcode is Opcode.LOAD]
+        assert loads
+        for load in loads:
+            # every load's address comes from a gep
+            assert load.pointer_operand_iid is not None
+            assert ddg.nodes[load.pointer_operand_iid].opcode is Opcode.GEP
+
+    def test_phi_incomings_by_bid(self):
+        func = compile_kernel(kernels.vector_sum)
+        ddg = build_ddg(func)
+        phis = [n for n in ddg.nodes if n.opcode is Opcode.PHI]
+        assert phis
+        for phi in phis:
+            assert len(phi.phi_incoming) == 2  # preheader + latch
+
+    def test_terminators_marked(self):
+        func = compile_kernel(kernels.saxpy)
+        ddg = build_ddg(func)
+        for block in ddg.blocks:
+            assert ddg.nodes[block.terminator_iid].is_terminator
+
+    def test_dependents_are_inverse_of_operands(self):
+        func = compile_kernel(kernels.branchy)
+        ddg = build_ddg(func)
+        for node in ddg.nodes:
+            for producer in node.operand_iids:
+                assert node.iid in ddg.nodes[producer].dependent_iids
+
+    def test_store_access_size(self):
+        func = compile_kernel(kernels.saxpy)
+        ddg = build_ddg(func)
+        stores = [n for n in ddg.nodes if n.opcode is Opcode.STORE]
+        assert all(s.access_size == 8 for s in stores)
+
+
+class TestClone:
+    def test_clone_is_structurally_identical(self):
+        func = compile_kernel(kernels.branchy)
+        clone, mapping = clone_function(func, "branchy2")
+        clone.finalize()
+        verify_function(clone)
+        assert clone.num_instructions == func.num_instructions
+        assert len(clone.blocks) == len(func.blocks)
+        assert [b.name for b in clone.blocks] == \
+            [b.name for b in func.blocks]
+
+    def test_clone_shares_no_instructions(self):
+        func = compile_kernel(kernels.saxpy)
+        clone, _ = clone_function(func, "saxpy2")
+        originals = {id(i) for i in func.instructions()}
+        assert all(id(i) not in originals for i in clone.instructions())
+
+    def test_clone_remaps_operands(self):
+        func = compile_kernel(kernels.vector_sum)
+        clone, mapping = clone_function(func, "vs2")
+        from repro.ir.instructions import Instruction
+        for inst in clone.instructions():
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    assert op.parent.parent is clone

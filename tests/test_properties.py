@@ -1,0 +1,258 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: the SimMemory address space, expression compilation vs Python
+semantics, cache tag behavior vs a reference model, dominator laws, the
+SimpleDRAM bandwidth invariant, and trace(de)serialization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_kernel
+from repro.ir import F64, I64
+from repro.ir.function import Module
+from repro.memory.cache import Cache
+from repro.memory.request import MemRequest
+from repro.passes import DominatorTree
+from repro.sim.config import CacheConfig, SimpleDRAMConfig
+from repro.sim.events import Scheduler
+from repro.sim.statistics import CacheStats, DRAMStats
+from repro.memory.dram import SimpleDRAM
+from repro.trace import Interpreter, KernelTrace, SimMemory
+
+from . import kernels
+
+
+# ---------------------------------------------------------------------------
+# SimMemory vs a dict reference model
+# ---------------------------------------------------------------------------
+
+@st.composite
+def memory_ops(draw):
+    num_arrays = draw(st.integers(1, 4))
+    sizes = [draw(st.integers(1, 32)) for _ in range(num_arrays)]
+    ops = draw(st.lists(st.tuples(
+        st.integers(0, num_arrays - 1),      # array
+        st.integers(0, 31),                  # index (clamped)
+        st.floats(allow_nan=False, allow_infinity=False,
+                  width=32),                 # value
+        st.booleans(),                       # is_store
+    ), max_size=50))
+    return sizes, ops
+
+
+@given(memory_ops())
+@settings(max_examples=60, deadline=None)
+def test_simmemory_matches_dict_model(case):
+    sizes, ops = case
+    mem = SimMemory()
+    arrays = [mem.alloc(size, F64, f"a{i}") for i, size in
+              enumerate(sizes)]
+    model = {}
+    for array_index, index, value, is_store in ops:
+        ref = arrays[array_index]
+        index = index % len(ref)
+        address = ref.address_of(index)
+        if is_store:
+            mem.store(address, value)
+            model[address] = np.float64(value)
+        else:
+            got = mem.load(address, F64)
+            assert got == model.get(address, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# compiled arithmetic expressions match Python evaluation
+# ---------------------------------------------------------------------------
+
+_INT_EXPRS = [
+    ("a + b", lambda a, b: a + b),
+    ("a - b", lambda a, b: a - b),
+    ("a * b", lambda a, b: a * b),
+    ("(a & b) | (a ^ b)", lambda a, b: (a & b) | (a ^ b)),
+    ("min(a, b) + max(a, b)", lambda a, b: min(a, b) + max(a, b)),
+    ("abs(a - b)", lambda a, b: abs(a - b)),
+    ("a * 3 + b * 5 - 7", lambda a, b: a * 3 + b * 5 - 7),
+]
+
+
+@pytest.mark.parametrize("expr,pyfn", _INT_EXPRS)
+@given(a=st.integers(-10**6, 10**6), b=st.integers(-10**6, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_compiled_int_expressions_match_python(expr, pyfn, a, b):
+    source = f"def f(a: int, b: int) -> int:\n    return {expr}\n"
+    func = compile_kernel(source)
+    module = Module("m")
+    module.add_function(func)
+    trace = Interpreter(module).run("f", [a, b])
+    assert trace.return_value == pyfn(a, b)
+
+
+@given(a=st.floats(-1e6, 1e6), b=st.floats(-1e6, 1e6))
+@settings(max_examples=40, deadline=None)
+def test_compiled_float_arithmetic_matches_python(a, b):
+    source = ("def f(a: float, b: float) -> float:\n"
+              "    return (a + b) * 2.0 - a * b\n")
+    func = compile_kernel(source)
+    module = Module("m")
+    module.add_function(func)
+    trace = Interpreter(module).run("f", [a, b])
+    assert trace.return_value == pytest.approx((a + b) * 2.0 - a * b,
+                                               rel=1e-12, abs=1e-12)
+
+
+@given(st.integers(-1000, 1000), st.integers(1, 100))
+@settings(max_examples=40, deadline=None)
+def test_division_truncates_toward_zero(a, b):
+    source = ("def f(a: int, b: int) -> int:\n"
+              "    return a // b + (a % b) * 1000000\n")
+    func = compile_kernel(source)
+    module = Module("m")
+    module.add_function(func)
+    trace = Interpreter(module).run("f", [a, b])
+    quotient = int(a / b)  # trunc
+    remainder = a - b * quotient
+    assert trace.return_value == quotient + remainder * 1000000
+
+
+# ---------------------------------------------------------------------------
+# cache tags vs a reference set-associative model
+# ---------------------------------------------------------------------------
+
+class _RefCache:
+    """LRU set-associative reference: list of lines per set."""
+
+    def __init__(self, sets, ways):
+        self.sets = [[] for _ in range(sets)]
+        self.ways = ways
+
+    def access(self, line):
+        bucket = self.sets[line % len(self.sets)]
+        hit = line in bucket
+        if hit:
+            bucket.remove(line)
+        elif len(bucket) >= self.ways:
+            bucket.pop(0)
+        bucket.append(line)
+        return hit
+
+
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_cache_hits_match_reference_lru(lines):
+    scheduler = Scheduler()
+    stats = CacheStats()
+    sink = []
+
+    def backing(request, cycle):
+        if request.callback:
+            scheduler.at(cycle + 1, request.callback)
+
+    cache = Cache(CacheConfig(size_bytes=16 * 64, line_bytes=64,
+                              associativity=4, latency=1,
+                              mshr_entries=64),
+                  scheduler, backing, stats)
+    reference = _RefCache(sets=4, ways=4)
+    expected_hits = 0
+    cycle = 0
+    for line in lines:
+        cache.access(MemRequest(line * 64, 8,
+                                callback=lambda c: None), cycle)
+        # drain so each access sees a settled cache (no MSHR merging)
+        while scheduler.pending:
+            scheduler.run_due(scheduler.next_cycle())
+        expected_hits += reference.access(line)
+        cycle += 100
+    assert stats.hits == expected_hits
+
+
+# ---------------------------------------------------------------------------
+# SimpleDRAM never exceeds its bandwidth budget
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(0, 500), min_size=1, max_size=80))
+@settings(max_examples=40, deadline=None)
+def test_simple_dram_bandwidth_invariant(arrival_cycles):
+    scheduler = Scheduler()
+    stats = DRAMStats()
+    config = SimpleDRAMConfig(min_latency=50, bandwidth_gbps=4.0,
+                              epoch_cycles=40)
+    dram = SimpleDRAM(config, scheduler, stats, frequency_ghz=2.0)
+    completions = []
+    for cycle in sorted(arrival_cycles):
+        dram.access(MemRequest(0, 64, callback=completions.append), cycle)
+    while scheduler.pending:
+        scheduler.run_due(scheduler.next_cycle())
+    per_epoch = config.requests_per_epoch(2.0)
+    counts = {}
+    for when in completions:
+        counts[when // config.epoch_cycles] = \
+            counts.get(when // config.epoch_cycles, 0) + 1
+    assert all(v <= per_epoch for v in counts.values())
+    assert len(completions) == len(arrival_cycles)
+
+
+# ---------------------------------------------------------------------------
+# dominator laws on arbitrary compiled CFGs
+# ---------------------------------------------------------------------------
+
+@given(st.integers(0, 3), st.integers(0, 3))
+@settings(max_examples=20, deadline=None)
+def test_dominator_laws(depth_a, depth_b):
+    body = "    x = 0\n"
+    for i in range(depth_a):
+        body += f"    if n > {i}:\n        x += {i + 1}\n"
+    body += f"    for i in range({depth_b + 1}):\n        x += i\n"
+    source = f"def f(n: int) -> int:\n{body}    return x\n"
+    func = compile_kernel(source)
+    dom = DominatorTree(func)
+    entry = func.entry
+    for block in dom.order:
+        # entry dominates everything; idom dominates its children
+        assert dom.dominates(entry, block)
+        if block is not entry:
+            assert dom.dominates(dom.idom[id(block)], block)
+    # dominance is antisymmetric (except reflexive)
+    for a in dom.order:
+        for b in dom.order:
+            if a is not b and dom.dominates(a, b):
+                assert not dom.dominates(b, a)
+
+
+# ---------------------------------------------------------------------------
+# trace roundtrip
+# ---------------------------------------------------------------------------
+
+@given(
+    blocks=st.lists(st.integers(0, 20), max_size=40),
+    addresses=st.dictionaries(st.integers(0, 30),
+                              st.lists(st.integers(0, 2**40), max_size=8),
+                              max_size=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_trace_serialization_roundtrip(tmp_path_factory, blocks, addresses):
+    from repro.trace import load_traces, save_traces
+    trace = KernelTrace("k")
+    trace.block_trace = list(blocks)
+    trace.addr_trace = {k: list(v) for k, v in addresses.items()}
+    path = tmp_path_factory.mktemp("traces") / "t.bin"
+    save_traces([trace], path)
+    loaded = load_traces(path)[0]
+    assert loaded.block_trace == trace.block_trace
+    assert loaded.addr_trace == trace.addr_trace
+
+
+# ---------------------------------------------------------------------------
+# SPMD partition covers every element exactly once
+# ---------------------------------------------------------------------------
+
+@given(n=st.integers(1, 200), tiles=st.integers(1, 9))
+@settings(max_examples=30, deadline=None)
+def test_block_partition_covers_exactly(n, tiles):
+    seen = []
+    for t in range(tiles):
+        start = (n * t) // tiles
+        end = (n * (t + 1)) // tiles
+        seen.extend(range(start, end))
+    assert seen == list(range(n))

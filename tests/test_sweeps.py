@@ -1,0 +1,76 @@
+"""Sweep-utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    dae_hierarchy, prepare, sweep_core, sweep_hierarchy, xeon_hierarchy,
+)
+from repro.ir import F64
+from repro.sim.config import CoreConfig
+from repro.trace import SimMemory
+
+from . import kernels
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    mem = SimMemory()
+    n = 128
+    A = mem.alloc(n, F64, "A", init=np.ones(n))
+    B = mem.alloc(n, F64, "B", init=np.ones(n))
+    return prepare(kernels.saxpy, [A, B, n, 2.0], memory=mem)
+
+
+BASE = CoreConfig(issue_width=4, rob_size=64, lsq_size=64,
+                  branch_predictor="perfect")
+
+
+class TestSweepCore:
+    def test_grid_cardinality(self, prepared):
+        result = sweep_core(prepared, BASE,
+                            {"issue_width": [1, 2], "rob_size": [8, 64]},
+                            hierarchy_factory=dae_hierarchy)
+        assert len(result.points) == 4
+        combos = {(p.parameters["issue_width"], p.parameters["rob_size"])
+                  for p in result.points}
+        assert combos == {(1, 8), (1, 64), (2, 8), (2, 64)}
+
+    def test_best_finds_minimum(self, prepared):
+        result = sweep_core(prepared, BASE,
+                            {"rob_size": [1, 64]},
+                            hierarchy_factory=dae_hierarchy)
+        best = result.best("cycles")
+        assert best.parameters["rob_size"] == 64
+        assert best.cycles == min(p.cycles for p in result.points)
+
+    def test_table_renders_all_points(self, prepared):
+        result = sweep_core(prepared, BASE, {"issue_width": [1, 4]},
+                            hierarchy_factory=dae_hierarchy)
+        text = result.table(title="T")
+        assert "issue_width" in text and "cycles" in text
+        assert len(text.splitlines()) == 3 + 2  # title + header + rule + 2
+
+    def test_points_are_deterministic(self, prepared):
+        first = sweep_core(prepared, BASE, {"issue_width": [2]},
+                           hierarchy_factory=dae_hierarchy)
+        second = sweep_core(prepared, BASE, {"issue_width": [2]},
+                            hierarchy_factory=dae_hierarchy)
+        assert first.points[0].cycles == second.points[0].cycles
+
+
+class TestSweepHierarchy:
+    def test_named_configs(self, prepared):
+        result = sweep_hierarchy(prepared, BASE, {
+            "dae": dae_hierarchy(),
+            "xeon": xeon_hierarchy(),
+        })
+        names = {p.parameters["hierarchy"] for p in result.points}
+        assert names == {"dae", "xeon"}
+        assert all(p.cycles > 0 for p in result.points)
+
+    def test_empty_result_table(self):
+        from repro.harness.sweeps import SweepResult
+        assert SweepResult().table(title="nothing") == "nothing"
+        with pytest.raises(ValueError):
+            SweepResult().best()

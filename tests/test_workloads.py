@@ -1,0 +1,134 @@
+"""Workload tests: every benchmark compiles, traces, verifies its output,
+and carries the paper-reported bottleneck character."""
+
+import numpy as np
+import pytest
+
+from repro.harness import prepare, simulate, xeon_core, xeon_hierarchy
+from repro.workloads import PAPER_ORDER, PARBOIL, build_parboil
+from repro.workloads import datasets
+from repro.workloads.graphproj import build as build_graphproj
+from repro.workloads.sinkhorn import build_combined, build_ewsd
+
+
+class TestParboilFunctional:
+    @pytest.mark.parametrize("name", sorted(PARBOIL))
+    def test_single_tile_correct(self, name):
+        w = build_parboil(name)
+        prepare(w.kernel, w.args, num_tiles=1, memory=w.memory)
+        w.verify()
+
+    @pytest.mark.parametrize("name", ["bfs", "sgemm", "spmv", "histo",
+                                      "stencil", "lbm"])
+    def test_four_tiles_correct(self, name):
+        w = build_parboil(name)
+        prepare(w.kernel, w.args, num_tiles=4, memory=w.memory)
+        w.verify()
+
+    @pytest.mark.parametrize("name", ["cutcp", "mri-q", "mri-gridding",
+                                      "sad", "tpacf"])
+    def test_two_tiles_correct(self, name):
+        w = build_parboil(name)
+        prepare(w.kernel, w.args, num_tiles=2, memory=w.memory)
+        w.verify()
+
+    def test_paper_order_complete(self):
+        assert len(PAPER_ORDER) == 11
+        assert set(PAPER_ORDER) == set(PARBOIL)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError, match="unknown Parboil"):
+            build_parboil("nonesuch")
+
+    def test_sizes_parameterizable(self):
+        small = build_parboil("sgemm", n=8, m=8, k=8)
+        prepare(small.kernel, small.args, memory=small.memory)
+        small.verify()
+        assert small.params["n"] == 8
+
+
+class TestCharacterization:
+    """The paper's Figure 6 claim: IPC separates memory-bound from
+    compute-bound kernels."""
+
+    @pytest.fixture(scope="class")
+    def ipcs(self):
+        out = {}
+        for name in ("bfs", "spmv", "sgemm", "mri-q"):
+            w = build_parboil(name)
+            stats = simulate(w.kernel, w.args, core=xeon_core(),
+                             hierarchy=xeon_hierarchy())
+            out[name] = stats.ipc
+        return out
+
+    def test_bfs_is_memory_bound(self, ipcs):
+        assert ipcs["bfs"] < ipcs["sgemm"]
+        assert ipcs["bfs"] < ipcs["mri-q"]
+
+    def test_spmv_below_compute_kernels(self, ipcs):
+        assert ipcs["spmv"] < ipcs["sgemm"]
+
+    def test_compute_kernels_exceed_one_ipc(self, ipcs):
+        assert ipcs["sgemm"] > 1.0
+        assert ipcs["mri-q"] > 1.0
+
+
+class TestCaseStudyWorkloads:
+    def test_graph_projection_correct(self):
+        w = build_graphproj(nleft=24, nright=16)
+        prepare(w.kernel, w.args, memory=w.memory)
+        w.verify()
+
+    def test_graph_projection_spmd(self):
+        w = build_graphproj(nleft=24, nright=16)
+        prepare(w.kernel, w.args, num_tiles=4, memory=w.memory)
+        w.verify()
+
+    def test_ewsd_correct(self):
+        w = build_ewsd(nnz=128, dense_len=256)
+        prepare(w.kernel, w.args, memory=w.memory)
+        w.verify()
+
+    @pytest.mark.parametrize("mix", ["dense-heavy", "equal", "sparse-heavy"])
+    def test_combined_kernel(self, mix):
+        w = build_combined(mix=mix)
+        prepare(w.kernel, w.args, num_tiles=2, memory=w.memory)
+        w.verify()
+
+    def test_combined_bad_mix_rejected(self):
+        with pytest.raises(KeyError):
+            build_combined(mix="nope")
+
+
+class TestDatasets:
+    def test_csr_well_formed(self):
+        row_ptr, col, val = datasets.csr_matrix(50, 40, 5, seed=1)
+        assert row_ptr[0] == 0
+        assert row_ptr[-1] == len(col) == len(val)
+        assert np.all(np.diff(row_ptr) >= 1)
+        assert col.max() < 40
+
+    def test_graph_csr_no_self_loops(self):
+        row_ptr, nbr = datasets.random_graph_csr(40, 4, seed=2)
+        for v in range(40):
+            assert v not in nbr[row_ptr[v]:row_ptr[v + 1]]
+
+    def test_bipartite_targets_in_range(self):
+        row_ptr, edges = datasets.bipartite_graph(30, 20, 4, seed=3)
+        assert edges.max() < 20
+        assert row_ptr[-1] == len(edges)
+
+    def test_determinism(self):
+        a1 = datasets.dense_matrix(5, 5, seed=7)
+        a2 = datasets.dense_matrix(5, 5, seed=7)
+        assert np.array_equal(a1, a2)
+        assert not np.array_equal(a1, datasets.dense_matrix(5, 5, seed=8))
+
+    def test_angular_points_unit_norm(self):
+        points = datasets.angular_points(20, seed=4)
+        assert np.allclose(np.linalg.norm(points, axis=1), 1.0)
+
+    def test_image_frames_correlated(self):
+        cur, ref = datasets.image_frames(16, 16, seed=5)
+        assert cur.shape == ref.shape == (16, 16)
+        assert 0 <= cur.min() and cur.max() <= 255
