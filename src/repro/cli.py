@@ -18,10 +18,14 @@ from typing import Dict, List, Optional, Sequence
 
 from .frontend import compile_kernel
 from .harness import (
-    dae_hierarchy, inorder_core, ooo_core, prepare, prepare_dae_sliced,
-    render_table, simulate, simulate_dae, xeon_core, xeon_hierarchy,
+    DEFAULT_MAX_CYCLES, dae_hierarchy, inorder_core, ooo_core, prepare,
+    prepare_dae_sliced, render_table, run_supervised, simulate, simulate_dae,
+    xeon_core, xeon_hierarchy,
 )
 from .ir import format_function
+from .resilience import FaultPlan
+from .sim.config import ConfigError
+from .sim.errors import DeadlockError, SimulationError
 from .trace import save_traces
 from .workloads import PARBOIL, build_parboil
 from .workloads.graphproj import build as _build_graphproj
@@ -99,13 +103,73 @@ def cmd_simulate(args) -> int:
     hierarchy = (load_hierarchy_config(args.hierarchy_config)
                  if getattr(args, "hierarchy_config", None)
                  else _hierarchy(args.hierarchy))
-    stats = simulate(workload.kernel, workload.args, core=core,
-                     num_tiles=args.tiles, hierarchy=hierarchy)
+    if args.retries > 0:
+        outcome = run_supervised(
+            workload.kernel, workload.args, core=core,
+            num_tiles=args.tiles, hierarchy=hierarchy,
+            max_cycles=args.max_cycles, wall_clock_limit=args.timeout,
+            retries=args.retries)
+        if not outcome.ok:
+            print(f"run failed: {outcome.status} after {outcome.attempts} "
+                  f"attempt(s): {outcome.error}", file=sys.stderr)
+            return 2
+        stats = outcome.stats
+    else:
+        stats = simulate(workload.kernel, workload.args, core=core,
+                         num_tiles=args.tiles, hierarchy=hierarchy,
+                         max_cycles=args.max_cycles,
+                         wall_clock_limit=args.timeout)
     workload.verify()
     print(f"workload: {workload.name}  system: {args.tiles}x {core.name} "
           f"/ {args.hierarchy_config or args.hierarchy}")
     print(stats.summary())
     return 0
+
+
+def cmd_inject(args) -> int:
+    """Fault-injection campaign: run a workload under a deterministic
+    FaultPlan, under supervision, and report faults + outcome."""
+    plan = FaultPlan(
+        seed=args.seed,
+        bitflip_load_rate=args.bitflip_rate,
+        message_drop_rate=args.drop_rate,
+        message_delay_rate=args.delay_rate,
+        dram_stall_rate=args.dram_stall_rate,
+        accel_fault_rate=args.accel_fault_rate,
+    )
+    plan.validate()
+
+    def fresh():
+        w = _build(args.workload, args.size)
+        return w.kernel, w.args, w.memory
+
+    workload = _build(args.workload, args.size)
+    outcome = run_supervised(
+        workload.kernel, workload.args, plan=plan,
+        core=_core(args.core), num_tiles=args.tiles,
+        hierarchy=_hierarchy(args.hierarchy),
+        max_cycles=args.max_cycles, wall_clock_limit=args.timeout,
+        retries=args.retries, fresh=fresh)
+    print(f"workload: {workload.name}  plan: seed={plan.seed} "
+          f"bitflip={plan.bitflip_load_rate} drop={plan.message_drop_rate} "
+          f"delay={plan.message_delay_rate} "
+          f"dram-stall={plan.dram_stall_rate} "
+          f"accel-fault={plan.accel_fault_rate}")
+    print(f"outcome: {outcome.status}  attempts: {outcome.attempts}  "
+          f"wall: {outcome.wall_seconds:.2f}s  "
+          f"faults injected: {len(outcome.fault_log)}")
+    if outcome.fault_log:
+        by_kind = {}
+        for record in outcome.fault_log:
+            key = f"{record.site}.{record.kind}"
+            by_kind[key] = by_kind.get(key, 0) + 1
+        for key in sorted(by_kind):
+            print(f"  {key}: {by_kind[key]}")
+    if outcome.ok:
+        print(outcome.stats.summary())
+        return 0
+    print(f"error: {outcome.error}", file=sys.stderr)
+    return 2
 
 
 def cmd_dump_config(args) -> int:
@@ -185,8 +249,19 @@ def build_parser() -> argparse.ArgumentParser:
         "ir", help="print a workload kernel's IR"))
     ir_cmd.set_defaults(func=cmd_ir)
 
-    sim = with_workload(commands.add_parser(
-        "simulate", help="simulate a workload on a system preset"))
+    def with_supervision(sub):
+        sub.add_argument("--max-cycles", type=int,
+                         default=DEFAULT_MAX_CYCLES,
+                         help="cycle budget before the run is abandoned")
+        sub.add_argument("--retries", type=int, default=0,
+                         help="retry transient failures up to N times")
+        sub.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock watchdog limit")
+        return sub
+
+    sim = with_supervision(with_workload(commands.add_parser(
+        "simulate", help="simulate a workload on a system preset")))
     sim.add_argument("--core", default="ooo", choices=sorted(CORES))
     sim.add_argument("--tiles", type=int, default=1)
     sim.add_argument("--hierarchy", default="dae",
@@ -198,6 +273,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="load the memory hierarchy from a JSON config "
                           "file (overrides --hierarchy)")
     sim.set_defaults(func=cmd_simulate)
+
+    inject = with_supervision(with_workload(commands.add_parser(
+        "inject", help="run a deterministic fault-injection campaign")))
+    inject.add_argument("--core", default="ooo", choices=sorted(CORES))
+    inject.add_argument("--tiles", type=int, default=1)
+    inject.add_argument("--hierarchy", default="dae",
+                        choices=sorted(HIERARCHIES))
+    inject.add_argument("--seed", type=int, default=0,
+                        help="fault-plan seed (same seed = same faults)")
+    inject.add_argument("--bitflip-rate", type=float, default=0.0,
+                        help="probability a functional load is bit-flipped")
+    inject.add_argument("--drop-rate", type=float, default=0.0,
+                        help="probability a fabric message is dropped")
+    inject.add_argument("--delay-rate", type=float, default=0.0,
+                        help="probability a fabric message is delayed")
+    inject.add_argument("--dram-stall-rate", type=float, default=0.0,
+                        help="probability a DRAM response stalls")
+    inject.add_argument("--accel-fault-rate", type=float, default=0.0,
+                        help="probability an accelerator invocation faults")
+    inject.set_defaults(func=cmd_inject)
 
     dump = commands.add_parser(
         "dump-config", help="write a system preset as editable JSON files")
@@ -228,11 +323,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .sim.configfile import ConfigFileError
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
     except SystemExit:
         raise
+    except DeadlockError as exc:
+        print(f"deadlock: {exc}", file=sys.stderr)
+        return 2
+    except SimulationError as exc:
+        print(f"simulation error: {exc}", file=sys.stderr)
+        return 2
+    except (ConfigError, ConfigFileError) as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
     except Exception as exc:  # surface tool errors cleanly, not as
         raise SystemExit(f"error: {exc}")  # tracebacks
 

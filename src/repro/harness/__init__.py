@@ -7,10 +7,14 @@ from .reference import (
 )
 from .reporting import geomean, render_bars, render_table
 from .runner import (
-    DAEPairSpec, Prepared, prepare, prepare_dae, prepare_dae_sliced,
-    simulate, simulate_dae, simulate_heterogeneous,
+    DAEPairSpec, DEFAULT_MAX_CYCLES, FaultedRun, Prepared, RunOutcome,
+    classify_failure, prepare, prepare_dae, prepare_dae_sliced,
+    run_supervised, run_with_faults, simulate, simulate_dae,
+    simulate_heterogeneous,
 )
-from .sweeps import SweepPoint, SweepResult, sweep_core, sweep_hierarchy
+from .sweeps import (
+    SweepPoint, SweepResult, sweep_core, sweep_hierarchy, sweep_runs,
+)
 from .simspeed import PAPER_MIPS, SpeedReport, measure_simulation_speed, \
     trace_footprint_bytes
 from .systems import (
@@ -23,10 +27,12 @@ __all__ = [
     "accuracy_factor", "fold_for_x86", "reference_stats",
     "x86_reference_core", "x86_reference_hierarchy",
     "geomean", "render_bars", "render_table",
-    "DAEPairSpec", "Prepared", "prepare", "prepare_dae",
-    "prepare_dae_sliced", "simulate", "simulate_dae",
-    "simulate_heterogeneous",
+    "DAEPairSpec", "DEFAULT_MAX_CYCLES", "FaultedRun", "Prepared",
+    "RunOutcome", "classify_failure", "prepare", "prepare_dae",
+    "prepare_dae_sliced", "run_supervised", "run_with_faults", "simulate",
+    "simulate_dae", "simulate_heterogeneous",
     "SweepPoint", "SweepResult", "sweep_core", "sweep_hierarchy",
+    "sweep_runs",
     "PAPER_MIPS", "SpeedReport", "measure_simulation_speed",
     "trace_footprint_bytes",
     "DAE_QUEUE_ENTRIES", "DAE_QUEUE_LATENCY", "INO_AREA_MM2",

@@ -14,18 +14,24 @@ generate memory and control flow path traces"):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..frontend.compiler import compile_kernel
 from ..ir.function import Function, Module
 from ..memory.hierarchy import MemorySystem
 from ..passes.ddg import StaticDDG, build_ddg
 from ..passes.dae_slicing import mark_decoupled, slice_dae
+from ..resilience.faults import FaultInjector, FaultPlan, FaultRecord
 from ..sim.accelerator.tile import AcceleratorFarm
 from ..sim.comm.fabric import CommFabric
-from ..sim.config import CoreConfig, MemoryHierarchyConfig
+from ..sim.config import ConfigError, CoreConfig, MemoryHierarchyConfig
 from ..sim.core.model import CoreTile
+from ..sim.errors import (
+    AcceleratorFaultError, CycleBudgetExceeded, DeadlockError,
+    SimulationError, WatchdogTimeout,
+)
 from ..sim.events import Scheduler
 from ..sim.interleaver import Interleaver
 from ..sim.statistics import SystemStats
@@ -35,6 +41,8 @@ from ..trace.tracefile import KernelTrace
 from .systems import DAE_QUEUE_ENTRIES
 
 Kernel = Union[str, Callable, Function]
+
+DEFAULT_MAX_CYCLES = 2_000_000_000
 
 
 def _infer_memory(args: Sequence) -> SimMemory:
@@ -57,14 +65,25 @@ class Prepared:
 
 
 def prepare(kernel: Kernel, args: Sequence, *, num_tiles: int = 1,
-            memory: Optional[SimMemory] = None) -> Prepared:
-    """Compile ``kernel`` and generate SPMD traces for ``num_tiles``."""
+            memory: Optional[SimMemory] = None,
+            injector: Optional[FaultInjector] = None) -> Prepared:
+    """Compile ``kernel`` and generate SPMD traces for ``num_tiles``.
+
+    With ``injector``, functional loads during trace generation may
+    return bit-flipped values (deterministic under the injector's seed).
+    """
     func = kernel if isinstance(kernel, Function) else compile_kernel(kernel)
     module = Module(func.name)
     module.add_function(func)
     mem = memory if memory is not None else _infer_memory(args)
     interp = Interpreter(module, mem)
-    traces = interp.run_spmd(func.name, args, num_tiles)
+    if injector is not None:
+        mem.injector = injector
+    try:
+        traces = interp.run_spmd(func.name, args, num_tiles)
+    finally:
+        if injector is not None:
+            mem.injector = None
     return Prepared(func, build_ddg(func), traces, mem)
 
 
@@ -76,12 +95,20 @@ def simulate(kernel: Kernel, args: Sequence, *,
              memory: Optional[SimMemory] = None,
              frequency_ghz: Optional[float] = None,
              prepared: Optional[Prepared] = None,
-             max_cycles: int = 2_000_000_000) -> SystemStats:
+             max_cycles: int = DEFAULT_MAX_CYCLES,
+             wall_clock_limit: Optional[float] = None,
+             injector: Optional[FaultInjector] = None) -> SystemStats:
     """One-stop homogeneous simulation: ``num_tiles`` copies of ``core``
-    running the SPMD kernel over a shared memory hierarchy."""
+    running the SPMD kernel over a shared memory hierarchy.
+
+    ``injector`` wires timing-level fault injection (fabric, DRAM,
+    accelerators) into the run; ``wall_clock_limit`` arms the watchdog.
+    """
     core = core if core is not None else CoreConfig()
+    core.validate()
     if prepared is None:
-        prepared = prepare(kernel, args, num_tiles=num_tiles, memory=memory)
+        prepared = prepare(kernel, args, num_tiles=num_tiles, memory=memory,
+                           injector=injector)
     if len(prepared.traces) < num_tiles:
         raise ValueError(
             f"prepared traces cover {len(prepared.traces)} tile(s) but "
@@ -91,17 +118,22 @@ def simulate(kernel: Kernel, args: Sequence, *,
     scheduler = Scheduler()
     memsys = None
     if hierarchy is not None:
-        memsys = MemorySystem(hierarchy, num_tiles, scheduler, freq)
+        memsys = MemorySystem(hierarchy, num_tiles, scheduler, freq,
+                              injector=injector)
+    fabric = CommFabric(injector=injector) if injector is not None else None
+    if accelerators is not None and injector is not None:
+        accelerators.injector = injector
     tiles = []
     for t in range(num_tiles):
         tile = CoreTile(f"{core.name}{t}", t, core, prepared.ddg,
                         prepared.traces[t])
         tile.barrier_group_size = num_tiles
         tiles.append(tile)
-    interleaver = Interleaver(tiles, memory=memsys,
+    interleaver = Interleaver(tiles, memory=memsys, fabric=fabric,
                               accelerators=accelerators,
                               frequency_ghz=freq, max_cycles=max_cycles,
-                              scheduler=scheduler)
+                              scheduler=scheduler,
+                              wall_clock_limit=wall_clock_limit)
     return interleaver.run()
 
 
@@ -111,7 +143,10 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
                            accelerators: Optional[AcceleratorFarm] = None,
                            memory: Optional[SimMemory] = None,
                            prepared: Optional[Prepared] = None,
-                           max_cycles: int = 2_000_000_000) -> SystemStats:
+                           max_cycles: int = DEFAULT_MAX_CYCLES,
+                           wall_clock_limit: Optional[float] = None,
+                           injector: Optional[FaultInjector] = None
+                           ) -> SystemStats:
     """Heterogeneous SPMD simulation: one tile per entry of ``cores``,
     each with its own microarchitecture and clock (paper §II: "MosaicSim
     can simulate more heterogeneous processors by providing, and hence
@@ -124,9 +159,12 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
     """
     if not cores:
         raise ValueError("simulate_heterogeneous needs at least one core")
+    for c in cores:
+        c.validate()
     num_tiles = len(cores)
     if prepared is None:
-        prepared = prepare(kernel, args, num_tiles=num_tiles, memory=memory)
+        prepared = prepare(kernel, args, num_tiles=num_tiles, memory=memory,
+                           injector=injector)
     if len(prepared.traces) < num_tiles:
         raise ValueError(
             f"prepared traces cover {len(prepared.traces)} tile(s) but "
@@ -135,7 +173,11 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
     scheduler = Scheduler()
     memsys = None
     if hierarchy is not None:
-        memsys = MemorySystem(hierarchy, num_tiles, scheduler, fastest)
+        memsys = MemorySystem(hierarchy, num_tiles, scheduler, fastest,
+                              injector=injector)
+    fabric = CommFabric(injector=injector) if injector is not None else None
+    if accelerators is not None and injector is not None:
+        accelerators.injector = injector
     tiles = []
     for index, core in enumerate(cores):
         period = max(1, round(fastest / core.frequency_ghz))
@@ -143,10 +185,11 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
                         prepared.traces[index], period=period)
         tile.barrier_group_size = num_tiles
         tiles.append(tile)
-    interleaver = Interleaver(tiles, memory=memsys,
+    interleaver = Interleaver(tiles, memory=memsys, fabric=fabric,
                               accelerators=accelerators,
                               frequency_ghz=fastest, max_cycles=max_cycles,
-                              scheduler=scheduler)
+                              scheduler=scheduler,
+                              wall_clock_limit=wall_clock_limit)
     return interleaver.run()
 
 
@@ -209,17 +252,24 @@ def simulate_dae(specs: List[DAEPairSpec], *,
                  accelerators: Optional[AcceleratorFarm] = None,
                  queue_entries: int = DAE_QUEUE_ENTRIES,
                  frequency_ghz: Optional[float] = None,
-                 max_cycles: int = 2_000_000_000) -> SystemStats:
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 wall_clock_limit: Optional[float] = None,
+                 injector: Optional[FaultInjector] = None) -> SystemStats:
     """Simulate P DAE pairs: tiles 0..P-1 are access cores, P..2P-1 the
     matching execute cores, communicating through bounded DAE queues."""
     pairs = len(specs)
+    access_core.validate()
+    execute_core.validate()
     freq = frequency_ghz if frequency_ghz is not None \
         else access_core.frequency_ghz
     scheduler = Scheduler()
     memsys = None
     if hierarchy is not None:
-        memsys = MemorySystem(hierarchy, 2 * pairs, scheduler, freq)
-    fabric = CommFabric(dae_queue_capacity=queue_entries)
+        memsys = MemorySystem(hierarchy, 2 * pairs, scheduler, freq,
+                              injector=injector)
+    fabric = CommFabric(dae_queue_capacity=queue_entries, injector=injector)
+    if accelerators is not None and injector is not None:
+        accelerators.injector = injector
     tiles = []
     for p, spec in enumerate(specs):
         access = CoreTile(f"access{p}", p, access_core, spec.access_ddg,
@@ -237,5 +287,149 @@ def simulate_dae(specs: List[DAEPairSpec], *,
         tiles.append(execute)
     interleaver = Interleaver(tiles, memory=memsys, fabric=fabric,
                               accelerators=accelerators, frequency_ghz=freq,
-                              max_cycles=max_cycles, scheduler=scheduler)
+                              max_cycles=max_cycles, scheduler=scheduler,
+                              wall_clock_limit=wall_clock_limit)
     return interleaver.run()
+
+
+# -- fault injection + supervised runs (robustness layer) ------------------------
+
+@dataclass
+class FaultedRun:
+    """Result of :func:`run_with_faults`: stats plus the fault log."""
+
+    stats: SystemStats
+    fault_log: Tuple[FaultRecord, ...]
+    injector: FaultInjector
+
+    @property
+    def fault_summary(self):
+        return self.injector.summary()
+
+
+def run_with_faults(kernel: Kernel, args: Sequence, *,
+                    plan: FaultPlan,
+                    core: Optional[CoreConfig] = None,
+                    num_tiles: int = 1,
+                    hierarchy: Optional[MemoryHierarchyConfig] = None,
+                    accelerators: Optional[AcceleratorFarm] = None,
+                    memory: Optional[SimMemory] = None,
+                    max_cycles: int = DEFAULT_MAX_CYCLES,
+                    wall_clock_limit: Optional[float] = None) -> FaultedRun:
+    """Simulate under a deterministic :class:`FaultPlan`.
+
+    The same ``plan`` (same seed) over the same workload reproduces the
+    exact same faults, and therefore bit-identical :class:`SystemStats`
+    and fault logs — the property the resilience tests assert.
+    """
+    plan.validate()
+    injector = FaultInjector(plan)
+    stats = simulate(kernel, args, core=core, num_tiles=num_tiles,
+                     hierarchy=hierarchy, accelerators=accelerators,
+                     memory=memory, max_cycles=max_cycles,
+                     wall_clock_limit=wall_clock_limit, injector=injector)
+    return FaultedRun(stats, tuple(injector.log), injector)
+
+
+@dataclass
+class RunOutcome:
+    """Per-run record kept by the supervisor (and by sweeps): what
+    happened, how many attempts it took, and how long it ran."""
+
+    status: str                      # ok | deadlock | timeout | fault |
+                                     # error | config-error
+    stats: Optional[SystemStats] = None
+    error: str = ""
+    attempts: int = 1
+    fault_log: Tuple[FaultRecord, ...] = ()
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map a simulation exception to a coarse outcome label."""
+    if isinstance(exc, DeadlockError):
+        return "deadlock"
+    if isinstance(exc, (CycleBudgetExceeded, WatchdogTimeout)):
+        return "timeout"
+    if isinstance(exc, AcceleratorFaultError):
+        return "fault"
+    if isinstance(exc, ConfigError):
+        return "config-error"
+    if isinstance(exc, SimulationError):
+        return "error"
+    return "error"
+
+
+def _is_transient(exc: BaseException) -> bool:
+    """Only transient faults are worth retrying: deadlocks and cycle
+    budget blowouts are deterministic under a fixed plan, but a reseeded
+    plan changes the fault pattern, so fault-class failures may clear."""
+    if isinstance(exc, AcceleratorFaultError):
+        return exc.transient
+    return isinstance(exc, (DeadlockError, CycleBudgetExceeded,
+                            WatchdogTimeout))
+
+
+def run_supervised(kernel: Kernel, args: Sequence, *,
+                   plan: Optional[FaultPlan] = None,
+                   core: Optional[CoreConfig] = None,
+                   num_tiles: int = 1,
+                   hierarchy: Optional[MemoryHierarchyConfig] = None,
+                   accelerators: Optional[AcceleratorFarm] = None,
+                   memory: Optional[SimMemory] = None,
+                   max_cycles: int = DEFAULT_MAX_CYCLES,
+                   wall_clock_limit: Optional[float] = None,
+                   retries: int = 0,
+                   backoff_seconds: float = 0.0,
+                   fresh: Optional[Callable[[], tuple]] = None
+                   ) -> RunOutcome:
+    """Run a simulation under supervision: cycle budget, wall-clock
+    watchdog, and retry-with-backoff for transient faults.
+
+    Never raises for simulation failures — returns a :class:`RunOutcome`
+    whose ``status`` classifies what happened, so sweeps degrade
+    gracefully instead of dying on the first bad configuration.
+
+    Retries re-run with ``plan.reseeded(attempt)`` so a different (but
+    still deterministic) fault pattern is drawn each attempt. When the
+    workload mutates its own memory (most kernels do), pass ``fresh``: a
+    zero-argument callable returning a new ``(kernel, args, memory)``
+    triple per attempt, so retries start from pristine state.
+    """
+    attempts = 0
+    start = time.monotonic()
+    last_exc: Optional[BaseException] = None
+    fault_log: Tuple[FaultRecord, ...] = ()
+    while attempts <= retries:
+        attempt_plan = plan.reseeded(attempts) if plan is not None else None
+        injector = FaultInjector(attempt_plan) \
+            if attempt_plan is not None and attempt_plan.enabled else None
+        k, a, m = kernel, args, memory
+        if fresh is not None and attempts > 0:
+            k, a, m = fresh()
+        attempts += 1
+        try:
+            stats = simulate(k, a, core=core, num_tiles=num_tiles,
+                             hierarchy=hierarchy, accelerators=accelerators,
+                             memory=m, max_cycles=max_cycles,
+                             wall_clock_limit=wall_clock_limit,
+                             injector=injector)
+            return RunOutcome(
+                "ok", stats=stats, attempts=attempts,
+                fault_log=tuple(injector.log) if injector else (),
+                wall_seconds=time.monotonic() - start)
+        except (SimulationError, ConfigError) as exc:
+            last_exc = exc
+            fault_log = tuple(injector.log) if injector else ()
+            if attempts <= retries and _is_transient(exc):
+                if backoff_seconds > 0:
+                    time.sleep(backoff_seconds * (2 ** (attempts - 1)))
+                continue
+            break
+    return RunOutcome(
+        classify_failure(last_exc), error=str(last_exc), attempts=attempts,
+        fault_log=fault_log, wall_seconds=time.monotonic() - start)

@@ -6,38 +6,54 @@ lightweight plug-and-play interface" (§VII-B). These helpers run one
 prepared workload across a grid of core/memory configurations and return
 tidy result tables, reusing traces so each configuration costs only a
 timing-simulation pass.
+
+Sweeps degrade gracefully: a configuration that deadlocks, blows its
+cycle budget, or fails validation is recorded as a non-``ok`` point and
+the sweep continues, so one bad corner of the design space never costs
+the whole exploration.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from ..sim.config import CoreConfig, MemoryHierarchyConfig
+from ..resilience.faults import FaultInjector
+from ..sim.config import ConfigError, CoreConfig, MemoryHierarchyConfig
+from ..sim.errors import SimulationError
 from ..sim.statistics import SystemStats
 from .reporting import render_table
-from .runner import Prepared, simulate
+from .runner import (
+    DEFAULT_MAX_CYCLES, Prepared, classify_failure, simulate,
+)
 
 
 @dataclass
 class SweepPoint:
-    """One configuration's results."""
+    """One configuration's results (or its failure record)."""
 
     parameters: Dict[str, object]
-    stats: SystemStats
+    stats: Optional[SystemStats]
+    outcome: str = "ok"
+    error: str = ""
 
     @property
-    def cycles(self) -> int:
-        return self.stats.cycles
+    def ok(self) -> bool:
+        return self.outcome == "ok"
 
     @property
-    def ipc(self) -> float:
-        return self.stats.ipc
+    def cycles(self) -> Optional[int]:
+        return self.stats.cycles if self.stats is not None else None
 
     @property
-    def edp(self) -> float:
-        return self.stats.edp
+    def ipc(self) -> Optional[float]:
+        return self.stats.ipc if self.stats is not None else None
+
+    @property
+    def edp(self) -> Optional[float]:
+        return self.stats.edp if self.stats is not None else None
 
 
 @dataclass
@@ -45,20 +61,42 @@ class SweepResult:
     points: List[SweepPoint] = field(default_factory=list)
 
     def best(self, metric: str = "cycles") -> SweepPoint:
-        return min(self.points, key=lambda p: getattr(p, metric))
+        successful = [p for p in self.points if p.ok]
+        if not successful:
+            raise ValueError("no successful points")
+        return min(successful, key=lambda p: getattr(p, metric))
+
+    def outcomes(self) -> Dict[str, int]:
+        """Outcome label -> count, e.g. {"ok": 6, "deadlock": 1}."""
+        return dict(Counter(point.outcome for point in self.points))
 
     def table(self, metrics: Sequence[str] = ("cycles", "ipc"),
               title: str = "") -> str:
         if not self.points:
             return title
         param_names = sorted(self.points[0].parameters)
-        headers = param_names + list(metrics)
-        rows = [
-            [point.parameters[name] for name in param_names]
-            + [getattr(point, metric) for metric in metrics]
-            for point in self.points
-        ]
+        headers = param_names + list(metrics) + ["outcome"]
+        rows = []
+        for point in self.points:
+            row = [point.parameters[name] for name in param_names]
+            for metric in metrics:
+                value = getattr(point, metric)
+                row.append(value if value is not None else "-")
+            row.append(point.outcome)
+            rows.append(row)
         return render_table(headers, rows, title=title)
+
+
+def _run_point(parameters: Dict[str, object], simulate_call,
+               on_error: str) -> SweepPoint:
+    try:
+        stats = simulate_call()
+    except (SimulationError, ConfigError) as exc:
+        if on_error == "raise":
+            raise
+        return SweepPoint(parameters, None, outcome=classify_failure(exc),
+                          error=str(exc))
+    return SweepPoint(parameters, stats)
 
 
 def sweep_core(prepared: Prepared, base: CoreConfig,
@@ -66,35 +104,79 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
                hierarchy: Optional[MemoryHierarchyConfig] = None,
                hierarchy_factory: Optional[
                    Callable[[], MemoryHierarchyConfig]] = None,
-               num_tiles: int = 1) -> SweepResult:
+               num_tiles: int = 1,
+               max_cycles: int = DEFAULT_MAX_CYCLES,
+               wall_clock_limit: Optional[float] = None,
+               on_error: str = "record") -> SweepResult:
     """Simulate ``prepared`` under every combination of core-config
     overrides in ``grid`` (a dict of CoreConfig field -> values).
 
     ``hierarchy_factory`` rebuilds the memory system per point (cold
     caches for every configuration); passing ``hierarchy`` reuses one
     config object but still constructs a fresh MemorySystem per run.
+
+    ``on_error="record"`` (default) turns failures into non-``ok``
+    points; ``on_error="raise"`` propagates the first failure.
     """
     names = sorted(grid)
     result = SweepResult()
     for combo in itertools.product(*(list(grid[name]) for name in names)):
         overrides = dict(zip(names, combo))
-        core = replace(base, **overrides)
-        h = hierarchy_factory() if hierarchy_factory is not None \
-            else hierarchy
-        stats = simulate(prepared.function, [], prepared=prepared,
-                         core=core, num_tiles=num_tiles, hierarchy=h)
-        result.points.append(SweepPoint(overrides, stats))
+
+        def run(overrides=overrides):
+            core = replace(base, **overrides)
+            h = hierarchy_factory() if hierarchy_factory is not None \
+                else hierarchy
+            return simulate(prepared.function, [], prepared=prepared,
+                            core=core, num_tiles=num_tiles, hierarchy=h,
+                            max_cycles=max_cycles,
+                            wall_clock_limit=wall_clock_limit)
+
+        result.points.append(_run_point(overrides, run, on_error))
     return result
 
 
 def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
                     configurations: Dict[str, MemoryHierarchyConfig], *,
-                    num_tiles: int = 1) -> SweepResult:
+                    num_tiles: int = 1,
+                    max_cycles: int = DEFAULT_MAX_CYCLES,
+                    wall_clock_limit: Optional[float] = None,
+                    on_error: str = "record") -> SweepResult:
     """Simulate ``prepared`` under each named memory-hierarchy config."""
     result = SweepResult()
     for name, hierarchy in configurations.items():
-        stats = simulate(prepared.function, [], prepared=prepared,
-                         core=core, num_tiles=num_tiles,
-                         hierarchy=hierarchy)
-        result.points.append(SweepPoint({"hierarchy": name}, stats))
+
+        def run(hierarchy=hierarchy):
+            return simulate(prepared.function, [], prepared=prepared,
+                            core=core, num_tiles=num_tiles,
+                            hierarchy=hierarchy, max_cycles=max_cycles,
+                            wall_clock_limit=wall_clock_limit)
+
+        result.points.append(_run_point({"hierarchy": name}, run, on_error))
+    return result
+
+
+def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
+               on_error: str = "record") -> SweepResult:
+    """Simulate ``prepared`` once per named run configuration.
+
+    Each value of ``runs`` is a dict of :func:`simulate` keyword
+    arguments (``core``, ``hierarchy``, ``max_cycles``, ...) plus an
+    optional ``"plan"`` key holding a :class:`FaultPlan` for that run.
+    Failing runs are recorded (deadlock/timeout/fault/...) and the sweep
+    continues — the acceptance scenario for resilient exploration.
+    """
+    result = SweepResult()
+    for name, kwargs in runs.items():
+
+        def run(kwargs=kwargs):
+            kwargs = dict(kwargs)
+            plan = kwargs.pop("plan", None)
+            if plan is not None:
+                plan.validate()
+                kwargs["injector"] = FaultInjector(plan)
+            return simulate(prepared.function, [], prepared=prepared,
+                            **kwargs)
+
+        result.points.append(_run_point({"run": name}, run, on_error))
     return result

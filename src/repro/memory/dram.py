@@ -24,11 +24,14 @@ from .request import MemRequest
 class SimpleDRAM:
     def __init__(self, config: SimpleDRAMConfig, scheduler: Scheduler,
                  stats: DRAMStats, frequency_ghz: float,
-                 energy_sink: Optional[List[float]] = None):
+                 energy_sink: Optional[List[float]] = None,
+                 injector=None):
         self.config = config
         self.scheduler = scheduler
         self.stats = stats
         self.energy_sink = energy_sink
+        #: optional FaultInjector: extra response stalls
+        self.injector = injector
         self._per_epoch = config.requests_per_epoch(frequency_ghz)
         #: epoch index -> responses already returned in that epoch
         self._epoch_counts: Dict[int, int] = {}
@@ -50,6 +53,8 @@ class SimpleDRAM:
             completion = max(ready, epoch * self.config.epoch_cycles)
         else:
             completion = ready
+        if self.injector is not None:
+            completion += self.injector.dram_stall(request.address, cycle)
         self.stats.total_latency += completion - cycle
         if request.callback is not None:
             self.scheduler.at(completion, request.callback)
@@ -67,11 +72,14 @@ class DRAMSim2Model:
 
     def __init__(self, config: DRAMSim2Config, scheduler: Scheduler,
                  stats: DRAMStats,
-                 energy_sink: Optional[List[float]] = None):
+                 energy_sink: Optional[List[float]] = None,
+                 injector=None):
         self.config = config
         self.scheduler = scheduler
         self.stats = stats
         self.energy_sink = energy_sink
+        #: optional FaultInjector: extra response stalls
+        self.injector = injector
         num_banks = config.channels * config.banks_per_channel
         #: per-bank (open_row, next_free_cycle)
         self._banks: List[Tuple[Optional[int], int]] = [
@@ -114,6 +122,9 @@ class DRAMSim2Model:
         self._banks[bank] = (row, completion)
         self._bus_free[channel] = start + config.burst_cycles * \
             config.clock_ratio
+        if self.injector is not None:
+            # stall the response only; bank/bus state frees on schedule
+            completion += self.injector.dram_stall(request.address, cycle)
         self.stats.total_latency += completion - cycle
         if request.callback is not None:
             self.scheduler.at(completion, request.callback)

@@ -25,7 +25,9 @@ class MemorySystem:
     """Builds and owns the full cache/DRAM composition."""
 
     def __init__(self, config: MemoryHierarchyConfig, num_cores: int,
-                 scheduler: Scheduler, frequency_ghz: float = 2.0):
+                 scheduler: Scheduler, frequency_ghz: float = 2.0,
+                 injector=None):
+        config.validate()
         self.config = config
         self.num_cores = num_cores
         self.scheduler = scheduler
@@ -35,14 +37,17 @@ class MemorySystem:
         self.dram_stats = DRAMStats()
         #: aggregated per level name ("L1", "L2", "LLC")
         self.cache_stats: Dict[str, CacheStats] = {}
+        #: requests issued but not yet responded (deadlock diagnostics)
+        self.outstanding = 0
 
         if config.dram_model == "simple":
             self.dram = SimpleDRAM(config.simple_dram, scheduler,
                                    self.dram_stats, frequency_ghz,
-                                   self._dram_energy)
+                                   self._dram_energy, injector=injector)
         elif config.dram_model == "dramsim2":
             self.dram = DRAMSim2Model(config.dramsim2, scheduler,
-                                      self.dram_stats, self._dram_energy)
+                                      self.dram_stats, self._dram_energy,
+                                      injector=injector)
         else:
             raise ValueError(f"unknown DRAM model {config.dram_model!r}")
 
@@ -136,9 +141,15 @@ class MemorySystem:
                callback: Callable[[int], None],
                is_atomic: bool = False) -> None:
         """Issue one memory access from ``core_id``'s L1."""
+        self.outstanding += 1
+
+        def tracked(c: int, _done=callback) -> None:
+            self.outstanding -= 1
+            _done(c)
+
         request = MemRequest(address, size, is_write=is_write,
                              is_atomic=is_atomic, core_id=core_id,
-                             callback=callback, issue_cycle=cycle)
+                             callback=tracked, issue_cycle=cycle)
         if self.directory is not None:
             delay = self.directory.access(core_id, address,
                                           is_write or is_atomic)

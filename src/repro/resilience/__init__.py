@@ -1,0 +1,20 @@
+"""``repro.resilience`` — deterministic fault injection, supervision, and
+graceful degradation for the simulation stack.
+
+The fault model lives here (:class:`FaultPlan`, :class:`FaultInjector`);
+the run supervisor (``run_with_faults``, ``run_supervised``) lives in
+:mod:`repro.harness.runner` next to the other entry points and is
+re-exported by ``repro.harness``. See ``docs/resilience.md``.
+"""
+
+from ..sim.errors import (
+    AcceleratorFaultError, CycleBudgetExceeded, DeadlockError,
+    SimulationError, WatchdogTimeout,
+)
+from .faults import FaultInjector, FaultPlan, FaultRecord
+
+__all__ = [
+    "FaultInjector", "FaultPlan", "FaultRecord",
+    "AcceleratorFaultError", "CycleBudgetExceeded", "DeadlockError",
+    "SimulationError", "WatchdogTimeout",
+]

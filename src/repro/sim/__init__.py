@@ -5,21 +5,26 @@ inter-tile communication fabric, configuration, and statistics.
 """
 
 from .config import (
-    CacheConfig, CoreConfig, DRAMSim2Config, MemoryHierarchyConfig,
-    PrefetcherConfig, SimpleDRAMConfig,
+    CacheConfig, ConfigError, CoreConfig, DRAMSim2Config,
+    MemoryHierarchyConfig, PrefetcherConfig, SimpleDRAMConfig,
 )
 from .core.model import CoreTile
-from .events import Scheduler
-from .interleaver import DeadlockError, Interleaver, SimulationError, \
-    TileServices
+from .errors import (
+    AcceleratorFaultError, CycleBudgetExceeded, DeadlockError,
+    SimulationError, WatchdogTimeout,
+)
+from .events import Event, Scheduler
+from .interleaver import Interleaver, TileServices
 from .statistics import CacheStats, DRAMStats, SystemStats, TileStats
 from .tile import NEVER, Tile
 
 __all__ = [
-    "CacheConfig", "CoreConfig", "DRAMSim2Config", "MemoryHierarchyConfig",
-    "PrefetcherConfig", "SimpleDRAMConfig",
-    "CoreTile", "Scheduler",
-    "DeadlockError", "Interleaver", "SimulationError", "TileServices",
+    "CacheConfig", "ConfigError", "CoreConfig", "DRAMSim2Config",
+    "MemoryHierarchyConfig", "PrefetcherConfig", "SimpleDRAMConfig",
+    "CoreTile", "Event", "Scheduler",
+    "AcceleratorFaultError", "CycleBudgetExceeded", "DeadlockError",
+    "SimulationError", "WatchdogTimeout",
+    "Interleaver", "TileServices",
     "CacheStats", "DRAMStats", "SystemStats", "TileStats",
     "NEVER", "Tile",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ...trace.tracefile import AccelInvocation
+from ..errors import AcceleratorFaultError
 from .library import DESIGN_FACTORIES, params_from_invocation
 from .perf_model import AccelResult, AcceleratorDesign, \
     GenericPerformanceModel
@@ -44,6 +45,7 @@ class AcceleratorTile:
         self._instance_free = [0] * num_instances
         self.invocations = 0
         self.busy_cycles = 0
+        self.fallback_invocations = 0
 
     def invoke(self, invocation: AccelInvocation, cycle: int):
         """Returns ``(completion_cycle, energy_nj, bytes_transferred)``."""
@@ -60,6 +62,22 @@ class AcceleratorTile:
         self.busy_cycles += completion - start
         return completion, result.energy_nj, result.bytes_transferred
 
+    def fallback_invoke(self, invocation: AccelInvocation, cycle: int,
+                        slowdown: int = 8):
+        """Timing estimate for the invoking core executing the same work
+        itself (graceful degradation after an accelerator fault): the
+        accelerator's cycle count scaled by ``slowdown``, on the core —
+        no hardware instance is occupied. Functional results are
+        unaffected; the trace interpreter already computed them."""
+        _, params = params_from_invocation(invocation)
+        result: AccelResult = self._estimate(params)
+        completion = cycle + result.cycles * self.period * slowdown
+        self.fallback_invocations += 1
+        # a general-purpose core burns proportionally more energy on the
+        # same work; bytes still move through the hierarchy
+        return completion, result.energy_nj * slowdown, \
+            result.bytes_transferred
+
 
 class AcceleratorFarm:
     """Registry of accelerator tiles keyed by intrinsic name; the
@@ -67,6 +85,13 @@ class AcceleratorFarm:
 
     def __init__(self):
         self._tiles: Dict[str, AcceleratorTile] = {}
+        #: optional FaultInjector; may fail invocations
+        self.injector = None
+        #: when True, a faulted invocation falls back to core execution
+        #: instead of propagating the fault
+        self.fallback_enabled = True
+        #: core-vs-accelerator slowdown used by the fallback estimate
+        self.fallback_slowdown = 8
 
     def add(self, kind: str, tile: AcceleratorTile) -> "AcceleratorFarm":
         self._tiles[f"accel_{kind}"] = tile
@@ -80,13 +105,27 @@ class AcceleratorFarm:
     def get(self, intrinsic_name: str) -> Optional[AcceleratorTile]:
         return self._tiles.get(intrinsic_name)
 
-    def invoke(self, invocation: AccelInvocation, cycle: int):
+    def _tile_for(self, invocation: AccelInvocation) -> AcceleratorTile:
         tile = self._tiles.get(invocation.name)
         if tile is None:
             raise KeyError(
                 f"no accelerator registered for {invocation.name!r}; "
                 f"available: {sorted(self._tiles)}")
+        return tile
+
+    def invoke(self, invocation: AccelInvocation, cycle: int):
+        tile = self._tile_for(invocation)
+        if self.injector is not None:
+            transient = self.injector.accel_fault(invocation.name, cycle)
+            if transient is not None:
+                raise AcceleratorFaultError(invocation.name, cycle,
+                                            transient)
         return tile.invoke(invocation, cycle)
+
+    def fallback_invoke(self, invocation: AccelInvocation, cycle: int):
+        """Core-execution estimate for a faulted invocation."""
+        return self._tile_for(invocation).fallback_invoke(
+            invocation, cycle, self.fallback_slowdown)
 
     @property
     def tiles(self) -> Dict[str, AcceleratorTile]:

@@ -24,13 +24,24 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Tuple
 
+from ..config import ConfigError
+
 #: called with the cycle at which a waiting operation may complete
 Wakeup = Callable[[int], None]
 
 
 class CommFabric:
-    def __init__(self, dae_queue_capacity: int = 512):
+    def __init__(self, dae_queue_capacity: int = 512, injector=None):
+        if dae_queue_capacity <= 0:
+            raise ConfigError(
+                f"DAE queue capacity must be positive, got "
+                f"{dae_queue_capacity} (a zero-capacity queue can never "
+                f"pass a token and deadlocks both slices)")
         self.dae_queue_capacity = dae_queue_capacity
+        #: optional FaultInjector consulted on every send
+        self.injector = injector
+        self.dropped_messages = 0
+        self.delayed_messages = 0
         #: (src, dst) -> availability cycles of buffered messages
         self._messages: Dict[Tuple[int, int], Deque[int]] = {}
         #: (src, dst) -> waiting recv wakeups
@@ -51,6 +62,17 @@ class CommFabric:
     # -- generic messages ------------------------------------------------
     def send(self, src: int, dst: int, available_cycle: int) -> None:
         """Deposit a message that becomes visible at ``available_cycle``."""
+        if self.injector is not None:
+            action, extra = self.injector.message_action(
+                src, dst, available_cycle)
+            if action == "drop":
+                # the message vanishes; a receiver blocked on it is caught
+                # by deadlock detection or the watchdog
+                self.dropped_messages += 1
+                return
+            if action == "delay":
+                self.delayed_messages += 1
+                available_cycle += extra
         key = (src, dst)
         waiters = self._recv_waiters.get(key)
         if waiters:
@@ -181,3 +203,19 @@ class CommFabric:
     # ------------------------------------------------------------------
     def pending_messages(self) -> int:
         return sum(len(q) for q in self._messages.values())
+
+    def diagnostics(self) -> Dict[str, object]:
+        """Occupancy/waiter snapshot for deadlock diagnostics."""
+        names = set(self._queues) | set(self._reserved)
+        return {
+            "pending_messages": self.pending_messages(),
+            "queue_occupancy": {name: self.queue_occupancy(name)
+                                for name in sorted(names)},
+            "recv_waiters": sum(len(w) for w in self._recv_waiters.values()),
+            "empty_waiters": sum(len(w)
+                                 for w in self._empty_waiters.values()),
+            "full_waiters": sum(len(w) for w in self._full_waiters.values()),
+            "barriers_open": len(self._barriers),
+            "dropped_messages": self.dropped_messages,
+            "delayed_messages": self.delayed_messages,
+        }

@@ -12,6 +12,22 @@ from typing import Dict, Optional
 
 from ..ir.instructions import OpClass
 
+
+class ConfigError(ValueError):
+    """A configuration parameter is invalid. Raised by the ``validate()``
+    methods below so bad configs fail loudly at load time instead of as a
+    downstream ZeroDivisionError or hang."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
 #: default fixed instruction latencies (cycles) per functional-unit class
 DEFAULT_LATENCIES: Dict[OpClass, int] = {
     OpClass.IALU: 1,
@@ -97,6 +113,31 @@ class CoreConfig:
         """Return a copy with some fields replaced."""
         return replace(self, **kwargs)
 
+    def validate(self) -> None:
+        name = self.name
+        _require(self.issue_width >= 1,
+                 f"core {name}: issue_width must be >= 1, got "
+                 f"{self.issue_width}")
+        _require(self.rob_size >= 1,
+                 f"core {name}: rob_size must be >= 1, got {self.rob_size}")
+        _require(self.lsq_size >= 1,
+                 f"core {name}: lsq_size must be >= 1, got {self.lsq_size}")
+        _require(self.frequency_ghz > 0,
+                 f"core {name}: frequency_ghz must be positive, got "
+                 f"{self.frequency_ghz}")
+        _require(self.mispredict_penalty >= 0,
+                 f"core {name}: mispredict_penalty must be >= 0")
+        _require(self.comm_latency >= 0,
+                 f"core {name}: comm_latency must be >= 0")
+        _require(self.fp_long_latency >= 0,
+                 f"core {name}: fp_long_latency must be >= 0")
+        _require(self.live_dbb_limit is None or self.live_dbb_limit >= 1,
+                 f"core {name}: live_dbb_limit must be >= 1 or None")
+        for opclass, count in self.fu_counts.items():
+            _require(count >= 1,
+                     f"core {name}: fu_counts[{opclass.value}] must be "
+                     f">= 1, got {count}")
+
 
 @dataclass
 class CacheConfig:
@@ -121,6 +162,33 @@ class CacheConfig:
         if sets <= 0:
             raise ValueError(f"cache {self.name} too small for geometry")
         return sets
+
+    def validate(self) -> None:
+        name = self.name
+        _require(self.size_bytes > 0,
+                 f"cache {name}: size_bytes must be positive, got "
+                 f"{self.size_bytes}")
+        _require(_power_of_two(self.line_bytes),
+                 f"cache {name}: line_bytes must be a positive power of "
+                 f"two, got {self.line_bytes}")
+        _require(self.associativity > 0,
+                 f"cache {name}: associativity must be positive, got "
+                 f"{self.associativity}")
+        way_bytes = self.line_bytes * self.associativity
+        _require(self.size_bytes >= way_bytes,
+                 f"cache {name}: size_bytes {self.size_bytes} too small "
+                 f"for {self.associativity} ways of {self.line_bytes}B "
+                 f"lines")
+        _require(self.size_bytes % way_bytes == 0,
+                 f"cache {name}: size_bytes {self.size_bytes} is not a "
+                 f"multiple of line_bytes*associativity ({way_bytes})")
+        _require(self.latency >= 0,
+                 f"cache {name}: latency must be >= 0, got {self.latency}")
+        _require(self.ports > 0,
+                 f"cache {name}: ports must be positive, got {self.ports}")
+        _require(self.mshr_entries > 0,
+                 f"cache {name}: mshr_entries must be positive, got "
+                 f"{self.mshr_entries}")
 
 
 @dataclass
@@ -158,6 +226,20 @@ class SimpleDRAMConfig:
         per_epoch = bytes_per_cycle * self.epoch_cycles / self.line_bytes
         return max(1, int(per_epoch))
 
+    def validate(self) -> None:
+        _require(self.min_latency >= 0,
+                 f"{self.name}: min_latency must be >= 0, got "
+                 f"{self.min_latency}")
+        _require(self.bandwidth_gbps > 0,
+                 f"{self.name}: bandwidth_gbps must be positive, got "
+                 f"{self.bandwidth_gbps}")
+        _require(self.epoch_cycles > 0,
+                 f"{self.name}: epoch_cycles must be positive, got "
+                 f"{self.epoch_cycles}")
+        _require(_power_of_two(self.line_bytes),
+                 f"{self.name}: line_bytes must be a positive power of "
+                 f"two, got {self.line_bytes}")
+
 
 @dataclass
 class DRAMSim2Config:
@@ -180,6 +262,26 @@ class DRAMSim2Config:
     queue_depth: int = 32
     line_bytes: int = 64
     energy_nj: float = 18.0
+
+    def validate(self) -> None:
+        _require(self.channels > 0,
+                 f"{self.name}: channels must be positive, got "
+                 f"{self.channels}")
+        _require(self.banks_per_channel > 0,
+                 f"{self.name}: banks_per_channel must be positive, got "
+                 f"{self.banks_per_channel}")
+        _require(self.row_bytes > 0,
+                 f"{self.name}: row_bytes must be positive, got "
+                 f"{self.row_bytes}")
+        _require(self.clock_ratio > 0,
+                 f"{self.name}: clock_ratio must be positive, got "
+                 f"{self.clock_ratio}")
+        _require(self.queue_depth > 0,
+                 f"{self.name}: queue_depth must be positive, got "
+                 f"{self.queue_depth}")
+        _require(_power_of_two(self.line_bytes),
+                 f"{self.name}: line_bytes must be a positive power of "
+                 f"two, got {self.line_bytes}")
 
 
 @dataclass
@@ -210,3 +312,26 @@ class MemoryHierarchyConfig:
     coherence: bool = False
     #: flat invalidation round-trip cost when no NoC is attached
     invalidation_latency: int = 10
+
+    def validate(self) -> None:
+        for level in self.private_levels:
+            level.validate()
+        if self.llc is not None:
+            self.llc.validate()
+        _require(self.dram_model in ("simple", "dramsim2"),
+                 f"unknown DRAM model {self.dram_model!r}; options: "
+                 f"'simple', 'dramsim2'")
+        if self.dram_model == "simple":
+            self.simple_dram.validate()
+        else:
+            self.dramsim2.validate()
+        if self.prefetcher.enabled:
+            _require(self.prefetcher.degree > 0,
+                     f"prefetcher degree must be positive, got "
+                     f"{self.prefetcher.degree}")
+            _require(self.prefetcher.trigger > 0,
+                     f"prefetcher trigger must be positive, got "
+                     f"{self.prefetcher.trigger}")
+        _require(self.invalidation_latency >= 0,
+                 f"invalidation_latency must be >= 0, got "
+                 f"{self.invalidation_latency}")

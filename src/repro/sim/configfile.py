@@ -81,7 +81,9 @@ def core_from_dict(data: Dict) -> CoreConfig:
                 defaults.update(converted)
                 converted = defaults
             data[key] = converted
-    return CoreConfig(**data)
+    config = CoreConfig(**data)
+    config.validate()
+    return config
 
 
 # -- hierarchy configs -----------------------------------------------------------
@@ -127,7 +129,9 @@ def hierarchy_from_dict(data: Dict) -> MemoryHierarchyConfig:
     if kwargs.get("noc") is not None:
         _check_keys(kwargs["noc"], NoCConfig, "noc")
         kwargs["noc"] = NoCConfig(**kwargs["noc"])
-    return MemoryHierarchyConfig(**kwargs)
+    config = MemoryHierarchyConfig(**kwargs)
+    config.validate()
+    return config
 
 
 # -- file I/O --------------------------------------------------------------------

@@ -30,6 +30,7 @@ from ...ir.instructions import OpClass, Opcode
 from ...passes.ddg import DDGNode, StaticDDG
 from ...trace.tracefile import KernelTrace
 from ..config import CoreConfig
+from ..errors import AcceleratorFaultError
 from ..tile import NEVER, Tile
 from .branch import make_predictor
 
@@ -141,6 +142,18 @@ class CoreTile(Tile):
     @property
     def done(self) -> bool:
         return self._finished
+
+    def stall_state(self) -> dict:
+        """What this core is waiting on (deadlock diagnostics)."""
+        return {
+            "in_flight": len(self._in_flight),
+            "ready": len(self._ready),
+            "window_base": self._window_base,
+            "next_dbb": self._next_dbb,
+            "blocks_total": len(self.trace.block_trace),
+            "outstanding_memory_ops": self._mao_incomplete,
+            "accel_inflight": self._accel_inflight,
+        }
 
     def _check_finished(self) -> None:
         if (self._next_dbb >= len(self.trace.block_trace)
@@ -436,8 +449,20 @@ class CoreTile(Tile):
         if timing == "accel":
             invocation = self.trace.accel_calls[self._accel_cursor]
             self._accel_cursor += 1
-            completion, energy, nbytes = self.services.accel_invoke(
-                invocation, cycle)
+            try:
+                completion, energy, nbytes = self.services.accel_invoke(
+                    invocation, cycle)
+            except AcceleratorFaultError:
+                # graceful degradation: the core executes the trace slice
+                # itself (functional results came from the interpreter, so
+                # only timing/energy change); propagate if the farm has
+                # fallback disabled
+                self.stats.accel_faults += 1
+                fallback = self.services.accel_fallback(invocation, cycle)
+                if fallback is None:
+                    raise
+                self.stats.accel_fallbacks += 1
+                completion, energy, nbytes = fallback
             self.stats.accel_invocations += 1
             self.stats.accel_cycles += completion - cycle
             self.stats.accel_bytes += nbytes

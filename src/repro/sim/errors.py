@@ -1,0 +1,53 @@
+"""Simulation error hierarchy.
+
+Kept in a leaf module (no simulator imports) so every layer — tiles,
+fabric, memory, accelerators, harness — can raise and catch the same
+exceptions without import cycles. :mod:`repro.sim.interleaver` re-exports
+``SimulationError`` and ``DeadlockError`` for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class SimulationError(Exception):
+    """Base class for everything the timing simulator can raise."""
+
+
+class DeadlockError(SimulationError):
+    """No tile can make progress and no event is pending.
+
+    Carries a structured diagnosis (per-tile stalled state, fabric queue
+    occupancies, outstanding memory requests) captured at the deadlock
+    cycle, so the failure is debuggable without a rerun.
+    """
+
+    def __init__(self, message: str, diagnosis: Optional[Dict] = None):
+        super().__init__(message)
+        self.diagnosis: Dict = diagnosis if diagnosis is not None else {}
+
+    def diagnose(self) -> Dict:
+        """Structured snapshot of the stuck system (see the keys written
+        by :meth:`repro.sim.interleaver.Interleaver._diagnose`)."""
+        return dict(self.diagnosis)
+
+
+class CycleBudgetExceeded(SimulationError):
+    """The simulation ran past its ``max_cycles`` budget."""
+
+
+class WatchdogTimeout(SimulationError):
+    """The wall-clock watchdog fired before the simulation finished."""
+
+
+class AcceleratorFaultError(SimulationError):
+    """An accelerator invocation failed (injected or modeled fault)."""
+
+    def __init__(self, name: str, cycle: int, transient: bool = True):
+        kind = "transient" if transient else "permanent"
+        super().__init__(
+            f"{kind} accelerator fault in {name} at cycle {cycle}")
+        self.accel_name = name
+        self.cycle = cycle
+        self.transient = transient

@@ -3,6 +3,12 @@ system.
 
 Events are callbacks tagged with the global cycle at which they fire.
 Insertion order breaks ties so behavior is deterministic.
+
+``at`` is the fire-and-forget fast path; ``at_cancellable`` returns an
+:class:`Event` handle whose :meth:`Event.cancel` revokes the callback
+before it fires (used for watchdog timeouts and other speculative
+wakeups). Cancelled entries are dropped lazily when they reach the head
+of the heap.
 """
 
 from __future__ import annotations
@@ -11,9 +17,24 @@ import heapq
 from typing import Callable, List, Optional, Tuple
 
 
+class Event:
+    """Handle to one scheduled callback; ``cancel()`` revokes it."""
+
+    __slots__ = ("cycle", "cancelled")
+
+    def __init__(self, cycle: int):
+        self.cycle = cycle
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class Scheduler:
     def __init__(self):
-        self._heap: List[Tuple[int, int, Callable[[int], None]]] = []
+        #: entries are (cycle, seq, callback) or (cycle, seq, callback,
+        #: Event); seq is unique so comparison never reaches the callback
+        self._heap: List[Tuple] = []
         self._seq = 0
 
     def at(self, cycle: int, callback: Callable[[int], None]) -> None:
@@ -21,18 +42,38 @@ class Scheduler:
         heapq.heappush(self._heap, (cycle, self._seq, callback))
         self._seq += 1
 
+    def at_cancellable(self, cycle: int,
+                       callback: Callable[[int], None]) -> Event:
+        """Like :meth:`at`, but returns a handle that can cancel the
+        callback any time before it fires."""
+        event = Event(cycle)
+        heapq.heappush(self._heap, (cycle, self._seq, callback, event))
+        self._seq += 1
+        return event
+
     def next_cycle(self) -> Optional[int]:
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if len(entry) == 4 and entry[3].cancelled:
+                heapq.heappop(heap)
+                continue
+            return entry[0]
+        return None
 
     def run_due(self, cycle: int) -> int:
         """Run every event scheduled at or before ``cycle``; returns count."""
         count = 0
-        while self._heap and self._heap[0][0] <= cycle:
-            _, _, callback = heapq.heappop(self._heap)
-            callback(cycle)
+        heap = self._heap
+        while heap and heap[0][0] <= cycle:
+            entry = heapq.heappop(heap)
+            if len(entry) == 4 and entry[3].cancelled:
+                continue
+            entry[2](cycle)
             count += 1
         return count
 
     @property
     def pending(self) -> int:
-        return len(self._heap)
+        return sum(1 for entry in self._heap
+                   if len(entry) == 3 or not entry[3].cancelled)

@@ -11,10 +11,18 @@ The main loop is cycle-driven but skips cycles in which no tile needs
 attention and no event fires — a pure optimization that cannot change
 results, since tiles self-report the next cycle at which their state can
 evolve and every external interaction goes through the event scheduler.
+
+Resilience hooks (see ``docs/resilience.md``): a cycle budget
+(``max_cycles`` → :class:`CycleBudgetExceeded`), an optional wall-clock
+watchdog (``wall_clock_limit`` → :class:`WatchdogTimeout`), and deadlock
+detection that raises :class:`DeadlockError` carrying a structured
+``diagnose()`` snapshot of every stuck tile, the fabric queues, and the
+outstanding memory requests.
 """
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..trace.tracefile import AccelInvocation
@@ -23,17 +31,17 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a circular import with
     from ..memory.hierarchy import MemorySystem  # repro.memory.cache
 from .accelerator.tile import AcceleratorFarm
 from .comm.fabric import CommFabric
+from .errors import (
+    CycleBudgetExceeded, DeadlockError, SimulationError, WatchdogTimeout,
+)
 from .events import Scheduler
 from .statistics import SystemStats
 from .tile import NEVER, Tile
 
-
-class SimulationError(Exception):
-    pass
-
-
-class DeadlockError(SimulationError):
-    """No tile can make progress and no event is pending."""
+__all__ = [
+    "CycleBudgetExceeded", "DeadlockError", "Interleaver",
+    "SimulationError", "TileServices", "WatchdogTimeout",
+]
 
 
 class TileServices:
@@ -69,6 +77,13 @@ class TileServices:
                 f"configured")
         return self.accelerators.invoke(invocation, cycle)
 
+    def accel_fallback(self, invocation: AccelInvocation, cycle: int):
+        """Core-execution fallback estimate for a faulted invocation, or
+        None when the farm has fallback disabled (the fault propagates)."""
+        if self.accelerators is None or not self.accelerators.fallback_enabled:
+            return None
+        return self.accelerators.fallback_invoke(invocation, cycle)
+
 
 class Interleaver:
     def __init__(self, tiles: List[Tile],
@@ -77,7 +92,8 @@ class Interleaver:
                  accelerators: Optional[AcceleratorFarm] = None,
                  frequency_ghz: float = 2.0,
                  max_cycles: int = 2_000_000_000,
-                 scheduler: Optional[Scheduler] = None):
+                 scheduler: Optional[Scheduler] = None,
+                 wall_clock_limit: Optional[float] = None):
         if not tiles:
             raise ValueError("Interleaver needs at least one tile")
         self.tiles = tiles
@@ -92,6 +108,8 @@ class Interleaver:
         self.accelerators = accelerators
         self.frequency_ghz = frequency_ghz
         self.max_cycles = max_cycles
+        #: wall-clock watchdog budget in seconds (None = unlimited)
+        self.wall_clock_limit = wall_clock_limit
         self.services = TileServices(self.scheduler, memory, self.fabric,
                                      accelerators)
         for tile in tiles:
@@ -102,7 +120,17 @@ class Interleaver:
         tiles = self.tiles
         scheduler = self.scheduler
         cycle = 0
+        deadline = None
+        if self.wall_clock_limit is not None:
+            deadline = time.monotonic() + self.wall_clock_limit
+        iterations = 0
         while True:
+            if deadline is not None:
+                iterations += 1
+                if (iterations & 63) == 0 and time.monotonic() > deadline:
+                    raise WatchdogTimeout(
+                        f"wall-clock watchdog fired after "
+                        f"{self.wall_clock_limit}s at cycle {cycle}")
             active = [t for t in tiles if not t.done]
             if not active:
                 break
@@ -117,7 +145,7 @@ class Interleaver:
                 self._raise_deadlock(cycle)
             cycle = max(cycle, next_cycle)
             if cycle > self.max_cycles:
-                raise SimulationError(
+                raise CycleBudgetExceeded(
                     f"simulation exceeded {self.max_cycles} cycles")
 
             # events first (memory responses, message deliveries), which
@@ -141,14 +169,45 @@ class Interleaver:
                     f"tiles did not reach a fixed point at cycle {cycle}")
         return self._collect(cycle)
 
-    def _raise_deadlock(self, cycle: int) -> None:
-        details = []
+    # ------------------------------------------------------------------
+    def _diagnose(self, cycle: int) -> dict:
+        """Structured snapshot of the stuck system for DeadlockError."""
+        tile_states = []
         for tile in self.tiles:
-            if not tile.done:
-                details.append(f"{tile.name} (attention={tile.next_attention})")
+            entry = {
+                "name": tile.name,
+                "done": tile.done,
+                "next_attention": (None if tile.next_attention >= NEVER
+                                   else tile.next_attention),
+            }
+            entry.update(tile.stall_state())
+            tile_states.append(entry)
+        diagnosis = {
+            "cycle": cycle,
+            "tiles": tile_states,
+            "fabric": self.fabric.diagnostics(),
+            "events_pending": self.scheduler.pending,
+        }
+        if self.memory is not None:
+            diagnosis["memory"] = {
+                "outstanding_requests": self.memory.outstanding}
+        return diagnosis
+
+    def _raise_deadlock(self, cycle: int) -> None:
+        diagnosis = self._diagnose(cycle)
+        stuck = [t for t in diagnosis["tiles"] if not t["done"]]
+        details = ", ".join(
+            f"{t['name']} (attention="
+            f"{'never' if t['next_attention'] is None else t['next_attention']}"
+            f")" for t in stuck)
+        fabric = diagnosis["fabric"]
         raise DeadlockError(
             f"deadlock at cycle {cycle}: no events pending, waiting tiles: "
-            f"{', '.join(details) or 'none'}")
+            f"{details or 'none'}; fabric: "
+            f"{fabric['pending_messages']} buffered message(s), "
+            f"queue occupancy {fabric['queue_occupancy'] or '{}'}, "
+            f"{fabric['dropped_messages']} dropped; see diagnose() for the "
+            f"full snapshot", diagnosis)
 
     def _collect(self, cycle: int) -> SystemStats:
         stats = SystemStats(cycles=cycle, frequency_ghz=self.frequency_ghz)

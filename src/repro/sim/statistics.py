@@ -54,6 +54,10 @@ class TileStats:
     accel_invocations: int = 0
     accel_cycles: int = 0
     accel_bytes: int = 0
+    #: injected accelerator faults observed by this tile
+    accel_faults: int = 0
+    #: faulted invocations absorbed by the core-execution fallback
+    accel_fallbacks: int = 0
 
     @property
     def ipc(self) -> float:

@@ -47,6 +47,11 @@ class Tile(abc.ABC):
         if cycle < self.next_attention:
             self.next_attention = cycle
 
+    def stall_state(self) -> dict:
+        """Model-specific stalled-state details for deadlock diagnostics;
+        subclasses override to expose what they are waiting on."""
+        return {}
+
     def align(self, cycle: int) -> int:
         """Round ``cycle`` up to this tile's next clock edge."""
         if self.period == 1:

@@ -77,6 +77,9 @@ class SimMemory:
         self._segments: List[ArrayRef] = []
         self._bases: List[int] = []
         self._next = _BASE_ADDRESS
+        #: optional FaultInjector; when set, loads may return bit-flipped
+        #: values (deterministic under the injector's seed)
+        self.injector = None
 
     # ------------------------------------------------------------------
     def alloc(self, count: int, element_type: IRType,
@@ -126,9 +129,10 @@ class SimMemory:
             raise MemoryError_(
                 f"misaligned access at {address:#x} in {segment.name}")
         value = segment.data[offset // elem_size]
-        if ty.is_integer:
-            return int(value)
-        return float(value)
+        value = int(value) if ty.is_integer else float(value)
+        if self.injector is not None:
+            value = self.injector.corrupt_load(address, value)
+        return value
 
     def store(self, address: int, value) -> None:
         segment = self._segment_for(address)

@@ -1,0 +1,397 @@
+"""Resilience-layer tests: deterministic fault injection, the run
+supervisor (cycle budget, watchdog, retries), deadlock diagnostics,
+graceful sweep degradation, accelerator fallback, config validation,
+cancellable events, and the CLI error paths."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.harness import (
+    classify_failure, dae_hierarchy, inorder_core, ooo_core, prepare,
+    run_supervised, run_with_faults, simulate, sweep_core, sweep_runs,
+)
+from repro.harness.sweeps import SweepResult
+from repro.ir import F64, I64
+from repro.resilience import FaultInjector, FaultPlan
+from repro.sim import (
+    AcceleratorFaultError, CacheConfig, ConfigError, CoreConfig,
+    CycleBudgetExceeded, DeadlockError, Interleaver, Scheduler,
+    SimpleDRAMConfig, SimulationError, WatchdogTimeout,
+)
+from repro.sim.accelerator.tile import AcceleratorFarm
+from repro.sim.config import MemoryHierarchyConfig
+from repro.sim.core.model import CoreTile
+from repro.sim.tile import Tile
+from repro.trace import SimMemory
+
+from . import kernels
+
+
+def _saxpy_env(n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    mem = SimMemory()
+    A = mem.alloc(n, F64, "A", init=rng.uniform(-1, 1, n))
+    B = mem.alloc(n, F64, "B", init=rng.uniform(-1, 1, n))
+    return mem, A, B, n
+
+
+class TestFaultDeterminism:
+    def _run(self, plan):
+        mem, A, B, n = _saxpy_env()
+        run = run_with_faults(kernels.saxpy, [A, B, n, 2.0], plan=plan,
+                              core=ooo_core(), hierarchy=dae_hierarchy(),
+                              memory=mem)
+        return run, B.data.copy()
+
+    def test_same_seed_is_bit_reproducible(self):
+        plan = FaultPlan(seed=3, bitflip_load_rate=0.05,
+                         dram_stall_rate=0.3)
+        run1, b1 = self._run(plan)
+        run2, b2 = self._run(plan)
+        assert run1.stats == run2.stats
+        assert run1.fault_log == run2.fault_log
+        assert len(run1.fault_log) > 0
+        assert np.array_equal(b1, b2)
+
+    def test_message_faults_deterministic(self):
+        plan = FaultPlan(seed=5, message_delay_rate=0.5,
+                         message_delay_cycles=40)
+        runs = [run_with_faults(kernels.ping_pong, [16], plan=plan,
+                                core=ooo_core(), num_tiles=2)
+                for _ in range(2)]
+        assert runs[0].stats == runs[1].stats
+        assert runs[0].fault_log == runs[1].fault_log
+        assert any(r.site == "msg" and r.kind == "delay"
+                   for r in runs[0].fault_log)
+        # delays cost cycles versus the clean run
+        clean = simulate(kernels.ping_pong, [16], core=ooo_core(),
+                         num_tiles=2)
+        assert runs[0].stats.cycles > clean.cycles
+
+    def test_different_seeds_draw_different_faults(self):
+        run1, _ = self._run(FaultPlan(seed=1, dram_stall_rate=0.3))
+        run2, _ = self._run(FaultPlan(seed=2, dram_stall_rate=0.3))
+        assert run1.fault_log != run2.fault_log
+
+    def test_disabled_plan_matches_baseline(self):
+        run, b_faulted = self._run(FaultPlan(seed=9))
+        mem, A, B, n = _saxpy_env()
+        base = simulate(kernels.saxpy, [A, B, n, 2.0], core=ooo_core(),
+                        hierarchy=dae_hierarchy(), memory=mem)
+        assert run.fault_log == ()
+        assert run.stats == base
+        assert np.array_equal(b_faulted, B.data)
+
+    def test_bitflips_corrupt_functional_loads(self):
+        n = 32
+        mem = SimMemory()
+        values = np.arange(1, n + 1, dtype=np.int64)
+        A = mem.alloc(n, I64, "A", init=values)
+        B = mem.alloc(n, I64, "B")
+        clean = SimMemory()
+        Ac = clean.alloc(n, I64, "A", init=values)
+        Bc = clean.alloc(n, I64, "B")
+        simulate(kernels.int_ops, [Ac, Bc, n], memory=clean)
+        run = run_with_faults(kernels.int_ops, [A, B, n],
+                              plan=FaultPlan(seed=11,
+                                             bitflip_load_rate=1.0),
+                              memory=mem)
+        assert any(r.site == "mem" and r.kind == "bitflip"
+                   for r in run.fault_log)
+        assert not np.array_equal(B.data, Bc.data)
+
+
+class _SpinTile(Tile):
+    """Never finishes: exercises cycle budget and wall-clock watchdog."""
+
+    def __init__(self):
+        super().__init__("spin", 0)
+
+    def step(self, cycle: int) -> int:
+        self.next_attention = cycle + 1
+        return self.next_attention
+
+    @property
+    def done(self) -> bool:
+        return False
+
+
+class TestSupervisor:
+    def test_cycle_budget_raises_and_classifies(self):
+        with pytest.raises(CycleBudgetExceeded, match="exceeded"):
+            Interleaver([_SpinTile()], max_cycles=1000).run()
+
+    def test_watchdog_fires_on_wall_clock(self):
+        with pytest.raises(WatchdogTimeout, match="watchdog"):
+            Interleaver([_SpinTile()], max_cycles=1 << 60,
+                        wall_clock_limit=0.05).run()
+
+    def test_classify_failure_labels(self):
+        assert classify_failure(DeadlockError("x")) == "deadlock"
+        assert classify_failure(CycleBudgetExceeded("x")) == "timeout"
+        assert classify_failure(WatchdogTimeout("x")) == "timeout"
+        assert classify_failure(AcceleratorFaultError("a", 1)) == "fault"
+        assert classify_failure(ConfigError("x")) == "config-error"
+        assert classify_failure(SimulationError("x")) == "error"
+
+    def test_run_supervised_ok(self):
+        mem, A, B, n = _saxpy_env(64)
+        outcome = run_supervised(kernels.saxpy, [A, B, n, 2.0],
+                                 core=ooo_core(),
+                                 hierarchy=dae_hierarchy(), memory=mem)
+        assert outcome.ok and outcome.status == "ok"
+        assert outcome.stats.cycles > 0
+        assert outcome.attempts == 1
+
+    def test_run_supervised_records_timeout(self):
+        mem, A, B, n = _saxpy_env(64)
+        outcome = run_supervised(kernels.saxpy, [A, B, n, 2.0],
+                                 core=ooo_core(),
+                                 hierarchy=dae_hierarchy(), memory=mem,
+                                 max_cycles=10)
+        assert not outcome.ok
+        assert outcome.status == "timeout"
+        assert "exceeded" in outcome.error
+        assert outcome.stats is None
+
+    def test_run_supervised_retries_transient_faults(self):
+        # rate-1.0 faults recur on every reseeded attempt: the supervisor
+        # exhausts its retries and reports the fault
+        farm = AcceleratorFarm().add_default("sgemm")
+        farm.fallback_enabled = False
+        mem = SimMemory()
+        n = 8
+        A = mem.alloc(n * n, F64, "A", init=np.ones(n * n))
+        B = mem.alloc(n * n, F64, "B", init=np.ones(n * n))
+        C = mem.alloc(n * n, F64, "C")
+        outcome = run_supervised(
+            kernels.accel_sgemm_wrapper, [A, B, C, n, n, n],
+            plan=FaultPlan(seed=1, accel_fault_rate=1.0),
+            core=inorder_core(), accelerators=farm, memory=mem,
+            retries=2)
+        assert outcome.status == "fault"
+        assert outcome.attempts == 3
+        assert "accelerator fault" in outcome.error
+
+
+class TestDeadlockDiagnostics:
+    def _lonely_tile(self):
+        source = (
+            "def lonely(n: int):\n"
+            "    v = recv_i64(1)\n"
+        )
+        from repro.frontend import compile_kernel
+        from repro.passes import build_ddg
+        from repro.trace.tracefile import KernelTrace
+        func = compile_kernel(source)
+        ddg = build_ddg(func)
+        trace = KernelTrace("lonely")
+        trace.block_trace = [0]
+        trace.comm_trace = {
+            next(i.iid for i in func.instructions()
+                 if getattr(i, "callee", "") == "recv_i64"): [1]}
+        return CoreTile("lonely", 0, ooo_core(), ddg, trace)
+
+    def test_deadlock_carries_structured_diagnosis(self):
+        with pytest.raises(DeadlockError) as excinfo:
+            Interleaver([self._lonely_tile()]).run()
+        diagnosis = excinfo.value.diagnose()
+        assert set(diagnosis) >= {"cycle", "tiles", "fabric",
+                                  "events_pending"}
+        (tile,) = diagnosis["tiles"]
+        assert tile["name"] == "lonely"
+        assert not tile["done"]
+        assert tile["next_attention"] is None
+        fabric = diagnosis["fabric"]
+        assert fabric["recv_waiters"] == 1
+        assert fabric["pending_messages"] == 0
+        assert diagnosis["events_pending"] == 0
+        assert "deadlock at cycle" in str(excinfo.value)
+
+    def test_dropped_messages_deadlock_is_diagnosed(self):
+        injector = FaultInjector(FaultPlan(seed=0, message_drop_rate=1.0))
+        with pytest.raises(DeadlockError) as excinfo:
+            simulate(kernels.ping_pong, [4], core=ooo_core(), num_tiles=2,
+                     injector=injector)
+        assert excinfo.value.diagnose()["fabric"]["dropped_messages"] > 0
+        assert any(r.kind == "drop" for r in injector.log)
+
+
+class TestSweepDegradation:
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        return prepare(kernels.ping_pong, [16], num_tiles=2)
+
+    def test_sweep_runs_continues_past_failures(self, prepared):
+        result = sweep_runs(prepared, {
+            "clean": {"core": ooo_core(), "num_tiles": 2},
+            "dropped": {"core": ooo_core(), "num_tiles": 2,
+                        "plan": FaultPlan(message_drop_rate=1.0)},
+            "strangled": {"core": ooo_core(), "num_tiles": 2,
+                          "max_cycles": 50},
+        })
+        by_name = {p.parameters["run"]: p for p in result.points}
+        assert by_name["clean"].ok
+        assert by_name["dropped"].outcome == "deadlock"
+        assert by_name["strangled"].outcome == "timeout"
+        assert result.outcomes() == {"ok": 1, "deadlock": 1, "timeout": 1}
+        assert result.best().parameters["run"] == "clean"
+        table = result.table()
+        assert "deadlock" in table and "timeout" in table
+
+    def test_sweep_core_records_config_errors(self):
+        mem, A, B, n = _saxpy_env(64)
+        prepared = prepare(kernels.saxpy, [A, B, n, 2.0], memory=mem)
+        result = sweep_core(prepared, CoreConfig(),
+                            {"issue_width": [0, 2]},
+                            hierarchy_factory=dae_hierarchy)
+        assert result.outcomes() == {"config-error": 1, "ok": 1}
+        assert result.best().parameters["issue_width"] == 2
+        bad = next(p for p in result.points if not p.ok)
+        assert "issue_width" in bad.error
+        assert bad.cycles is None
+
+    def test_empty_best_raises(self):
+        with pytest.raises(ValueError, match="no successful"):
+            SweepResult().best()
+
+
+class TestAcceleratorFallback:
+    def _env(self, n=12):
+        rng = np.random.default_rng(0)
+        mem = SimMemory()
+        a = rng.uniform(-1, 1, (n, n))
+        b = rng.uniform(-1, 1, (n, n))
+        A = mem.alloc(n * n, F64, "A", init=a.ravel())
+        B = mem.alloc(n * n, F64, "B", init=b.ravel())
+        C = mem.alloc(n * n, F64, "C")
+        farm = AcceleratorFarm().add_default("sgemm")
+        return mem, A, B, C, a, b, n, farm
+
+    def test_faulted_invocations_fall_back_and_stay_correct(self):
+        mem, A, B, C, a, b, n, farm = self._env()
+        clean = simulate(kernels.accel_sgemm_wrapper, [A, B, C, n, n, n],
+                         core=inorder_core(), memory=mem,
+                         accelerators=farm)
+        assert np.allclose(C.data.reshape(n, n), a @ b)
+
+        mem, A, B, C, a, b, n, farm = self._env()
+        run = run_with_faults(
+            kernels.accel_sgemm_wrapper, [A, B, C, n, n, n],
+            plan=FaultPlan(seed=4, accel_fault_rate=1.0),
+            core=inorder_core(), memory=mem, accelerators=farm)
+        tile = run.stats.tiles[0]
+        assert tile.accel_faults > 0
+        assert tile.accel_fallbacks == tile.accel_faults
+        # functional result survives the fault (trace interpreter already
+        # computed it); only the timing degrades
+        assert np.allclose(C.data.reshape(n, n), a @ b)
+        assert run.stats.cycles > clean.cycles
+        assert farm.get("accel_sgemm").fallback_invocations > 0
+
+    def test_fault_propagates_when_fallback_disabled(self):
+        mem, A, B, C, a, b, n, farm = self._env()
+        farm.fallback_enabled = False
+        injector = FaultInjector(FaultPlan(seed=4, accel_fault_rate=1.0))
+        with pytest.raises(AcceleratorFaultError, match="accel_sgemm"):
+            simulate(kernels.accel_sgemm_wrapper, [A, B, C, n, n, n],
+                     core=inorder_core(), memory=mem, accelerators=farm,
+                     injector=injector)
+
+
+class TestConfigValidation:
+    def test_core_rejects_zero_issue_width(self):
+        with pytest.raises(ConfigError, match="issue_width"):
+            CoreConfig(issue_width=0).validate()
+
+    def test_core_rejects_bad_frequency(self):
+        with pytest.raises(ConfigError, match="frequency"):
+            CoreConfig(frequency_ghz=0.0).validate()
+
+    def test_cache_rejects_non_power_of_two_lines(self):
+        with pytest.raises(ConfigError, match="power of"):
+            CacheConfig(line_bytes=48).validate()
+
+    def test_cache_rejects_impossible_geometry(self):
+        with pytest.raises(ConfigError, match="too small"):
+            CacheConfig(size_bytes=64, line_bytes=64,
+                        associativity=8).validate()
+
+    def test_dram_rejects_zero_epoch(self):
+        with pytest.raises(ConfigError, match="epoch_cycles"):
+            SimpleDRAMConfig(epoch_cycles=0).validate()
+
+    def test_hierarchy_rejects_unknown_dram_model(self):
+        with pytest.raises(ConfigError, match="DRAM model"):
+            MemoryHierarchyConfig(dram_model="weird").validate()
+
+    def test_simulate_validates_core_upfront(self):
+        with pytest.raises(ConfigError, match="rob_size"):
+            simulate(kernels.empty_loop, [4], core=CoreConfig(rob_size=0))
+
+    def test_configfile_load_validates(self):
+        from repro.sim.configfile import core_from_dict
+        with pytest.raises(ConfigError, match="lsq_size"):
+            core_from_dict({"lsq_size": 0})
+
+    def test_fault_plan_validates_rates(self):
+        with pytest.raises(ValueError, match="bitflip_load_rate"):
+            FaultPlan(bitflip_load_rate=1.5).validate()
+        with pytest.raises(ValueError, match="end_cycle"):
+            FaultPlan(start_cycle=10, end_cycle=5).validate()
+
+
+class TestCancellableEvents:
+    def test_cancelled_event_never_fires(self):
+        scheduler = Scheduler()
+        fired = []
+        handle = scheduler.at_cancellable(5, fired.append)
+        scheduler.at(5, lambda c: fired.append(-c))
+        handle.cancel()
+        scheduler.run_due(10)
+        assert fired == [-10]
+
+    def test_pending_and_next_cycle_skip_cancelled(self):
+        scheduler = Scheduler()
+        first = scheduler.at_cancellable(3, lambda c: None)
+        scheduler.at_cancellable(7, lambda c: None)
+        assert scheduler.pending == 2
+        assert scheduler.next_cycle() == 3
+        first.cancel()
+        assert scheduler.pending == 1
+        assert scheduler.next_cycle() == 7
+
+
+SPMV = ["spmv", "--size", "rows=16", "--size", "cols=16"]
+
+
+class TestCLI:
+    def test_simulate_ok(self, capsys):
+        assert main(["simulate"] + SPMV) == 0
+        assert "cycles:" in capsys.readouterr().out
+
+    def test_budget_failure_exits_nonzero(self, capsys):
+        assert main(["simulate"] + SPMV + ["--max-cycles", "10"]) == 2
+        assert "exceeded" in capsys.readouterr().err
+
+    def test_supervised_failure_exits_nonzero(self, capsys):
+        assert main(["simulate"] + SPMV
+                    + ["--max-cycles", "10", "--retries", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "timeout" in err and "2 attempt" in err
+
+    def test_config_error_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "core.json"
+        bad.write_text('{"issue_width": 0}')
+        assert main(["simulate"] + SPMV
+                    + ["--core-config", str(bad)]) == 2
+        assert "configuration error" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_inject_campaign(self, capsys):
+        assert main(["inject"] + SPMV
+                    + ["--seed", "3", "--dram-stall-rate", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "outcome: ok" in out
+        assert "dram.stall" in out
