@@ -13,7 +13,7 @@ import pytest
 
 from repro.harness import (
     PAPER_MIPS, measure_simulation_speed, prepare, render_table,
-    trace_footprint_bytes,
+    trace_footprint_bytes, write_bench_json,
 )
 from repro.ir import F64
 from repro.trace import SimMemory
@@ -28,9 +28,9 @@ def prepared_sgemm():
     return prepare(w.kernel, w.args, memory=w.memory)
 
 
-def test_simulation_speed(benchmark, prepared_sgemm):
+def test_simulation_speed(benchmark, prepared_sgemm, results_dir):
     report = benchmark.pedantic(
-        lambda: measure_simulation_speed(prepared_sgemm),
+        lambda: measure_simulation_speed(prepared_sgemm, profile=True),
         rounds=1, iterations=1)
     rows = [["this reproduction (Python)", f"{report.mips:.4f}"]]
     for name, mips in PAPER_MIPS.items():
@@ -39,7 +39,9 @@ def test_simulation_speed(benchmark, prepared_sgemm):
                          title="Simulation speed (§VI-B)")
     accel_line = (f"\naccelerator perf-model evaluations/second: "
                   f"{report.accel_models_per_second:,.0f}")
-    record("simspeed", table + accel_line)
+    profile_block = "\n" + report.profile.summary()
+    record("simspeed", table + accel_line + profile_block)
+    write_bench_json(report, str(results_dir / "BENCH_simspeed.json"))
 
     assert report.mips > 0.001  # sanity: not pathologically slow
     # the §IV claim: closed-form accelerator models are orders of

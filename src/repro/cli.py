@@ -4,10 +4,13 @@ Commands
 --------
 * ``list`` — available workloads and system presets;
 * ``ir <workload>`` — print a workload kernel's IR;
-* ``simulate <workload>`` — run the full toolchain on a system preset;
+* ``simulate <workload>`` — run the full toolchain on a system preset
+  (``--trace``/``--metrics``/``--profile``/``--stats-json`` attach the
+  observability layer, see ``docs/observability.md``);
 * ``characterize [workload ...]`` — Figure 6-style IPC table;
 * ``dae <workload>`` — slice a kernel and simulate DAE pairs;
-* ``trace <workload> -o FILE`` — generate and save dynamic traces.
+* ``trace <workload> -o FILE`` — generate and save dynamic traces;
+* ``timeline FILE`` — render a saved cycle trace as an ASCII timeline.
 """
 
 from __future__ import annotations
@@ -29,14 +32,24 @@ from .sim.errors import DeadlockError, SimulationError
 from .trace import save_traces
 from .workloads import PARBOIL, build_parboil
 from .workloads.graphproj import build as _build_graphproj
+from .workloads.sinkhorn import build_combined as _build_combined
 from .workloads.sinkhorn import build_ewsd as _build_ewsd
 
 CORES = {"ino": inorder_core, "ooo": ooo_core, "xeon": xeon_core}
 HIERARCHIES = {"dae": dae_hierarchy, "xeon": xeon_hierarchy, "none": None}
 
+
+def _build_combined_accel(**kwargs):
+    return _build_combined(accelerated=True, **kwargs)
+
+
 _EXTRA_WORKLOADS = {
     "graph-projection": _build_graphproj,
     "ewsd": _build_ewsd,
+    "sinkhorn-combined": _build_combined,
+    # SGEMM offloaded to an accelerator tile + an SPMD barrier: exercises
+    # core, cache/DRAM, fabric and accelerator subsystems in one trace
+    "sinkhorn-accel": _build_combined_accel,
 }
 
 
@@ -95,34 +108,102 @@ def cmd_ir(args) -> int:
     return 0
 
 
+def _detect_accelerators(kernel):
+    """Build a default AcceleratorFarm covering every ``accel_*``
+    intrinsic the compiled kernel invokes, so accelerated workloads run
+    (and trace) without explicit farm configuration."""
+    from .sim.accelerator.library import DESIGN_FACTORIES
+    from .sim.accelerator.tile import AcceleratorFarm
+    func = compile_kernel(kernel)
+    kinds = sorted({
+        inst.callee[len("accel_"):] for inst in func.instructions()
+        if getattr(inst, "callee", "").startswith("accel_")})
+    farm = AcceleratorFarm()
+    for kind in kinds:
+        if kind in DESIGN_FACTORIES:
+            farm.add_default(kind)
+    return farm if farm.tiles else None
+
+
 def cmd_simulate(args) -> int:
     from .sim.configfile import load_core_config, load_hierarchy_config
+    from .telemetry import (
+        MetricsRegistry, SelfProfiler, Tracer, write_stats_json,
+    )
     workload = _build(args.workload, args.size)
     core = (load_core_config(args.core_config)
             if getattr(args, "core_config", None) else _core(args.core))
     hierarchy = (load_hierarchy_config(args.hierarchy_config)
                  if getattr(args, "hierarchy_config", None)
                  else _hierarchy(args.hierarchy))
+    accelerators = _detect_accelerators(workload.kernel)
+    tracer = Tracer() if args.trace else None
+    metrics = MetricsRegistry() if args.metrics else None
+    profiler = SelfProfiler() if args.profile else None
     if args.retries > 0:
         outcome = run_supervised(
             workload.kernel, workload.args, core=core,
             num_tiles=args.tiles, hierarchy=hierarchy,
+            accelerators=accelerators,
             max_cycles=args.max_cycles, wall_clock_limit=args.timeout,
-            retries=args.retries)
+            retries=args.retries, tracer=tracer, metrics=metrics,
+            profiler=profiler)
         if not outcome.ok:
             print(f"run failed: {outcome.status} after {outcome.attempts} "
                   f"attempt(s): {outcome.error}", file=sys.stderr)
             return 2
         stats = outcome.stats
+        profile = outcome.profile
     else:
         stats = simulate(workload.kernel, workload.args, core=core,
                          num_tiles=args.tiles, hierarchy=hierarchy,
+                         accelerators=accelerators,
                          max_cycles=args.max_cycles,
-                         wall_clock_limit=args.timeout)
+                         wall_clock_limit=args.timeout, tracer=tracer,
+                         metrics=metrics, profiler=profiler)
+        profile = profiler.report if profiler is not None else None
     workload.verify()
     print(f"workload: {workload.name}  system: {args.tiles}x {core.name} "
           f"/ {args.hierarchy_config or args.hierarchy}")
     print(stats.summary())
+    if tracer is not None:
+        tracer.write(args.trace, frequency_ghz=stats.frequency_ghz)
+        dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+        print(f"trace: {len(tracer.events())} event(s){dropped} "
+              f"-> {args.trace}")
+    if args.metrics:
+        write_stats_json(stats, args.metrics)
+        print(f"metrics: -> {args.metrics}")
+    if args.stats_json:
+        write_stats_json(stats, args.stats_json)
+        print(f"stats: -> {args.stats_json}")
+    if profile is not None:
+        print(profile.summary())
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    """Render a saved Chrome trace as a terminal timeline. Exit codes:
+    0 rendered, 2 unreadable/invalid input."""
+    import json
+    from .harness import render_timeline
+    from .telemetry import validate_chrome_trace
+    try:
+        with open(args.trace) as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"not a JSON trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        count = validate_chrome_trace(document)
+    except ValueError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 2
+    print(render_timeline(document, width=args.width,
+                          title=f"{args.trace}: {count} event(s)"))
     return 0
 
 
@@ -272,6 +353,18 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--hierarchy-config", metavar="FILE",
                      help="load the memory hierarchy from a JSON config "
                           "file (overrides --hierarchy)")
+    sim.add_argument("--trace", metavar="FILE",
+                     help="record a cycle-level trace and write Chrome "
+                          "trace_event JSON (open in Perfetto, or render "
+                          "with the timeline command)")
+    sim.add_argument("--metrics", metavar="FILE",
+                     help="attach a metrics registry and write the "
+                          "stats+metrics JSON snapshot")
+    sim.add_argument("--stats-json", metavar="FILE", dest="stats_json",
+                     help="write machine-readable SystemStats JSON")
+    sim.add_argument("--profile", action="store_true",
+                     help="print the simulator self-profile (wall-clock "
+                          "per phase, events/sec)")
     sim.set_defaults(func=cmd_simulate)
 
     inject = with_supervision(with_workload(commands.add_parser(
@@ -319,6 +412,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--tiles", type=int, default=1)
     trace.add_argument("-o", "--output", required=True)
     trace.set_defaults(func=cmd_trace)
+
+    timeline = commands.add_parser(
+        "timeline", help="render a saved cycle trace as an ASCII timeline")
+    timeline.add_argument("trace", help="Chrome trace_event JSON from "
+                                        "simulate --trace")
+    timeline.add_argument("--width", type=int, default=72,
+                          help="timeline width in characters")
+    timeline.set_defaults(func=cmd_timeline)
     return parser
 
 

@@ -5,7 +5,7 @@ from .reference import (
     accuracy_factor, fold_for_x86, reference_stats, x86_reference_core,
     x86_reference_hierarchy,
 )
-from .reporting import geomean, render_bars, render_table
+from .reporting import geomean, render_bars, render_table, render_timeline
 from .runner import (
     DAEPairSpec, DEFAULT_MAX_CYCLES, FaultedRun, Prepared, RunOutcome,
     classify_failure, prepare, prepare_dae, prepare_dae_sliced,
@@ -15,8 +15,10 @@ from .runner import (
 from .sweeps import (
     SweepPoint, SweepResult, sweep_core, sweep_hierarchy, sweep_runs,
 )
-from .simspeed import PAPER_MIPS, SpeedReport, measure_simulation_speed, \
-    trace_footprint_bytes
+from .simspeed import (
+    BENCH_SCHEMA_VERSION, PAPER_MIPS, SpeedReport,
+    measure_simulation_speed, trace_footprint_bytes, write_bench_json,
+)
 from .systems import (
     DAE_QUEUE_ENTRIES, DAE_QUEUE_LATENCY, INO_AREA_MM2, OOO_AREA_MM2,
     dae_hierarchy, inorder_core, ooo_core, xeon_core, xeon_hierarchy,
@@ -26,15 +28,16 @@ from .trends import microprocessor_trends, render_figure1, stagnation_year
 __all__ = [
     "accuracy_factor", "fold_for_x86", "reference_stats",
     "x86_reference_core", "x86_reference_hierarchy",
-    "geomean", "render_bars", "render_table",
+    "geomean", "render_bars", "render_table", "render_timeline",
     "DAEPairSpec", "DEFAULT_MAX_CYCLES", "FaultedRun", "Prepared",
     "RunOutcome", "classify_failure", "prepare", "prepare_dae",
     "prepare_dae_sliced", "run_supervised", "run_with_faults", "simulate",
     "simulate_dae", "simulate_heterogeneous",
     "SweepPoint", "SweepResult", "sweep_core", "sweep_hierarchy",
     "sweep_runs",
-    "PAPER_MIPS", "SpeedReport", "measure_simulation_speed",
-    "trace_footprint_bytes",
+    "BENCH_SCHEMA_VERSION", "PAPER_MIPS", "SpeedReport",
+    "measure_simulation_speed", "trace_footprint_bytes",
+    "write_bench_json",
     "DAE_QUEUE_ENTRIES", "DAE_QUEUE_LATENCY", "INO_AREA_MM2",
     "OOO_AREA_MM2", "dae_hierarchy", "inorder_core", "ooo_core",
     "xeon_core", "xeon_hierarchy",

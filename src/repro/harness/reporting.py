@@ -4,15 +4,23 @@ mirroring the paper's figures)."""
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, Iterable, List, Sequence
 
 
 def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; degenerate inputs (empty, zero or negative
+    entries) return 0.0 with a warning instead of raising, so one bad
+    sweep point cannot kill a whole report."""
     values = [v for v in values]
     if not values:
-        raise ValueError("geomean of empty sequence")
+        warnings.warn("geomean of empty sequence; returning 0.0",
+                      stacklevel=2)
+        return 0.0
     if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
+        warnings.warn(
+            "geomean of non-positive values; returning 0.0", stacklevel=2)
+        return 0.0
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
@@ -48,7 +56,54 @@ def render_bars(values: Dict[str, float], width: int = 40,
     label_width = max(len(k) for k in values)
     lines = [title] if title else []
     for key, value in values.items():
-        bar = "#" * max(1, int(round(width * value / peak))) if peak > 0 \
-            else ""
+        if peak > 0 and value > 0:
+            bar = "#" * max(1, int(round(width * value / peak)))
+        else:
+            # all-zero (or negative) inputs render without bars rather
+            # than dividing by a zero peak
+            bar = ""
         lines.append(f"{key.ljust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def render_timeline(document: dict, width: int = 72,
+                    title: str = "") -> str:
+    """Plain-text rendering of a Chrome ``trace_event`` document: one
+    row per lane (trace tid), spans drawn as ``#`` runs and instants as
+    ``!`` over the simulated-time axis. Counter events are skipped.
+
+    Complements the Perfetto flow for quick terminal inspection
+    (``repro timeline trace.json``)."""
+    events = [e for e in document.get("traceEvents", ())
+              if e.get("ph") in ("X", "i")]
+    lane_names = {
+        e["tid"]: e.get("args", {}).get("name", "")
+        for e in document.get("traceEvents", ())
+        if e.get("ph") == "M" and e.get("name") == "thread_name"}
+    lines = [title] if title else []
+    if not events:
+        lines.append("(no span or instant events)")
+        return "\n".join(lines)
+    start = min(e["ts"] for e in events)
+    end = max(e["ts"] + e.get("dur", 0) for e in events)
+    extent = max(1, end - start)
+    lanes: Dict[int, List[str]] = {}
+    for event in events:
+        row = lanes.setdefault(event["tid"], [" "] * width)
+        lo = (event["ts"] - start) * (width - 1) // extent
+        if event["ph"] == "X":
+            hi = (event["ts"] + event.get("dur", 0) - start) \
+                * (width - 1) // extent
+            for i in range(int(lo), int(hi) + 1):
+                row[i] = "#"
+        else:
+            row[int(lo)] = "!"
+    label_width = max(
+        (len(lane_names.get(tid, f"tid {tid}")) for tid in lanes),
+        default=0)
+    lines.append(f"{'':{label_width}}  ts {start} .. {end} "
+                 f"({len(events)} events)")
+    for tid in sorted(lanes):
+        label = lane_names.get(tid, f"tid {tid}")
+        lines.append(f"{label:>{label_width}} |{''.join(lanes[tid])}|")
     return "\n".join(lines)

@@ -35,6 +35,7 @@ from ..sim.errors import (
 from ..sim.events import Scheduler
 from ..sim.interleaver import Interleaver
 from ..sim.statistics import SystemStats
+from ..telemetry.profiler import ProfileReport
 from ..trace.interpreter import Interpreter
 from ..trace.memory import SimMemory
 from ..trace.tracefile import KernelTrace
@@ -97,12 +98,15 @@ def simulate(kernel: Kernel, args: Sequence, *,
              prepared: Optional[Prepared] = None,
              max_cycles: int = DEFAULT_MAX_CYCLES,
              wall_clock_limit: Optional[float] = None,
-             injector: Optional[FaultInjector] = None) -> SystemStats:
+             injector: Optional[FaultInjector] = None,
+             tracer=None, metrics=None, profiler=None) -> SystemStats:
     """One-stop homogeneous simulation: ``num_tiles`` copies of ``core``
     running the SPMD kernel over a shared memory hierarchy.
 
     ``injector`` wires timing-level fault injection (fabric, DRAM,
     accelerators) into the run; ``wall_clock_limit`` arms the watchdog.
+    ``tracer``/``metrics``/``profiler`` attach the telemetry layer (see
+    ``docs/observability.md``); all three default to off.
     """
     core = core if core is not None else CoreConfig()
     core.validate()
@@ -133,7 +137,9 @@ def simulate(kernel: Kernel, args: Sequence, *,
                               accelerators=accelerators,
                               frequency_ghz=freq, max_cycles=max_cycles,
                               scheduler=scheduler,
-                              wall_clock_limit=wall_clock_limit)
+                              wall_clock_limit=wall_clock_limit,
+                              tracer=tracer, metrics=metrics,
+                              profiler=profiler)
     return interleaver.run()
 
 
@@ -145,7 +151,8 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
                            prepared: Optional[Prepared] = None,
                            max_cycles: int = DEFAULT_MAX_CYCLES,
                            wall_clock_limit: Optional[float] = None,
-                           injector: Optional[FaultInjector] = None
+                           injector: Optional[FaultInjector] = None,
+                           tracer=None, metrics=None, profiler=None
                            ) -> SystemStats:
     """Heterogeneous SPMD simulation: one tile per entry of ``cores``,
     each with its own microarchitecture and clock (paper §II: "MosaicSim
@@ -189,7 +196,9 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
                               accelerators=accelerators,
                               frequency_ghz=fastest, max_cycles=max_cycles,
                               scheduler=scheduler,
-                              wall_clock_limit=wall_clock_limit)
+                              wall_clock_limit=wall_clock_limit,
+                              tracer=tracer, metrics=metrics,
+                              profiler=profiler)
     return interleaver.run()
 
 
@@ -254,7 +263,8 @@ def simulate_dae(specs: List[DAEPairSpec], *,
                  frequency_ghz: Optional[float] = None,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
                  wall_clock_limit: Optional[float] = None,
-                 injector: Optional[FaultInjector] = None) -> SystemStats:
+                 injector: Optional[FaultInjector] = None,
+                 tracer=None, metrics=None, profiler=None) -> SystemStats:
     """Simulate P DAE pairs: tiles 0..P-1 are access cores, P..2P-1 the
     matching execute cores, communicating through bounded DAE queues."""
     pairs = len(specs)
@@ -288,7 +298,9 @@ def simulate_dae(specs: List[DAEPairSpec], *,
     interleaver = Interleaver(tiles, memory=memsys, fabric=fabric,
                               accelerators=accelerators, frequency_ghz=freq,
                               max_cycles=max_cycles, scheduler=scheduler,
-                              wall_clock_limit=wall_clock_limit)
+                              wall_clock_limit=wall_clock_limit,
+                              tracer=tracer, metrics=metrics,
+                              profiler=profiler)
     return interleaver.run()
 
 
@@ -343,6 +355,8 @@ class RunOutcome:
     attempts: int = 1
     fault_log: Tuple[FaultRecord, ...] = ()
     wall_seconds: float = 0.0
+    #: simulator self-profile (set when the run carried a SelfProfiler)
+    profile: Optional[ProfileReport] = None
 
     @property
     def ok(self) -> bool:
@@ -385,7 +399,8 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
                    wall_clock_limit: Optional[float] = None,
                    retries: int = 0,
                    backoff_seconds: float = 0.0,
-                   fresh: Optional[Callable[[], tuple]] = None
+                   fresh: Optional[Callable[[], tuple]] = None,
+                   tracer=None, metrics=None, profiler=None
                    ) -> RunOutcome:
     """Run a simulation under supervision: cycle budget, wall-clock
     watchdog, and retry-with-backoff for transient faults.
@@ -417,11 +432,13 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
                              hierarchy=hierarchy, accelerators=accelerators,
                              memory=m, max_cycles=max_cycles,
                              wall_clock_limit=wall_clock_limit,
-                             injector=injector)
+                             injector=injector, tracer=tracer,
+                             metrics=metrics, profiler=profiler)
             return RunOutcome(
                 "ok", stats=stats, attempts=attempts,
                 fault_log=tuple(injector.log) if injector else (),
-                wall_seconds=time.monotonic() - start)
+                wall_seconds=time.monotonic() - start,
+                profile=profiler.report if profiler is not None else None)
         except (SimulationError, ConfigError) as exc:
             last_exc = exc
             fault_log = tuple(injector.log) if injector else ()

@@ -13,6 +13,7 @@ simulation, and trace footprints stay modest.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -20,8 +21,12 @@ from typing import Dict, Optional
 from ..sim.accelerator.library import sgemm_design
 from ..sim.accelerator.perf_model import GenericPerformanceModel
 from ..sim.config import CoreConfig
+from ..telemetry.profiler import ProfileReport, SelfProfiler
 from .runner import Prepared, prepare, simulate
 from .systems import dae_hierarchy, ooo_core
+
+#: bump when the BENCH_simspeed.json layout changes incompatibly
+BENCH_SCHEMA_VERSION = 1
 
 #: paper-quoted comparison points (§VI-B), MIPS
 PAPER_MIPS = {
@@ -37,20 +42,47 @@ class SpeedReport:
     wall_seconds: float
     #: closed-form accelerator model invocations per second
     accel_models_per_second: float
+    #: per-phase self-profile (set when measured with profile=True)
+    profile: Optional[ProfileReport] = None
 
     @property
     def mips(self) -> float:
         return self.simulated_instructions / self.wall_seconds / 1e6
 
+    def as_dict(self) -> dict:
+        document = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "mips": self.mips,
+            "simulated_instructions": self.simulated_instructions,
+            "wall_seconds": self.wall_seconds,
+            "accel_models_per_second": self.accel_models_per_second,
+            "paper_mips": dict(PAPER_MIPS),
+        }
+        if self.profile is not None:
+            document["profile"] = self.profile.as_dict()
+        return document
+
+
+def write_bench_json(report: SpeedReport, path: str) -> None:
+    """Serialize a :class:`SpeedReport` to ``BENCH_simspeed.json``."""
+    with open(path, "w") as handle:
+        json.dump(report.as_dict(), handle, indent=2)
+        handle.write("\n")
+
 
 def measure_simulation_speed(prepared: Prepared,
-                             core: Optional[CoreConfig] = None
-                             ) -> SpeedReport:
-    """Simulate prepared traces and measure wall-clock throughput."""
+                             core: Optional[CoreConfig] = None,
+                             profile: bool = False) -> SpeedReport:
+    """Simulate prepared traces and measure wall-clock throughput.
+
+    With ``profile=True`` the run carries a :class:`SelfProfiler`, so
+    the report also says *where* the wall-clock time went."""
     core = core if core is not None else ooo_core()
+    profiler = SelfProfiler() if profile else None
     start = time.perf_counter()
     stats = simulate(prepared.function, [], core=core,
-                     hierarchy=dae_hierarchy(), prepared=prepared)
+                     hierarchy=dae_hierarchy(), prepared=prepared,
+                     profiler=profiler)
     wall = time.perf_counter() - start
 
     # accelerator performance-model speed: closed-form evaluations/second
@@ -60,7 +92,8 @@ def measure_simulation_speed(prepared: Prepared,
     for _ in range(calls):
         model.estimate({"n": 64, "m": 64, "k": 64})
     accel_wall = time.perf_counter() - accel_start
-    return SpeedReport(stats.instructions, wall, calls / accel_wall)
+    return SpeedReport(stats.instructions, wall, calls / accel_wall,
+                       profile=profiler.report if profiler else None)
 
 
 def trace_footprint_bytes(prepared: Prepared) -> Dict[str, int]:

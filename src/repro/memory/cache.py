@@ -45,6 +45,9 @@ class Cache:
         self.next_access = next_access
         self.stats = stats
         self.energy_sink = energy_sink
+        #: cycle-level Tracer (attached by MemorySystem.attach_tracer)
+        self.tracer = None
+        self.trace_tid = 0
         self._sets = [_Set() for _ in range(config.num_sets)]
         #: line -> list of waiting requests (MSHR)
         self._mshr: Dict[int, List[MemRequest]] = {}
@@ -101,12 +104,18 @@ class Cache:
             line * self.config.line_bytes, self.config.line_bytes,
             is_write=False, is_prefetch=request.is_prefetch,
             core_id=request.core_id,
-            callback=lambda c, ln=line, wr=request.is_write: self._fill(
-                ln, wr, c))
+            callback=lambda c, ln=line, wr=request.is_write, st=start:
+                self._fill(ln, wr, c, st))
         self.next_access(fill, start + self.config.latency)
 
     # ------------------------------------------------------------------
-    def _fill(self, line: int, was_write: bool, cycle: int) -> None:
+    def _fill(self, line: int, was_write: bool, cycle: int,
+              miss_cycle: int = 0) -> None:
+        if self.tracer is not None:
+            # span: the miss's full round trip until the line fills
+            self.tracer.complete(
+                "cache", f"{self.stats.name} miss", miss_cycle, cycle,
+                self.trace_tid, {"line": line})
         set_index = line % self.config.num_sets
         tag = line // self.config.num_sets
         cache_set = self._sets[set_index]

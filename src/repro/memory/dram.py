@@ -32,6 +32,9 @@ class SimpleDRAM:
         self.energy_sink = energy_sink
         #: optional FaultInjector: extra response stalls
         self.injector = injector
+        #: cycle-level Tracer (attached by MemorySystem.attach_tracer)
+        self.tracer = None
+        self.trace_tid = 0
         self._per_epoch = config.requests_per_epoch(frequency_ghz)
         #: epoch index -> responses already returned in that epoch
         self._epoch_counts: Dict[int, int] = {}
@@ -56,6 +59,11 @@ class SimpleDRAM:
         if self.injector is not None:
             completion += self.injector.dram_stall(request.address, cycle)
         self.stats.total_latency += completion - cycle
+        if self.tracer is not None:
+            self.tracer.complete(
+                "dram", "write" if request.is_write else "read",
+                cycle, completion, self.trace_tid,
+                {"throttled": throttled})
         if request.callback is not None:
             self.scheduler.at(completion, request.callback)
         self._prune(cycle)
@@ -80,6 +88,9 @@ class DRAMSim2Model:
         self.energy_sink = energy_sink
         #: optional FaultInjector: extra response stalls
         self.injector = injector
+        #: cycle-level Tracer (attached by MemorySystem.attach_tracer)
+        self.tracer = None
+        self.trace_tid = 0
         num_banks = config.channels * config.banks_per_channel
         #: per-bank (open_row, next_free_cycle)
         self._banks: List[Tuple[Optional[int], int]] = [
@@ -108,6 +119,7 @@ class DRAMSim2Model:
         channel, bank, row = self._map(request.address)
         open_row, bank_free = self._banks[bank]
         start = max(cycle, bank_free, self._bus_free[channel])
+        row_hit = open_row == row
         if open_row == row:
             self.stats.row_hits += 1
             service = config.t_cas
@@ -126,5 +138,10 @@ class DRAMSim2Model:
             # stall the response only; bank/bus state frees on schedule
             completion += self.injector.dram_stall(request.address, cycle)
         self.stats.total_latency += completion - cycle
+        if self.tracer is not None:
+            self.tracer.complete(
+                "dram", "write" if request.is_write else "read",
+                cycle, completion, self.trace_tid,
+                {"row_hit": row_hit, "bank": bank})
         if request.callback is not None:
             self.scheduler.at(completion, request.callback)

@@ -39,6 +39,8 @@ class MemorySystem:
         self.cache_stats: Dict[str, CacheStats] = {}
         #: requests issued but not yet responded (deadlock diagnostics)
         self.outstanding = 0
+        #: end-to-end request latency histogram (attach_metrics)
+        self._latency_hist = None
 
         if config.dram_model == "simple":
             self.dram = SimpleDRAM(config.simple_dram, scheduler,
@@ -135,6 +137,27 @@ class MemorySystem:
             self.cache_stats[name] = CacheStats(name=name)
         return self.cache_stats[name]
 
+    # -- observability ---------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Hand the cycle tracer to every cache level and the DRAM model.
+        All cache levels share one trace lane; DRAM gets its own."""
+        cache_tid = tracer.tid_for("cache")
+        for levels in self.private_caches:
+            for cache in levels:
+                cache.tracer = tracer
+                cache.trace_tid = cache_tid
+        if self.llc is not None:
+            self.llc.tracer = tracer
+            self.llc.trace_tid = cache_tid
+        self.dram.tracer = tracer
+        self.dram.trace_tid = tracer.tid_for("dram")
+
+    def attach_metrics(self, metrics) -> None:
+        """Register memory-system metrics; the request-latency histogram
+        is observed on every response (single branch when detached)."""
+        self._latency_hist = metrics.histogram(
+            "memory.request_latency_cycles")
+
     # ------------------------------------------------------------------
     def access(self, core_id: int, address: int, size: int, *,
                is_write: bool, cycle: int,
@@ -145,6 +168,8 @@ class MemorySystem:
 
         def tracked(c: int, _done=callback) -> None:
             self.outstanding -= 1
+            if self._latency_hist is not None:
+                self._latency_hist.observe(c - cycle)
             _done(c)
 
         request = MemRequest(address, size, is_write=is_write,

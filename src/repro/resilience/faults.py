@@ -112,6 +112,10 @@ class FaultInjector:
             site: random.Random(f"{plan.seed}:{site}") for site in _SITES}
         self.log: List[FaultRecord] = []
         self._load_index = 0
+        #: cycle-level Tracer (attached by the harness when tracing);
+        #: every recorded fault also becomes a trace instant
+        self.tracer = None
+        self.trace_tid = 0
 
     # ------------------------------------------------------------------
     def _active(self, cycle: int) -> bool:
@@ -122,6 +126,9 @@ class FaultInjector:
 
     def _record(self, site: str, kind: str, cycle: int, detail: str) -> None:
         self.log.append(FaultRecord(site, kind, cycle, detail))
+        if self.tracer is not None:
+            self.tracer.instant("fault", f"{site}.{kind}", cycle,
+                                self.trace_tid, {"detail": detail})
 
     # -- functional loads (trace generation) ----------------------------
     def corrupt_load(self, address: int, value):

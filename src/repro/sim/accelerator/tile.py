@@ -87,6 +87,9 @@ class AcceleratorFarm:
         self._tiles: Dict[str, AcceleratorTile] = {}
         #: optional FaultInjector; may fail invocations
         self.injector = None
+        #: cycle-level Tracer (attached by the Interleaver)
+        self.tracer = None
+        self.trace_tid = 0
         #: when True, a faulted invocation falls back to core execution
         #: instead of propagating the fault
         self.fallback_enabled = True
@@ -120,12 +123,25 @@ class AcceleratorFarm:
             if transient is not None:
                 raise AcceleratorFaultError(invocation.name, cycle,
                                             transient)
-        return tile.invoke(invocation, cycle)
+        result = tile.invoke(invocation, cycle)
+        if self.tracer is not None:
+            completion, energy, nbytes = result
+            self.tracer.complete(
+                "accel", invocation.name, cycle, completion,
+                self.trace_tid, {"energy_nj": energy, "bytes": nbytes})
+        return result
 
     def fallback_invoke(self, invocation: AccelInvocation, cycle: int):
         """Core-execution estimate for a faulted invocation."""
-        return self._tile_for(invocation).fallback_invoke(
+        result = self._tile_for(invocation).fallback_invoke(
             invocation, cycle, self.fallback_slowdown)
+        if self.tracer is not None:
+            completion, energy, nbytes = result
+            self.tracer.complete(
+                "accel", f"{invocation.name} (fallback)", cycle,
+                completion, self.trace_tid,
+                {"energy_nj": energy, "bytes": nbytes})
+        return result
 
     @property
     def tiles(self) -> Dict[str, AcceleratorTile]:

@@ -40,6 +40,11 @@ class CommFabric:
         self.dae_queue_capacity = dae_queue_capacity
         #: optional FaultInjector consulted on every send
         self.injector = injector
+        #: optional cycle-level Tracer (attached by the Interleaver);
+        #: every hook below guards on it with a single branch
+        self.tracer = None
+        self.trace_tid = 0
+        self.messages_sent = 0
         self.dropped_messages = 0
         self.delayed_messages = 0
         #: (src, dst) -> availability cycles of buffered messages
@@ -54,7 +59,8 @@ class CommFabric:
         self._full_waiters: Dict[str, Deque[Wakeup]] = {}
         #: peak occupancy per queue, for stats/tests
         self.peak_occupancy: Dict[str, int] = {}
-        #: (group, generation) -> [arrival count, waiting wakeups]
+        #: (group, generation) -> [arrival count, waiting wakeups,
+        #: arrival cycles (recorded only while tracing)]
         self._barriers: Dict[Tuple[str, int], list] = {}
         #: completed barrier generations per group (stats)
         self.barriers_released: Dict[str, int] = {}
@@ -62,6 +68,7 @@ class CommFabric:
     # -- generic messages ------------------------------------------------
     def send(self, src: int, dst: int, available_cycle: int) -> None:
         """Deposit a message that becomes visible at ``available_cycle``."""
+        self.messages_sent += 1
         if self.injector is not None:
             action, extra = self.injector.message_action(
                 src, dst, available_cycle)
@@ -69,10 +76,17 @@ class CommFabric:
                 # the message vanishes; a receiver blocked on it is caught
                 # by deadlock detection or the watchdog
                 self.dropped_messages += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "fabric", f"drop {src}->{dst}", available_cycle,
+                        self.trace_tid)
                 return
             if action == "delay":
                 self.delayed_messages += 1
                 available_cycle += extra
+        if self.tracer is not None:
+            self.tracer.instant("fabric", f"send {src}->{dst}",
+                                available_cycle, self.trace_tid)
         key = (src, dst)
         waiters = self._recv_waiters.get(key)
         if waiters:
@@ -90,11 +104,18 @@ class CommFabric:
         key = (src, dst)
         buffered = self._messages.get(key)
         if buffered and buffered[0] <= cycle:
-            buffered.popleft()
+            available = buffered.popleft()
+            if self.tracer is not None:
+                # span: the message's wait in the buffer until this recv
+                self.tracer.complete("fabric", f"msg {src}->{dst}",
+                                     available, cycle, self.trace_tid)
             return True
         if buffered:
             # message in flight: complete when it becomes visible
             available = buffered.popleft()
+            if self.tracer is not None:
+                self.tracer.complete("fabric", f"msg {src}->{dst}",
+                                     cycle, available, self.trace_tid)
             wakeup(available)
             return False
         self._recv_waiters.setdefault(key, deque()).append(wakeup)
@@ -114,6 +135,9 @@ class CommFabric:
         if self.queue_occupancy(name) >= self.dae_queue_capacity:
             self._full_waiters.setdefault(name, deque()).append(
                 wakeup_when_space)
+            if self.tracer is not None:
+                self.tracer.instant("dae", f"{name} full", available_cycle,
+                                    self.trace_tid)
             return False
         waiters = self._empty_waiters.get(name)
         if waiters:
@@ -125,6 +149,8 @@ class CommFabric:
         occupancy = self.queue_occupancy(name)
         if occupancy > self.peak_occupancy.get(name, 0):
             self.peak_occupancy[name] = occupancy
+        if self.tracer is not None:
+            self.tracer.counter("dae", name, available_cycle, occupancy)
         return True
 
     def queue_try_consume(self, name: str, cycle: int,
@@ -134,14 +160,23 @@ class CommFabric:
         if queue and queue[0] <= cycle:
             queue.popleft()
             self._notify_space(name, cycle)
+            if self.tracer is not None:
+                self.tracer.counter("dae", name, cycle,
+                                    self.queue_occupancy(name))
             return True
         if queue:
             available = queue.popleft()
             self._notify_space(name, available)
+            if self.tracer is not None:
+                self.tracer.counter("dae", name, available,
+                                    self.queue_occupancy(name))
             wakeup_when_token(available)
             return False
         self._empty_waiters.setdefault(name, deque()).append(
             wakeup_when_token)
+        if self.tracer is not None:
+            self.tracer.instant("dae", f"{name} empty", cycle,
+                                self.trace_tid)
         return False
 
     def _notify_space(self, name: str, cycle: int) -> None:
@@ -188,9 +223,17 @@ class CommFabric:
         earlier arrivers' ``wakeup`` fires when the barrier releases.
         """
         key = (group, generation)
-        record = self._barriers.setdefault(key, [0, []])
+        record = self._barriers.setdefault(key, [0, [], []])
         record[0] += 1
+        if self.tracer is not None:
+            record[2].append(cycle)
         if record[0] >= size:
+            if self.tracer is not None:
+                # one span per arriver: its wait from arrival to release
+                for arrival in record[2]:
+                    self.tracer.complete(
+                        "fabric", f"barrier {group}#{generation}",
+                        arrival, cycle, self.trace_tid)
             for waiter in record[1]:
                 waiter(cycle)
             del self._barriers[key]

@@ -41,7 +41,7 @@ class DynNode:
     """One dynamic instruction instance."""
 
     __slots__ = ("seq", "snode", "pending", "dependents", "state",
-                 "address", "dbb", "addr_producer")
+                 "address", "dbb", "addr_producer", "issued_at")
 
     def __init__(self, seq: int, snode: DDGNode, dbb: "DynDBB"):
         self.seq = seq
@@ -67,7 +67,7 @@ class DynNode:
 class DynDBB:
     """One dynamic basic block instance (paper Figure 3)."""
 
-    __slots__ = ("index", "bid", "remaining")
+    __slots__ = ("index", "bid", "remaining", "launched_at")
 
     def __init__(self, index: int, bid: int, size: int):
         self.index = index       # position in the control-flow trace
@@ -242,8 +242,14 @@ class CoreTile(Tile):
                 self._launch_stall_until = earliest
                 return False
             self.stats.mispredictions += 1
+            if self.tracer is not None:
+                self.tracer.instant("core", "mispredict", cycle,
+                                    self.trace_tid)
 
         dbb = DynDBB(self._next_dbb, bid, len(block.node_iids))
+        if self.tracer is not None:
+            # slot assigned only while tracing; reads guard the same way
+            dbb.launched_at = cycle
         self._live_dbbs[bid] = self._live_dbbs.get(bid, 0) + 1
         self.stats.dbbs_launched += 1
         live_now = sum(self._live_dbbs.values())
@@ -359,6 +365,8 @@ class CoreTile(Tile):
             # issue!
             budget -= 1
             node.state = _ISSUED
+            if self.tracer is not None:
+                node.issued_at = cycle
             if fu_limit is not None:
                 self._fu_used[snode.opclass] = \
                     self._fu_used.get(snode.opclass, 0) + 1
@@ -599,6 +607,11 @@ class CoreTile(Tile):
             # phis and folded nodes are free and not counted (keeps
             # reported IPC below the issue width, as real commit would)
             self.stats.instructions += 1
+            if self.tracer is not None:
+                # every counted node passed _issue, so issued_at is set
+                self.tracer.complete(
+                    "core", snode.opclass.name.lower(), node.issued_at,
+                    cycle, self.trace_tid)
         self.stats.cycles = max(self.stats.cycles, cycle)
         if self._fu_limit_by_iid[snode.iid] is not None:
             self._fu_used[snode.opclass] -= 1
@@ -630,4 +643,8 @@ class CoreTile(Tile):
         dbb.remaining -= 1
         if dbb.remaining == 0:
             self._live_dbbs[dbb.bid] -= 1
+            if self.tracer is not None:
+                self.tracer.complete(
+                    "core", f"dbb {dbb.bid}", dbb.launched_at, cycle,
+                    self.trace_tid, {"index": dbb.index})
         self._check_finished()

@@ -18,6 +18,14 @@ watchdog (``wall_clock_limit`` → :class:`WatchdogTimeout`), and deadlock
 detection that raises :class:`DeadlockError` carrying a structured
 ``diagnose()`` snapshot of every stuck tile, the fabric queues, and the
 outstanding memory requests.
+
+Observability hooks (see ``docs/observability.md``): an optional
+:class:`~repro.telemetry.Tracer` is attached to every subsystem (tiles,
+fabric, memory, accelerators) and records cycle-level spans; an optional
+:class:`~repro.telemetry.MetricsRegistry` collects runtime histograms
+and a whole-run snapshot into ``SystemStats.metrics``; an optional
+:class:`~repro.telemetry.SelfProfiler` accounts wall-clock time per
+simulator phase. All three cost nothing when absent.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Callable, List, Optional
 
+from ..telemetry.profiler import ProfiledFabric, timed
 from ..trace.tracefile import AccelInvocation
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import with
@@ -93,7 +102,8 @@ class Interleaver:
                  frequency_ghz: float = 2.0,
                  max_cycles: int = 2_000_000_000,
                  scheduler: Optional[Scheduler] = None,
-                 wall_clock_limit: Optional[float] = None):
+                 wall_clock_limit: Optional[float] = None,
+                 tracer=None, metrics=None, profiler=None):
         if not tiles:
             raise ValueError("Interleaver needs at least one tile")
         self.tiles = tiles
@@ -110,15 +120,66 @@ class Interleaver:
         self.max_cycles = max_cycles
         #: wall-clock watchdog budget in seconds (None = unlimited)
         self.wall_clock_limit = wall_clock_limit
-        self.services = TileServices(self.scheduler, memory, self.fabric,
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
+        service_fabric = self.fabric
+        if profiler is not None:
+            service_fabric = ProfiledFabric(self.fabric, profiler)
+        self.services = TileServices(self.scheduler, memory, service_fabric,
                                      accelerators)
+        if profiler is not None:
+            self.services.mem_access = timed(profiler, "memory",
+                                             self.services.mem_access)
         for tile in tiles:
             tile.services = self.services
+        if tracer is not None:
+            self._attach_tracer(tracer)
+        if metrics is not None:
+            self._attach_metrics(metrics)
+
+    # ------------------------------------------------------------------
+    def _attach_tracer(self, tracer) -> None:
+        """Hand the tracer to every subsystem, assigning stable lanes.
+
+        Lane order (tiles first, then fabric/memory/accelerators) is
+        fixed so the same configuration always produces the same tids —
+        part of the determinism contract.
+        """
+        for tile in self.tiles:
+            tile.tracer = tracer
+            tile.trace_tid = tracer.tid_for(tile.name)
+        self.fabric.tracer = tracer
+        self.fabric.trace_tid = tracer.tid_for("fabric")
+        if self.memory is not None:
+            self.memory.attach_tracer(tracer)
+        if self.accelerators is not None:
+            self.accelerators.tracer = tracer
+            self.accelerators.trace_tid = tracer.tid_for("accel")
+        # the shared FaultInjector (if any) records fault instants; all
+        # wired subsystems share one injector, so attaching once suffices
+        for holder in (self.fabric, self.accelerators,
+                       getattr(self.memory, "dram", None)):
+            injector = getattr(holder, "injector", None)
+            if injector is not None:
+                injector.tracer = tracer
+                injector.trace_tid = tracer.tid_for("fault")
+                break
+
+    def _attach_metrics(self, metrics) -> None:
+        """Register runtime instruments with the subsystems that observe
+        values only available mid-run (latency distributions)."""
+        if self.memory is not None:
+            self.memory.attach_metrics(metrics)
 
     # ------------------------------------------------------------------
     def run(self) -> SystemStats:
         tiles = self.tiles
         scheduler = self.scheduler
+        profiler = self.profiler
+        perf = time.perf_counter
+        if profiler is not None:
+            profiler.start()
         cycle = 0
         deadline = None
         if self.wall_clock_limit is not None:
@@ -150,7 +211,13 @@ class Interleaver:
 
             # events first (memory responses, message deliveries), which
             # may wake tiles at this very cycle
-            scheduler.run_due(cycle)
+            if profiler is None:
+                scheduler.run_due(cycle)
+            else:
+                t0 = perf()
+                profiler.events += scheduler.run_due(cycle)
+                profiler.add("event_loop", perf() - t0)
+                t0 = perf()
             # then step every tile due at this cycle; stepping can wake
             # peers at the same cycle (e.g. a consume frees queue space),
             # so iterate to a fixed point
@@ -162,11 +229,15 @@ class Interleaver:
                         if returned < tile.next_attention:
                             tile.next_attention = returned
                         progressed = True
+                        if profiler is not None:
+                            profiler.tile_steps += 1
                 if not progressed:
                     break
             else:  # pragma: no cover - indicates a livelock bug
                 raise SimulationError(
                     f"tiles did not reach a fixed point at cycle {cycle}")
+            if profiler is not None:
+                profiler.add("tile_step", perf() - t0)
         return self._collect(cycle)
 
     # ------------------------------------------------------------------
@@ -215,7 +286,47 @@ class Interleaver:
         if self.memory is not None:
             stats.caches = dict(self.memory.cache_stats)
             stats.dram = self.memory.dram_stats
-            stats.memory_energy_nj = self.memory.energy_nj
+            # memory_energy_nj is derived (caches + DRAM) on SystemStats,
+            # so the breakdown cannot double count
             stats.cache_energy_nj = self.memory.cache_energy_nj
             stats.dram_energy_nj = self.memory.dram_energy_nj
+        if self.metrics is not None:
+            self._snapshot_metrics(stats)
+            stats.metrics = self.metrics.as_dict()
+        if self.profiler is not None:
+            self.profiler.finish(cycle, stats.instructions)
         return stats
+
+    def _snapshot_metrics(self, stats: SystemStats) -> None:
+        """Fold end-of-run subsystem state into the registry, alongside
+        the runtime histograms the subsystems observed themselves."""
+        metrics = self.metrics
+        metrics.gauge("sim.cycles").set(stats.cycles)
+        metrics.counter("sim.instructions").inc(stats.instructions)
+        for tile in stats.tiles:
+            prefix = f"tile.{tile.name}"
+            metrics.counter(f"{prefix}.instructions").inc(tile.instructions)
+            metrics.counter(f"{prefix}.memory_accesses").inc(
+                tile.memory_accesses)
+            metrics.counter(f"{prefix}.mispredictions").inc(
+                tile.mispredictions)
+            metrics.counter(f"{prefix}.mao_stalls").inc(tile.mao_stalls)
+        fabric = self.fabric
+        metrics.counter("fabric.messages_sent").inc(fabric.messages_sent)
+        metrics.counter("fabric.messages_dropped").inc(
+            fabric.dropped_messages)
+        metrics.counter("fabric.messages_delayed").inc(
+            fabric.delayed_messages)
+        for name, peak in sorted(fabric.peak_occupancy.items()):
+            metrics.gauge(f"fabric.queue.{name}.peak_occupancy").max(peak)
+        for group, count in sorted(fabric.barriers_released.items()):
+            metrics.counter(f"fabric.barrier.{group}.released").inc(count)
+        for name, cache in sorted(stats.caches.items()):
+            metrics.counter(f"cache.{name}.hits").inc(cache.hits)
+            metrics.counter(f"cache.{name}.misses").inc(cache.misses)
+        metrics.counter("dram.requests").inc(stats.dram.requests)
+        metrics.counter("dram.throttled").inc(stats.dram.throttled)
+        if self.accelerators is not None:
+            for name, tile in sorted(self.accelerators.tiles.items()):
+                metrics.counter(f"{name}.invocations").inc(tile.invocations)
+                metrics.counter(f"{name}.busy_cycles").inc(tile.busy_cycles)

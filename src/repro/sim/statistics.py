@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -73,9 +73,17 @@ class SystemStats:
     tiles: List[TileStats] = field(default_factory=list)
     caches: Dict[str, CacheStats] = field(default_factory=dict)
     dram: DRAMStats = field(default_factory=DRAMStats)
-    memory_energy_nj: float = 0.0
     cache_energy_nj: float = 0.0
     dram_energy_nj: float = 0.0
+    #: serialized MetricsRegistry snapshot, when the run carried one
+    metrics: Optional[Dict[str, dict]] = None
+
+    @property
+    def memory_energy_nj(self) -> float:
+        """Memory-system energy. Derived from the cache/DRAM components
+        so the breakdown sums to the total by construction (it used to be
+        an independently-assigned field, which risked double counting)."""
+        return self.cache_energy_nj + self.dram_energy_nj
 
     @property
     def runtime_seconds(self) -> float:
@@ -92,6 +100,28 @@ class SystemStats:
     @property
     def total_energy_nj(self) -> float:
         return sum(t.energy_nj for t in self.tiles) + self.memory_energy_nj
+
+    @property
+    def energy_breakdown_nj(self) -> Dict[str, float]:
+        """Per-component energy whose parts provably sum to the total.
+
+        The returned dict carries ``cores``/``caches``/``dram`` plus the
+        ``total``; an internal consistency check asserts the components
+        sum to ``total_energy_nj`` (guarding against a future field
+        regressing into double counting).
+        """
+        cores = sum(t.energy_nj for t in self.tiles)
+        breakdown = {
+            "cores": cores,
+            "caches": self.cache_energy_nj,
+            "dram": self.dram_energy_nj,
+            "total": self.total_energy_nj,
+        }
+        parts = breakdown["cores"] + breakdown["caches"] + breakdown["dram"]
+        assert abs(parts - breakdown["total"]) <= 1e-9 * max(
+            1.0, abs(breakdown["total"])), (
+            f"energy breakdown does not sum to total: {breakdown}")
+        return breakdown
 
     @property
     def energy_joules(self) -> float:

@@ -32,6 +32,10 @@ class Tile(abc.ABC):
         self.stats = TileStats(name=name)
         #: earliest global cycle at which step() should next run
         self.next_attention = 0
+        #: cycle-level event tracer (None = tracing disabled; every
+        #: instrumentation point guards on this with a single branch)
+        self.tracer = None
+        self.trace_tid = 0
 
     @abc.abstractmethod
     def step(self, cycle: int) -> int:

@@ -1,0 +1,37 @@
+"""``repro.telemetry`` — observability for the simulator itself.
+
+Three cooperating pieces, all opt-in and zero-cost when disabled:
+
+* :class:`Tracer` — ring-buffered cycle-level event tracer with Chrome
+  ``trace_event`` export (Perfetto-loadable);
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms that serialize alongside :class:`~repro.sim.statistics.
+  SystemStats`;
+* :class:`SelfProfiler` — wall-clock accounting of where simulation
+  time goes (event loop vs tile stepping vs memory vs fabric) plus
+  events/sec throughput.
+
+See ``docs/observability.md`` for usage and the trace JSON schema.
+"""
+
+from .metrics import (
+    Counter, DEFAULT_LATENCY_BUCKETS, Gauge, Histogram,
+    METRICS_SCHEMA_VERSION, MetricsRegistry, stats_to_dict,
+    write_stats_json,
+)
+from .profiler import (
+    PHASES, ProfiledFabric, ProfileReport, SelfProfiler, timed,
+)
+from .tracer import (
+    TRACE_SCHEMA_VERSION, TraceEvent, Tracer, subsystem_categories,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter", "DEFAULT_LATENCY_BUCKETS", "Gauge", "Histogram",
+    "METRICS_SCHEMA_VERSION", "MetricsRegistry", "PHASES",
+    "ProfiledFabric", "ProfileReport", "SelfProfiler",
+    "TRACE_SCHEMA_VERSION", "TraceEvent", "Tracer",
+    "stats_to_dict", "subsystem_categories", "timed",
+    "validate_chrome_trace", "write_stats_json",
+]

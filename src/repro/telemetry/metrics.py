@@ -1,0 +1,254 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Subsystems register instruments at attach time (one dict lookup each)
+and update them at runtime behind a ``metrics is not None`` guard — the
+same zero-cost-when-disabled contract as the tracer. The registry
+serializes to plain JSON-able dicts alongside :class:`SystemStats`, so
+sweeps and CI can consume machine-readable results
+(``repro simulate ... --stats-json``).
+
+Histogram bucketing follows the Prometheus ``le`` convention: bucket
+``i`` counts observations ``v`` with ``boundaries[i-1] < v <=
+boundaries[i]``; one overflow bucket catches everything above the last
+boundary.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: power-of-two latency buckets (cycles) — covers L1 hits through badly
+#: throttled DRAM responses
+DEFAULT_LATENCY_BUCKETS: Tuple[int, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (peaks, occupancies, configuration facts)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram of observed values."""
+
+    __slots__ = ("boundaries", "counts", "total", "count", "min", "max")
+
+    def __init__(self, boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        boundaries = tuple(boundaries)
+        if not boundaries:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if any(b2 <= b1 for b1, b2 in zip(boundaries, boundaries[1:])):
+            raise ValueError(
+                f"histogram boundaries must be strictly increasing, "
+                f"got {boundaries}")
+        self.boundaries = boundaries
+        #: len(boundaries) + 1 buckets; the last catches the overflow
+        self.counts = [0] * (len(boundaries) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-boundary upper bound for quantile ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for index, count in enumerate(self.counts):
+            running += count
+            if running >= rank:
+                if index < len(self.boundaries):
+                    return float(self.boundaries[index])
+                return float(self.max if self.max is not None else 0.0)
+        return float(self.max if self.max is not None else 0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and serialized together.
+
+    Names are dotted paths (``dram.latency_cycles``); re-requesting a
+    name returns the existing instrument, so subsystems can share one.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._histograms[name] = Histogram(boundaries)
+        return instrument
+
+    def _check_fresh(self, name: str) -> None:
+        for table, kind in ((self._counters, "counter"),
+                            (self._gauges, "gauge"),
+                            (self._histograms, "histogram")):
+            if name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {kind}")
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.as_dict()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+
+# -- stats serialization -------------------------------------------------------
+
+#: bump when the stats/metrics JSON layout changes incompatibly
+METRICS_SCHEMA_VERSION = 1
+
+
+def stats_to_dict(stats) -> dict:
+    """Machine-readable snapshot of a :class:`SystemStats`.
+
+    Includes the registry snapshot under ``"metrics"`` when the run
+    carried one (``SystemStats.metrics``); this is the single serializer
+    behind ``--metrics``, ``--stats-json`` and sweep exports.
+    """
+    document = {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "cycles": stats.cycles,
+        "frequency_ghz": stats.frequency_ghz,
+        "runtime_seconds": stats.runtime_seconds,
+        "instructions": stats.instructions,
+        "ipc": stats.ipc,
+        "energy": {
+            "total_nj": stats.total_energy_nj,
+            "cores_nj": sum(t.energy_nj for t in stats.tiles),
+            "caches_nj": stats.cache_energy_nj,
+            "dram_nj": stats.dram_energy_nj,
+            "edp_js": stats.edp,
+        },
+        "tiles": [
+            {
+                "name": tile.name,
+                "cycles": tile.cycles,
+                "instructions": tile.instructions,
+                "ipc": tile.ipc,
+                "memory_accesses": tile.memory_accesses,
+                "mispredictions": tile.mispredictions,
+                "mao_stalls": tile.mao_stalls,
+                "energy_nj": tile.energy_nj,
+                "dbbs_launched": tile.dbbs_launched,
+                "max_live_dbbs": tile.max_live_dbbs,
+                "accel_invocations": tile.accel_invocations,
+                "accel_cycles": tile.accel_cycles,
+                "accel_bytes": tile.accel_bytes,
+                "accel_faults": tile.accel_faults,
+                "accel_fallbacks": tile.accel_fallbacks,
+            }
+            for tile in stats.tiles
+        ],
+        "caches": {
+            name: {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "miss_rate": cache.miss_rate,
+                "writebacks": cache.writebacks,
+                "prefetches": cache.prefetches,
+                "mshr_merges": cache.mshr_merges,
+            }
+            for name, cache in sorted(stats.caches.items())
+        },
+        "dram": {
+            "requests": stats.dram.requests,
+            "throttled": stats.dram.throttled,
+            "row_hits": stats.dram.row_hits,
+            "row_misses": stats.dram.row_misses,
+            "average_latency": stats.dram.average_latency,
+        },
+    }
+    if stats.metrics is not None:
+        document["metrics"] = stats.metrics
+    return document
+
+
+def write_stats_json(stats, path: str) -> None:
+    """Serialize ``stats`` (with any registry snapshot) to ``path``."""
+    import json
+    with open(path, "w") as handle:
+        json.dump(stats_to_dict(stats), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+__all__: List[str] = [
+    "Counter", "DEFAULT_LATENCY_BUCKETS", "Gauge", "Histogram",
+    "METRICS_SCHEMA_VERSION", "MetricsRegistry", "stats_to_dict",
+    "write_stats_json",
+]

@@ -1,0 +1,245 @@
+"""Cycle-level event tracer (the observability layer's core).
+
+MosaicSim's pitch is *visibility* into heterogeneous executions; the
+tracer records what happened *when* — instruction issue→retire spans,
+cache miss→fill spans, DRAM service windows, fabric message and barrier
+waits, DAE queue occupancies, accelerator invocations, injected faults —
+into a bounded ring buffer, and exports Chrome ``trace_event`` JSON that
+loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.
+
+Design constraints:
+
+* **zero-cost when disabled** — subsystems hold ``tracer = None`` and
+  every instrumentation point is a single ``if tracer is not None``
+  branch on the hot path; no event object is ever built when tracing is
+  off;
+* **bounded** — the ring buffer keeps the most recent ``capacity``
+  events and counts what it dropped, so tracing a billion-cycle run
+  cannot exhaust memory;
+* **deterministic** — events carry only simulated state (cycles, names,
+  ids), never wall-clock or object identities, so the same seed and
+  config produce an identical event stream.
+
+Timestamps are simulated cycles, written into the Chrome ``ts`` field
+1:1 (Perfetto displays them as microseconds; the metadata block records
+the real unit). The export format is versioned via
+:data:`TRACE_SCHEMA_VERSION`; see ``docs/observability.md`` for the
+schema.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+#: bump when the exported JSON layout changes incompatibly
+TRACE_SCHEMA_VERSION = 1
+
+#: Chrome trace_event phases we emit: complete span, instant, counter,
+#: metadata
+_PHASES = ("X", "i", "C", "M")
+
+
+class TraceEvent:
+    """One recorded event. ``phase`` follows the Chrome trace_event
+    convention: "X" complete span (``cycle`` + ``dur``), "i" instant,
+    "C" counter (``args`` holds the sampled values)."""
+
+    __slots__ = ("phase", "category", "name", "cycle", "dur", "tid", "args")
+
+    def __init__(self, phase: str, category: str, name: str, cycle: int,
+                 dur: int = 0, tid: int = 0,
+                 args: Optional[dict] = None):
+        self.phase = phase
+        self.category = category
+        self.name = name
+        self.cycle = cycle
+        self.dur = dur
+        self.tid = tid
+        self.args = args
+
+    def as_chrome(self) -> dict:
+        event = {"name": self.name, "cat": self.category, "ph": self.phase,
+                 "ts": self.cycle, "pid": 0, "tid": self.tid}
+        if self.phase == "X":
+            event["dur"] = self.dur
+        if self.phase == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if self.args is not None:
+            event["args"] = self.args
+        return event
+
+    def key(self) -> tuple:
+        """Stable identity for determinism comparisons."""
+        args = tuple(sorted(self.args.items())) if self.args else ()
+        return (self.phase, self.category, self.name, self.cycle, self.dur,
+                self.tid, args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceEvent({self.phase!r}, {self.category!r}, "
+                f"{self.name!r}, cycle={self.cycle}, dur={self.dur}, "
+                f"tid={self.tid})")
+
+
+class Tracer:
+    """Ring-buffered event recorder.
+
+    Subsystems are handed the tracer by the Interleaver (or the harness)
+    and call :meth:`complete` / :meth:`instant` / :meth:`counter` behind
+    a ``tracer is not None`` guard. Lane ids come from :meth:`tid_for`,
+    which assigns a stable integer per lane name in first-use order —
+    deterministic because attachment order is deterministic.
+    """
+
+    def __init__(self, capacity: int = 200_000):
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        #: events evicted from the ring (oldest-first)
+        self.dropped = 0
+        #: lane name -> tid, in registration order
+        self._tids: Dict[str, int] = {}
+
+    # -- lanes -----------------------------------------------------------
+    def tid_for(self, lane: str) -> int:
+        """Stable integer id for a named lane (tile, fabric, cache, ...)."""
+        tid = self._tids.get(lane)
+        if tid is None:
+            tid = len(self._tids)
+            self._tids[lane] = tid
+        return tid
+
+    @property
+    def tid_names(self) -> Dict[int, str]:
+        return {tid: name for name, tid in self._tids.items()}
+
+    # -- recording -------------------------------------------------------
+    def _push(self, event: TraceEvent) -> None:
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+
+    def complete(self, category: str, name: str, start_cycle: int,
+                 end_cycle: int, tid: int = 0,
+                 args: Optional[dict] = None) -> None:
+        """Record a span covering ``[start_cycle, end_cycle]``."""
+        self._push(TraceEvent("X", category, name, start_cycle,
+                              max(0, end_cycle - start_cycle), tid, args))
+
+    def instant(self, category: str, name: str, cycle: int, tid: int = 0,
+                args: Optional[dict] = None) -> None:
+        self._push(TraceEvent("i", category, name, cycle, 0, tid, args))
+
+    def counter(self, category: str, name: str, cycle: int, value,
+                tid: int = 0) -> None:
+        """Record a sampled counter value (rendered as a track)."""
+        self._push(TraceEvent("C", category, name, cycle, 0, tid,
+                              {"value": value}))
+
+    # -- reading ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> List[TraceEvent]:
+        """Recorded events in chronological (start-cycle) order."""
+        return sorted(self._ring, key=lambda e: (e.cycle, e.tid, e.name))
+
+    def event_keys(self) -> List[tuple]:
+        """Determinism fingerprint: stable keys of every buffered event."""
+        return [event.key() for event in self.events()]
+
+    # -- export ----------------------------------------------------------
+    def to_chrome(self, frequency_ghz: Optional[float] = None) -> dict:
+        """Chrome trace_event JSON object (loadable in Perfetto)."""
+        events = [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+             "args": {"name": name}}
+            for name, tid in self._tids.items()
+        ]
+        events.extend(event.as_chrome() for event in self.events())
+        other = {
+            "trace_schema_version": TRACE_SCHEMA_VERSION,
+            "clock": "simulated-cycles",
+            "dropped_events": self.dropped,
+        }
+        if frequency_ghz is not None:
+            other["frequency_ghz"] = frequency_ghz
+        return {"traceEvents": events, "displayTimeUnit": "ns",
+                "otherData": other}
+
+    def write(self, path: str,
+              frequency_ghz: Optional[float] = None) -> int:
+        """Write the Chrome JSON to ``path``; returns the event count."""
+        document = self.to_chrome(frequency_ghz)
+        with open(path, "w") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+        return len(document["traceEvents"])
+
+
+def validate_chrome_trace(document: dict) -> int:
+    """Validate a trace document against the exported schema.
+
+    Returns the number of non-metadata events; raises :class:`ValueError`
+    with a precise message on the first violation (used by tests and the
+    CI trace-validation step).
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    other = document.get("otherData")
+    if not isinstance(other, dict):
+        raise ValueError("trace document missing otherData block")
+    version = other.get("trace_schema_version")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"trace schema version {version!r} unsupported "
+            f"(expected {TRACE_SCHEMA_VERSION})")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    count = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            raise ValueError(
+                f"traceEvents[{index}] has unknown phase {phase!r}")
+        for field in ("name", "pid", "tid"):
+            if field not in event:
+                raise ValueError(
+                    f"traceEvents[{index}] missing field {field!r}")
+        if phase == "M":
+            continue
+        count += 1
+        if "ts" not in event or not isinstance(event["ts"], int):
+            raise ValueError(
+                f"traceEvents[{index}] needs an integer ts")
+        if event["ts"] < 0:
+            raise ValueError(f"traceEvents[{index}] has negative ts")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                raise ValueError(
+                    f"traceEvents[{index}] span needs a non-negative "
+                    f"integer dur")
+        if phase == "C" and "args" not in event:
+            raise ValueError(
+                f"traceEvents[{index}] counter needs args")
+    return count
+
+
+def subsystem_categories(document: dict) -> List[str]:
+    """Sorted distinct categories of non-metadata events (used by the
+    acceptance check: a traced run must cover core, cache/dram, fabric
+    and accelerator subsystems)."""
+    seen = set()
+    for event in document.get("traceEvents", ()):
+        if isinstance(event, dict) and event.get("ph") != "M":
+            category = event.get("cat")
+            if category:
+                seen.add(category)
+    return sorted(seen)

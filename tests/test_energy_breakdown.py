@@ -43,3 +43,18 @@ def test_dram_energy_tracks_requests(stats):
 def test_summary_shows_breakdown(stats):
     text = stats.summary()
     assert "cores" in text and "caches" in text and "DRAM" in text
+
+
+def test_breakdown_property_sums_to_total(stats):
+    # memory_energy_nj is derived (caches + DRAM), so the breakdown sums
+    # to the total by construction; the property also self-asserts it
+    breakdown = stats.energy_breakdown_nj
+    assert set(breakdown) == {"cores", "caches", "dram", "total"}
+    assert breakdown["cores"] + breakdown["caches"] + breakdown["dram"] \
+        == pytest.approx(breakdown["total"])
+    assert breakdown["total"] == pytest.approx(stats.total_energy_nj)
+
+
+def test_memory_energy_is_derived_not_assignable(stats):
+    with pytest.raises(AttributeError):
+        stats.memory_energy_nj = 1.0

@@ -92,10 +92,14 @@ class TestReferenceMachine:
 class TestReporting:
     def test_geomean(self):
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
-        with pytest.raises(ValueError):
-            geomean([])
-        with pytest.raises(ValueError):
-            geomean([1.0, -1.0])
+        # degenerate inputs warn and return 0.0 instead of raising, so a
+        # single bad sweep point cannot kill a whole report
+        with pytest.warns(UserWarning):
+            assert geomean([]) == 0.0
+        with pytest.warns(UserWarning):
+            assert geomean([1.0, -1.0]) == 0.0
+        with pytest.warns(UserWarning):
+            assert geomean([0.0, 2.0]) == 0.0
 
     def test_render_table(self):
         text = render_table(["name", "value"], [["a", 1.5], ["b", 2]],
@@ -107,7 +111,11 @@ class TestReporting:
         assert "#" in text
         lines = text.splitlines()
         assert len(lines) == 2
-        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_render_bars_all_zero(self):
+        text = render_bars({"x": 0.0, "y": 0.0}, width=10)
+        assert "#" not in text
+        assert len(text.splitlines()) == 2
 
 
 class TestTrends:

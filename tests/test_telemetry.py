@@ -1,0 +1,367 @@
+"""Observability layer tests: tracer, metrics, profiler, timeline CLI.
+
+The load-bearing properties:
+
+* tracer determinism — same seed + config ⇒ identical event stream;
+* histogram bucketing edge cases (le convention, overflow, validation);
+* the exported Chrome trace validates against the schema;
+* ``timeline`` CLI exit codes (0 rendered, 2 unreadable/invalid).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.harness import (
+    dae_hierarchy, ooo_core, render_timeline, simulate,
+)
+from repro.ir import F64
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry, SelfProfiler,
+    TRACE_SCHEMA_VERSION, Tracer, stats_to_dict, subsystem_categories,
+    timed, validate_chrome_trace,
+)
+from repro.trace import SimMemory
+
+from . import kernels
+
+
+# -- tracer ------------------------------------------------------------------
+
+class TestTracer:
+    def test_records_spans_instants_counters(self):
+        tracer = Tracer()
+        tid = tracer.tid_for("core0")
+        tracer.complete("core", "add", 10, 14, tid)
+        tracer.instant("fault", "msg.drop", 12, tid)
+        tracer.counter("dae", "load0", 11, 3, tid)
+        events = tracer.events()
+        assert [e.phase for e in events] == ["X", "C", "i"]
+        assert events[0].dur == 4
+
+    def test_span_duration_clamped_non_negative(self):
+        tracer = Tracer()
+        tracer.complete("core", "weird", 10, 8)
+        assert tracer.events()[0].dur == 0
+
+    def test_ring_bounds_memory_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for cycle in range(10):
+            tracer.instant("core", "tick", cycle)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        # the ring keeps the most recent events
+        assert [e.cycle for e in tracer.events()] == [6, 7, 8, 9]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_tid_assignment_is_stable(self):
+        tracer = Tracer()
+        assert tracer.tid_for("a") == 0
+        assert tracer.tid_for("b") == 1
+        assert tracer.tid_for("a") == 0
+        assert tracer.tid_names == {0: "a", 1: "b"}
+
+    def test_export_validates_and_names_lanes(self, tmp_path):
+        tracer = Tracer()
+        tracer.complete("core", "add", 0, 5, tracer.tid_for("core0"))
+        path = tmp_path / "trace.json"
+        written = tracer.write(str(path), frequency_ghz=2.0)
+        document = json.loads(path.read_text())
+        assert written == len(document["traceEvents"])
+        assert validate_chrome_trace(document) == 1
+        other = document["otherData"]
+        assert other["trace_schema_version"] == TRACE_SCHEMA_VERSION
+        assert other["clock"] == "simulated-cycles"
+        assert other["frequency_ghz"] == 2.0
+        names = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert names[0]["args"]["name"] == "core0"
+
+
+class TestTraceValidation:
+    def _valid(self):
+        tracer = Tracer()
+        tracer.complete("core", "x", 0, 1)
+        return tracer.to_chrome()
+
+    def test_missing_other_data(self):
+        with pytest.raises(ValueError, match="otherData"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_wrong_schema_version(self):
+        document = self._valid()
+        document["otherData"]["trace_schema_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            validate_chrome_trace(document)
+
+    def test_unknown_phase(self):
+        document = self._valid()
+        document["traceEvents"].append(
+            {"name": "e", "ph": "B", "pid": 0, "tid": 0, "ts": 0})
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace(document)
+
+    def test_span_needs_duration(self):
+        document = self._valid()
+        del document["traceEvents"][-1]["dur"]
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(document)
+
+    def test_counter_needs_args(self):
+        document = self._valid()
+        document["traceEvents"].append(
+            {"name": "c", "cat": "dae", "ph": "C", "pid": 0, "tid": 0,
+             "ts": 0})
+        with pytest.raises(ValueError, match="args"):
+            validate_chrome_trace(document)
+
+
+# -- determinism --------------------------------------------------------------
+
+def _traced_run():
+    generator = np.random.default_rng(7)
+    mem = SimMemory()
+    n = 128
+    A = mem.alloc(n, F64, "A", init=generator.uniform(-1, 1, n))
+    B = mem.alloc(n, F64, "B", init=generator.uniform(-1, 1, n))
+    tracer = Tracer()
+    simulate(kernels.saxpy, [A, B, n, 2.0], core=ooo_core(),
+             num_tiles=2, hierarchy=dae_hierarchy(), memory=mem,
+             tracer=tracer)
+    return tracer
+
+
+class TestDeterminism:
+    def test_same_seed_and_config_identical_event_stream(self):
+        first, second = _traced_run(), _traced_run()
+        assert len(first) > 0
+        assert first.tid_names == second.tid_names
+        assert first.event_keys() == second.event_keys()
+
+    def test_traced_run_covers_subsystems(self):
+        document = _traced_run().to_chrome()
+        validate_chrome_trace(document)
+        categories = subsystem_categories(document)
+        assert {"core", "cache", "dram"} <= set(categories)
+
+    def test_tracing_does_not_change_results(self):
+        generator = np.random.default_rng(7)
+        mem = SimMemory()
+        n = 128
+        A = mem.alloc(n, F64, "A", init=generator.uniform(-1, 1, n))
+        B = mem.alloc(n, F64, "B", init=generator.uniform(-1, 1, n))
+        untraced = simulate(kernels.saxpy, [A, B, n, 2.0], core=ooo_core(),
+                            num_tiles=2, hierarchy=dae_hierarchy(),
+                            memory=mem)
+        traced_stats_cycles = None
+        generator = np.random.default_rng(7)
+        mem = SimMemory()
+        A = mem.alloc(n, F64, "A", init=generator.uniform(-1, 1, n))
+        B = mem.alloc(n, F64, "B", init=generator.uniform(-1, 1, n))
+        traced = simulate(kernels.saxpy, [A, B, n, 2.0], core=ooo_core(),
+                          num_tiles=2, hierarchy=dae_hierarchy(),
+                          memory=mem, tracer=Tracer(),
+                          metrics=MetricsRegistry(),
+                          profiler=SelfProfiler())
+        assert traced.cycles == untraced.cycles
+        assert traced.instructions == untraced.instructions
+        assert traced.total_energy_nj == pytest.approx(
+            untraced.total_energy_nj)
+
+
+# -- histogram bucketing -------------------------------------------------------
+
+class TestHistogram:
+    def test_le_convention_boundaries(self):
+        hist = Histogram(boundaries=(1, 2, 4))
+        # bucket i counts boundaries[i-1] < v <= boundaries[i]
+        for value in (0, 1):
+            hist.observe(value)
+        hist.observe(1.5)
+        hist.observe(2)
+        hist.observe(3)
+        hist.observe(4)
+        assert hist.counts == [2, 2, 2, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram(boundaries=(1, 2, 4))
+        hist.observe(5)
+        hist.observe(10_000)
+        assert hist.counts == [0, 0, 0, 2]
+
+    def test_summary_stats(self):
+        hist = Histogram(boundaries=(10,))
+        for value in (1, 2, 3):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.min == 1 and hist.max == 3
+
+    def test_quantiles(self):
+        hist = Histogram(boundaries=(1, 2, 4, 8))
+        for value in (1, 1, 2, 3, 8):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.0 or hist.quantile(0.0) <= 1.0
+        assert hist.quantile(0.5) <= 2.0
+        assert hist.quantile(1.0) == 8.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.as_dict()["count"] == 0
+
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(boundaries=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(boundaries=(1, 1, 2))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(boundaries=(4, 2, 1))
+
+    def test_default_buckets_cover_latencies(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 1
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 4096
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(2)
+        assert registry.counter("a").value == 3
+        registry.gauge("g").max(5)
+        registry.gauge("g").max(3)
+        assert registry.gauge("g").value == 5
+
+    def test_cross_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_serializes_sorted_and_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.histogram("h").observe(3)
+        snapshot = registry.as_dict()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        json.dumps(snapshot)  # must be JSON-serializable
+
+
+# -- metrics + stats integration ----------------------------------------------
+
+class TestStatsSerialization:
+    @pytest.fixture(scope="class")
+    def traced_stats(self):
+        generator = np.random.default_rng(3)
+        mem = SimMemory()
+        n = 96
+        A = mem.alloc(n, F64, "A", init=generator.uniform(-1, 1, n))
+        B = mem.alloc(n, F64, "B", init=generator.uniform(-1, 1, n))
+        return simulate(kernels.saxpy, [A, B, n, 2.0], core=ooo_core(),
+                        hierarchy=dae_hierarchy(), memory=mem,
+                        metrics=MetricsRegistry())
+
+    def test_registry_snapshot_rides_stats(self, traced_stats):
+        metrics = traced_stats.metrics
+        assert metrics is not None
+        assert metrics["counters"]["sim.instructions"] \
+            == traced_stats.instructions
+        hist = metrics["histograms"]["memory.request_latency_cycles"]
+        assert hist["count"] > 0
+
+    def test_stats_to_dict_round_trips(self, traced_stats):
+        document = stats_to_dict(traced_stats)
+        json.dumps(document)
+        assert document["schema_version"] == 1
+        assert document["cycles"] == traced_stats.cycles
+        energy = document["energy"]
+        assert energy["total_nj"] == pytest.approx(
+            energy["cores_nj"] + energy["caches_nj"] + energy["dram_nj"])
+        assert "metrics" in document
+
+
+# -- self-profiler -------------------------------------------------------------
+
+class TestProfiler:
+    def test_phases_partition_wall_clock(self):
+        generator = np.random.default_rng(3)
+        mem = SimMemory()
+        n = 96
+        A = mem.alloc(n, F64, "A", init=generator.uniform(-1, 1, n))
+        B = mem.alloc(n, F64, "B", init=generator.uniform(-1, 1, n))
+        profiler = SelfProfiler()
+        simulate(kernels.saxpy, [A, B, n, 2.0], core=ooo_core(),
+                 hierarchy=dae_hierarchy(), memory=mem, profiler=profiler)
+        report = profiler.report
+        assert report is not None
+        assert report.wall_seconds > 0
+        assert report.cycles > 0 and report.instructions > 0
+        assert report.events > 0 and report.tile_steps > 0
+        assert sum(report.phases.values()) == pytest.approx(
+            report.wall_seconds, rel=0.05)
+        assert report.mips > 0
+        assert "self-profile" in report.summary()
+        json.dumps(report.as_dict())
+
+    def test_timed_wrapper_accumulates(self):
+        profiler = SelfProfiler()
+        wrapped = timed(profiler, "memory", lambda x: x * 2)
+        assert wrapped(21) == 42
+        assert profiler._buckets["memory"] >= 0
+
+
+# -- timeline rendering + CLI ---------------------------------------------------
+
+class TestTimeline:
+    def _write_trace(self, tmp_path):
+        tracer = Tracer()
+        tid = tracer.tid_for("core0")
+        tracer.complete("core", "add", 0, 50, tid)
+        tracer.instant("fault", "dram.stall", 25, tracer.tid_for("fault"))
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        return path
+
+    def test_render_timeline_draws_lanes(self, tmp_path):
+        document = json.loads(self._write_trace(tmp_path).read_text())
+        text = render_timeline(document, width=40)
+        assert "core0" in text and "fault" in text
+        assert "#" in text and "!" in text
+
+    def test_render_timeline_empty_document(self):
+        text = render_timeline({"traceEvents": []}, title="t")
+        assert "no span" in text
+
+    def test_cli_renders_valid_trace(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert cli_main(["timeline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "core0" in out
+
+    def test_cli_missing_file_exits_2(self, tmp_path, capsys):
+        assert cli_main(["timeline", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_cli_invalid_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert cli_main(["timeline", str(path)]) == 2
+        assert "not a JSON" in capsys.readouterr().err
+
+    def test_cli_schema_violation_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert cli_main(["timeline", str(path)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
