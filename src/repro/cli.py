@@ -10,7 +10,13 @@ Commands
 * ``characterize [workload ...]`` — Figure 6-style IPC table;
 * ``dae <workload>`` — slice a kernel and simulate DAE pairs;
 * ``trace <workload> -o FILE`` — generate and save dynamic traces;
-* ``timeline FILE`` — render a saved cycle trace as an ASCII timeline.
+* ``timeline FILE`` — render a saved cycle trace as an ASCII timeline
+  (``--tile``/``--name-prefix``/``--limit`` filter large traces);
+* ``analyze <workload> | --report FILE`` — per-tile CPI stacks, top-N
+  bottlenecks and roofline from a cycle-attributed run or a saved
+  report JSON (schema v2);
+* ``diff A.json B.json`` — attribute the cycle delta between two
+  reports to the categories that moved.
 """
 
 from __future__ import annotations
@@ -182,6 +188,35 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _filter_trace_events(document: dict, tile: Optional[str],
+                         name_prefix: Optional[str],
+                         limit: Optional[int]) -> dict:
+    """Restrict a Chrome trace to one lane / an event-name prefix / the
+    first N matching events; metadata events always survive so lane
+    labels keep rendering."""
+    events = document.get("traceEvents", [])
+    lane_names = {
+        e["tid"]: e.get("args", {}).get("name", "")
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"}
+    kept = []
+    matched = 0
+    for event in events:
+        if event.get("ph") == "M":
+            kept.append(event)
+            continue
+        if tile is not None and lane_names.get(event.get("tid")) != tile:
+            continue
+        if name_prefix is not None and \
+                not str(event.get("name", "")).startswith(name_prefix):
+            continue
+        if limit is not None and matched >= limit:
+            break
+        kept.append(event)
+        matched += 1
+    return dict(document, traceEvents=kept)
+
+
 def cmd_timeline(args) -> int:
     """Render a saved Chrome trace as a terminal timeline. Exit codes:
     0 rendered, 2 unreadable/invalid input."""
@@ -202,8 +237,100 @@ def cmd_timeline(args) -> int:
     except ValueError as exc:
         print(f"invalid trace: {exc}", file=sys.stderr)
         return 2
-    print(render_timeline(document, width=args.width,
-                          title=f"{args.trace}: {count} event(s)"))
+    title = f"{args.trace}: {count} event(s)"
+    if args.tile or args.name_prefix or args.limit is not None:
+        document = _filter_trace_events(
+            document, args.tile, args.name_prefix, args.limit)
+        shown = sum(1 for e in document["traceEvents"]
+                    if e.get("ph") != "M")
+        title += f", {shown} after filters"
+    print(render_timeline(document, width=args.width, title=title))
+    return 0
+
+
+def _load_report(path: str):
+    """Load + validate a saved report JSON; returns (document, error)."""
+    import json
+    from .telemetry import validate_report
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        return None, f"cannot read report: {exc}"
+    except json.JSONDecodeError as exc:
+        return None, f"not a JSON report: {exc}"
+    try:
+        validate_report(document)
+    except ValueError as exc:
+        return None, f"invalid report: {exc}"
+    return document, None
+
+
+def cmd_analyze(args) -> int:
+    """Render per-tile CPI stacks + bottleneck diagnosis. Reads a saved
+    report (``--report``) or runs the workload with cycle attribution
+    enabled. Exit codes: 0 rendered, 2 invalid input."""
+    from .harness import render_attribution_report
+    from .telemetry import (
+        Attributor, stats_to_dict, validate_report, write_stats_json,
+    )
+    if args.report:
+        if args.workload:
+            print("analyze takes a workload or --report FILE, not both",
+                  file=sys.stderr)
+            return 2
+        document, error = _load_report(args.report)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        source = args.report
+    elif args.workload:
+        attribution = Attributor()
+        workload = _build(args.workload, args.size)
+        if args.dae:
+            fresh = _build(args.workload, args.size)
+            specs = prepare_dae_sliced(fresh.kernel, fresh.args,
+                                       pairs=args.pairs)
+            stats = simulate_dae(specs, access_core=inorder_core(),
+                                 execute_core=inorder_core(),
+                                 hierarchy=_hierarchy(args.hierarchy),
+                                 max_cycles=args.max_cycles,
+                                 attribution=attribution)
+        else:
+            stats = simulate(
+                workload.kernel, workload.args, core=_core(args.core),
+                num_tiles=args.tiles, hierarchy=_hierarchy(args.hierarchy),
+                accelerators=_detect_accelerators(workload.kernel),
+                max_cycles=args.max_cycles, attribution=attribution)
+        document = stats_to_dict(stats)
+        validate_report(document)  # self-check before rendering
+        if args.json:
+            write_stats_json(stats, args.json)
+            print(f"report: -> {args.json}")
+        source = args.workload
+    else:
+        print("analyze needs a workload or --report FILE", file=sys.stderr)
+        return 2
+    print(f"analyze {source}:")
+    print(render_attribution_report(document, top=args.top))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Diff two saved report JSONs: attribute the cycle delta to the
+    categories that moved. Exit codes: 0 rendered, 2 invalid input."""
+    from .harness import render_report_diff
+    from .telemetry import diff_reports
+    before, error = _load_report(args.before)
+    if error:
+        print(f"{args.before}: {error}", file=sys.stderr)
+        return 2
+    after, error = _load_report(args.after)
+    if error:
+        print(f"{args.after}: {error}", file=sys.stderr)
+        return 2
+    print(f"diff {args.before} -> {args.after}:")
+    print(render_report_diff(diff_reports(before, after), top=args.top))
     return 0
 
 
@@ -419,7 +546,54 @@ def build_parser() -> argparse.ArgumentParser:
                                         "simulate --trace")
     timeline.add_argument("--width", type=int, default=72,
                           help="timeline width in characters")
+    timeline.add_argument("--tile", metavar="NAME",
+                          help="show only the lane named NAME "
+                               "(a tile/subsystem label)")
+    timeline.add_argument("--name-prefix", metavar="PREFIX",
+                          dest="name_prefix",
+                          help="show only events whose name starts with "
+                               "PREFIX (e.g. 'dbb', 'msg')")
+    timeline.add_argument("--limit", type=int, metavar="N",
+                          help="render at most the first N matching events")
     timeline.set_defaults(func=cmd_timeline)
+
+    analyze = commands.add_parser(
+        "analyze", help="render per-tile CPI stacks and bottleneck "
+                        "diagnosis from a run or a saved report")
+    analyze.add_argument("workload", nargs="?",
+                         help="workload to run with cycle attribution "
+                              "(omit when using --report)")
+    analyze.add_argument("--size", action="append", metavar="KEY=VAL",
+                         help="dataset size override (repeatable)")
+    analyze.add_argument("--report", metavar="FILE",
+                         help="analyze a saved report JSON (schema v2, "
+                              "from simulate/analyze --json) instead of "
+                              "running")
+    analyze.add_argument("--core", default="ooo", choices=sorted(CORES))
+    analyze.add_argument("--tiles", type=int, default=1)
+    analyze.add_argument("--hierarchy", default="dae",
+                         choices=sorted(HIERARCHIES))
+    analyze.add_argument("--dae", action="store_true",
+                         help="DAE-slice the workload and attribute the "
+                              "access/execute pair cycles")
+    analyze.add_argument("--pairs", type=int, default=1,
+                         help="DAE pairs when --dae is given")
+    analyze.add_argument("--max-cycles", type=int,
+                         default=DEFAULT_MAX_CYCLES)
+    analyze.add_argument("--json", metavar="FILE",
+                         help="also write the report JSON (diff-able)")
+    analyze.add_argument("--top", type=int, default=3,
+                         help="bottleneck categories to rank")
+    analyze.set_defaults(func=cmd_analyze)
+
+    diff = commands.add_parser(
+        "diff", help="attribute the cycle delta between two report JSONs "
+                     "to the categories that moved")
+    diff.add_argument("before", help="baseline report JSON (A)")
+    diff.add_argument("after", help="comparison report JSON (B)")
+    diff.add_argument("--top", type=int, default=5,
+                      help="regressed categories to rank")
+    diff.set_defaults(func=cmd_diff)
     return parser
 
 

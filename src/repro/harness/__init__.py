@@ -5,7 +5,10 @@ from .reference import (
     accuracy_factor, fold_for_x86, reference_stats, x86_reference_core,
     x86_reference_hierarchy,
 )
-from .reporting import geomean, render_bars, render_table, render_timeline
+from .reporting import (
+    geomean, render_attribution_report, render_bars, render_report_diff,
+    render_table, render_timeline,
+)
 from .runner import (
     DAEPairSpec, DEFAULT_MAX_CYCLES, FaultedRun, Prepared, RunOutcome,
     classify_failure, prepare, prepare_dae, prepare_dae_sliced,
@@ -28,7 +31,8 @@ from .trends import microprocessor_trends, render_figure1, stagnation_year
 __all__ = [
     "accuracy_factor", "fold_for_x86", "reference_stats",
     "x86_reference_core", "x86_reference_hierarchy",
-    "geomean", "render_bars", "render_table", "render_timeline",
+    "geomean", "render_attribution_report", "render_bars",
+    "render_report_diff", "render_table", "render_timeline",
     "DAEPairSpec", "DEFAULT_MAX_CYCLES", "FaultedRun", "Prepared",
     "RunOutcome", "classify_failure", "prepare", "prepare_dae",
     "prepare_dae_sliced", "run_supervised", "run_with_faults", "simulate",

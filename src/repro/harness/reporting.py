@@ -66,6 +66,113 @@ def render_bars(values: Dict[str, float], width: int = 40,
     return "\n".join(lines)
 
 
+def _stack_bars(categories: Dict[str, int], total: int,
+                width: int) -> List[str]:
+    ordered = sorted(categories.items(), key=lambda kv: (-kv[1], kv[0]))
+    label_width = max(len(c) for c, _ in ordered)
+    peak = max((v for _, v in ordered), default=0)
+    lines = []
+    for category, cycles in ordered:
+        bar = "#" * max(1, int(round(width * cycles / peak))) \
+            if peak and cycles else ""
+        share = 100.0 * cycles / total if total else 0.0
+        lines.append(f"  {category.ljust(label_width)} | "
+                     f"{bar} {cycles} ({share:.1f}%)")
+    return lines
+
+
+def render_attribution_report(document: dict, top: int = 3,
+                              width: int = 32) -> str:
+    """Render an ``analyze`` report (schema v2): per-tile CPI stacks,
+    a top-N bottleneck diagnosis, fabric stall counters, and the
+    roofline capture when present. ``document`` is a ``stats_to_dict``
+    result that passed ``validate_report``."""
+    attribution = document["attribution"]
+    lines = [f"cycle attribution: {attribution['total_cycles']} cycles"]
+    aggregate: Dict[str, int] = {}
+    aggregate_total = 0
+    for name, entry in attribution["tiles"].items():
+        total = entry["total_cycles"]
+        header = f"{name} ({entry['kind']}, {total} cycles"
+        if entry.get("instructions"):
+            header += (f", {entry['instructions']} instructions"
+                       f", CPI {entry['cpi']:.3f}")
+        header += ")"
+        lines.append("")
+        lines.append(header)
+        lines.extend(_stack_bars(entry["categories"], total, width))
+        aggregate_total += total
+        for category, cycles in entry["categories"].items():
+            aggregate[category] = aggregate.get(category, 0) + cycles
+    ranked = sorted(aggregate.items(), key=lambda kv: (-kv[1], kv[0]))
+    lines.append("")
+    lines.append(f"top {min(top, len(ranked))} categories "
+                 f"(all tiles, {aggregate_total} tile-cycles):")
+    for rank, (category, cycles) in enumerate(ranked[:top], 1):
+        share = 100.0 * cycles / aggregate_total if aggregate_total else 0.0
+        lines.append(f"  {rank}. {category}: {cycles} ({share:.1f}%)")
+    fabric = attribution.get("fabric") or {}
+    full = fabric.get("queue_full_stalls") or {}
+    empty = fabric.get("queue_empty_stalls") or {}
+    if full or empty or fabric.get("recv_waits"):
+        lines.append("")
+        lines.append("fabric stalls:")
+        for queue, count in full.items():
+            lines.append(f"  queue {queue} full: {count} producer stall(s)")
+        for queue, count in empty.items():
+            lines.append(f"  queue {queue} empty: {count} consumer stall(s)")
+        if fabric.get("recv_waits"):
+            lines.append(f"  recv waits: {fabric['recv_waits']}")
+    roofline = document.get("roofline")
+    if roofline:
+        lines.append("")
+        lines.append(
+            f"roofline: {roofline['flops']} flops, "
+            f"{roofline['dram_bytes']} DRAM bytes "
+            f"(AI {roofline['arithmetic_intensity']:.3f} flops/byte, "
+            f"peak BW {roofline['dram_peak_bytes_per_cycle']:.2f} B/cycle)")
+        for name, tile in roofline.get("tiles", {}).items():
+            lines.append(
+                f"  {name}: {tile['bound']}-bound, achieved IPC "
+                f"{tile['achieved_ipc']:.3f} / attainable "
+                f"{tile['attainable_ipc']:.3f} (peak {tile['peak_ipc']:.1f},"
+                f" AI {tile['arithmetic_intensity']:.3f})")
+    return "\n".join(lines)
+
+
+def render_report_diff(diff: dict, top: int = 5) -> str:
+    """Render a ``repro diff`` result (``diff_reports`` output):
+    cycle delta, speedup, and the categories the delta is attributed
+    to. Positive deltas are regressions (more cycles spent there)."""
+    delta = diff["cycles_delta"]
+    lines = [
+        f"cycles: {diff['cycles_before']} -> {diff['cycles_after']} "
+        f"({delta:+d}, {diff['speedup']:.2f}x speedup)"]
+    categories = diff["categories"]
+    if categories:
+        rows = [
+            [category, entry["before"], entry["after"],
+             f"{entry['delta']:+d}"]
+            for category, entry in sorted(
+                categories.items(),
+                key=lambda kv: (-abs(kv[1]["delta"]), kv[0]))]
+        lines.append(render_table(
+            ["category", "before", "after", "delta"], rows,
+            title="category deltas (cycles, all shared tiles):"))
+    lines.append(
+        f"memory-stall delta: {diff['memory_stall_delta']:+d} cycle(s)")
+    regressions = diff["top_regressions"][:top]
+    if regressions:
+        worst = ", ".join(f"{category} ({grown:+d})"
+                          for category, grown in regressions)
+        lines.append(f"top regressions: {worst}")
+    for key, label in (("tiles_only_before", "only in A"),
+                       ("tiles_only_after", "only in B")):
+        if diff[key]:
+            lines.append(f"tiles {label}: {', '.join(diff[key])}")
+    return "\n".join(lines)
+
+
 def render_timeline(document: dict, width: int = 72,
                     title: str = "") -> str:
     """Plain-text rendering of a Chrome ``trace_event`` document: one

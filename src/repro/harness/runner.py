@@ -99,14 +99,15 @@ def simulate(kernel: Kernel, args: Sequence, *,
              max_cycles: int = DEFAULT_MAX_CYCLES,
              wall_clock_limit: Optional[float] = None,
              injector: Optional[FaultInjector] = None,
-             tracer=None, metrics=None, profiler=None) -> SystemStats:
+             tracer=None, metrics=None, profiler=None,
+             attribution=None) -> SystemStats:
     """One-stop homogeneous simulation: ``num_tiles`` copies of ``core``
     running the SPMD kernel over a shared memory hierarchy.
 
     ``injector`` wires timing-level fault injection (fabric, DRAM,
     accelerators) into the run; ``wall_clock_limit`` arms the watchdog.
-    ``tracer``/``metrics``/``profiler`` attach the telemetry layer (see
-    ``docs/observability.md``); all three default to off.
+    ``tracer``/``metrics``/``profiler``/``attribution`` attach the
+    telemetry layer (see ``docs/observability.md``); all default to off.
     """
     core = core if core is not None else CoreConfig()
     core.validate()
@@ -139,7 +140,7 @@ def simulate(kernel: Kernel, args: Sequence, *,
                               scheduler=scheduler,
                               wall_clock_limit=wall_clock_limit,
                               tracer=tracer, metrics=metrics,
-                              profiler=profiler)
+                              profiler=profiler, attribution=attribution)
     return interleaver.run()
 
 
@@ -152,8 +153,8 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
                            max_cycles: int = DEFAULT_MAX_CYCLES,
                            wall_clock_limit: Optional[float] = None,
                            injector: Optional[FaultInjector] = None,
-                           tracer=None, metrics=None, profiler=None
-                           ) -> SystemStats:
+                           tracer=None, metrics=None, profiler=None,
+                           attribution=None) -> SystemStats:
     """Heterogeneous SPMD simulation: one tile per entry of ``cores``,
     each with its own microarchitecture and clock (paper §II: "MosaicSim
     can simulate more heterogeneous processors by providing, and hence
@@ -198,7 +199,7 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
                               scheduler=scheduler,
                               wall_clock_limit=wall_clock_limit,
                               tracer=tracer, metrics=metrics,
-                              profiler=profiler)
+                              profiler=profiler, attribution=attribution)
     return interleaver.run()
 
 
@@ -264,7 +265,8 @@ def simulate_dae(specs: List[DAEPairSpec], *,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
                  wall_clock_limit: Optional[float] = None,
                  injector: Optional[FaultInjector] = None,
-                 tracer=None, metrics=None, profiler=None) -> SystemStats:
+                 tracer=None, metrics=None, profiler=None,
+                 attribution=None) -> SystemStats:
     """Simulate P DAE pairs: tiles 0..P-1 are access cores, P..2P-1 the
     matching execute cores, communicating through bounded DAE queues."""
     pairs = len(specs)
@@ -300,7 +302,7 @@ def simulate_dae(specs: List[DAEPairSpec], *,
                               max_cycles=max_cycles, scheduler=scheduler,
                               wall_clock_limit=wall_clock_limit,
                               tracer=tracer, metrics=metrics,
-                              profiler=profiler)
+                              profiler=profiler, attribution=attribution)
     return interleaver.run()
 
 
@@ -400,8 +402,8 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
                    retries: int = 0,
                    backoff_seconds: float = 0.0,
                    fresh: Optional[Callable[[], tuple]] = None,
-                   tracer=None, metrics=None, profiler=None
-                   ) -> RunOutcome:
+                   tracer=None, metrics=None, profiler=None,
+                   attribution=None) -> RunOutcome:
     """Run a simulation under supervision: cycle budget, wall-clock
     watchdog, and retry-with-backoff for transient faults.
 
@@ -433,7 +435,8 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
                              memory=m, max_cycles=max_cycles,
                              wall_clock_limit=wall_clock_limit,
                              injector=injector, tracer=tracer,
-                             metrics=metrics, profiler=profiler)
+                             metrics=metrics, profiler=profiler,
+                             attribution=attribution)
             return RunOutcome(
                 "ok", stats=stats, attempts=attempts,
                 fault_log=tuple(injector.log) if injector else (),

@@ -77,6 +77,9 @@ class Cache:
                 cache_set.lines[tag] = True
             if not request.is_prefetch:
                 self.stats.hits += 1
+            if request.service_level is None:
+                # first level to hit classifies the request (attribution)
+                request.service_level = self.stats.name
             self._respond(request, start + self.config.latency)
             return
 
@@ -103,14 +106,15 @@ class Cache:
         fill = MemRequest(
             line * self.config.line_bytes, self.config.line_bytes,
             is_write=False, is_prefetch=request.is_prefetch,
-            core_id=request.core_id,
-            callback=lambda c, ln=line, wr=request.is_write, st=start:
-                self._fill(ln, wr, c, st))
+            core_id=request.core_id)
+        fill.callback = lambda c, f=fill, wr=request.is_write, st=start: \
+            self._fill(f, wr, c, st)
         self.next_access(fill, start + self.config.latency)
 
     # ------------------------------------------------------------------
-    def _fill(self, line: int, was_write: bool, cycle: int,
+    def _fill(self, fill_request: MemRequest, was_write: bool, cycle: int,
               miss_cycle: int = 0) -> None:
+        line = fill_request.line(self.config.line_bytes)
         if self.tracer is not None:
             # span: the miss's full round trip until the line fills
             self.tracer.complete(
@@ -132,6 +136,9 @@ class Cache:
         if dirty:
             cache_set.lines[tag] = True
         for request in waiting:
+            if request.service_level is None:
+                # waiters were served wherever the fill was served
+                request.service_level = fill_request.service_level
             self._respond(request, cycle)
 
     def _writeback(self, line: int, cycle: int) -> None:

@@ -41,6 +41,8 @@ class SimpleDRAM:
 
     def access(self, request: MemRequest, cycle: int) -> None:
         self.stats.requests += 1
+        if request.service_level is None:
+            request.service_level = "dram"
         if self.energy_sink is not None:
             self.energy_sink[0] += self.config.energy_nj
         ready = cycle + self.config.min_latency
@@ -114,6 +116,8 @@ class DRAMSim2Model:
     def access(self, request: MemRequest, cycle: int) -> None:
         config = self.config
         self.stats.requests += 1
+        if request.service_level is None:
+            request.service_level = "dram"
         if self.energy_sink is not None:
             self.energy_sink[0] += config.energy_nj
         channel, bank, row = self._map(request.address)

@@ -162,8 +162,11 @@ class MemorySystem:
     def access(self, core_id: int, address: int, size: int, *,
                is_write: bool, cycle: int,
                callback: Callable[[int], None],
-               is_atomic: bool = False) -> None:
-        """Issue one memory access from ``core_id``'s L1."""
+               is_atomic: bool = False) -> MemRequest:
+        """Issue one memory access from ``core_id``'s L1.
+
+        Returns the request object so callers that attribute stall cycles
+        can read the ``service_level`` the hierarchy stamps on it."""
         self.outstanding += 1
 
         def tracked(c: int, _done=callback) -> None:
@@ -179,11 +182,23 @@ class MemorySystem:
             delay = self.directory.access(core_id, address,
                                           is_write or is_atomic)
             if delay:
+                request.coherence_delay = delay
                 self.scheduler.at(
                     cycle + delay,
                     lambda c, r=request, e=self._entries[core_id]: e(r, c))
-                return
+                return request
         self._entries[core_id](request, cycle)
+        return request
+
+    @property
+    def line_bytes(self) -> int:
+        """Cache-line size of the innermost configured level (used to turn
+        DRAM request counts into byte traffic for the roofline)."""
+        if self.config.private_levels:
+            return self.config.private_levels[0].line_bytes
+        if self.config.llc is not None:
+            return self.config.llc.line_bytes
+        return 64
 
     @property
     def cache_energy_nj(self) -> float:

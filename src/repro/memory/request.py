@@ -13,7 +13,8 @@ class MemRequest:
     """
 
     __slots__ = ("address", "size", "is_write", "is_atomic", "is_prefetch",
-                 "core_id", "callback", "issue_cycle")
+                 "core_id", "callback", "issue_cycle", "service_level",
+                 "coherence_delay")
 
     def __init__(self, address: int, size: int = 8, *, is_write: bool = False,
                  is_atomic: bool = False, is_prefetch: bool = False,
@@ -28,6 +29,11 @@ class MemRequest:
         self.core_id = core_id
         self.callback = callback
         self.issue_cycle = issue_cycle
+        #: name of the level that serviced this request ("L1", "dram", ...),
+        #: stamped by the first level to respond; feeds cycle attribution
+        self.service_level: Optional[str] = None
+        #: directory invalidation delay applied to this request (cycles)
+        self.coherence_delay = 0
 
     def line(self, line_bytes: int) -> int:
         return self.address // line_bytes

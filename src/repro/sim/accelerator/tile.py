@@ -62,6 +62,26 @@ class AcceleratorTile:
         self.busy_cycles += completion - start
         return completion, result.energy_nj, result.bytes_transferred
 
+    def cycle_accounting(self, total_cycles: int) -> dict:
+        """Attribution pseudo-ledger: instance-cycles over the whole run.
+
+        An accelerator with N instances offers N instance-cycles per
+        global cycle; busy instance-cycles are ``accel``, the rest
+        ``frontend_idle``, so the entry obeys the same conservation
+        invariant as core ledgers (categories sum to total_cycles).
+        """
+        capacity = total_cycles * self.num_instances
+        busy = min(self.busy_cycles, capacity)
+        return {
+            "kind": "accelerator",
+            "total_cycles": capacity,
+            "instructions": 0,
+            "categories": {
+                "accel": busy,
+                "frontend_idle": capacity - busy,
+            },
+        }
+
     def fallback_invoke(self, invocation: AccelInvocation, cycle: int,
                         slowdown: int = 8):
         """Timing estimate for the invoking core executing the same work

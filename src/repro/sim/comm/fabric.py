@@ -44,6 +44,9 @@ class CommFabric:
         #: every hook below guards on it with a single branch
         self.tracer = None
         self.trace_tid = 0
+        #: optional Attributor (attached by the Interleaver) recording
+        #: queue-full/empty and recv-wait stall counts
+        self.attributor = None
         self.messages_sent = 0
         self.dropped_messages = 0
         self.delayed_messages = 0
@@ -118,6 +121,8 @@ class CommFabric:
                                      cycle, available, self.trace_tid)
             wakeup(available)
             return False
+        if self.attributor is not None:
+            self.attributor.note_recv_wait()
         self._recv_waiters.setdefault(key, deque()).append(wakeup)
         return False
 
@@ -133,6 +138,8 @@ class CommFabric:
         returns False; the producer retries when a consumer pops.
         """
         if self.queue_occupancy(name) >= self.dae_queue_capacity:
+            if self.attributor is not None:
+                self.attributor.note_queue_full(name)
             self._full_waiters.setdefault(name, deque()).append(
                 wakeup_when_space)
             if self.tracer is not None:
@@ -172,6 +179,8 @@ class CommFabric:
                                     self.queue_occupancy(name))
             wakeup_when_token(available)
             return False
+        if self.attributor is not None:
+            self.attributor.note_queue_empty(name)
         self._empty_waiters.setdefault(name, deque()).append(
             wakeup_when_token)
         if self.tracer is not None:

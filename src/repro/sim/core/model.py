@@ -28,6 +28,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ...ir.instructions import OpClass, Opcode
 from ...passes.ddg import DDGNode, StaticDDG
+from ...telemetry.attribution import (
+    CAT_ACCEL, CAT_BARRIER, CAT_COMPUTE, CAT_DAE_CONSUME, CAT_DAE_SUPPLY,
+    CAT_FABRIC, CAT_FRONTEND_IDLE, CAT_MISPREDICT)
 from ...trace.tracefile import KernelTrace
 from ..config import CoreConfig
 from ..errors import AcceleratorFaultError
@@ -41,7 +44,7 @@ class DynNode:
     """One dynamic instruction instance."""
 
     __slots__ = ("seq", "snode", "pending", "dependents", "state",
-                 "address", "dbb", "addr_producer", "issued_at")
+                 "address", "dbb", "addr_producer", "issued_at", "mem_req")
 
     def __init__(self, seq: int, snode: DDGNode, dbb: "DynDBB"):
         self.seq = seq
@@ -54,6 +57,9 @@ class DynNode:
         #: dynamic producer of the address operand (memory ops only);
         #: the MAO treats the address as resolved once this completes
         self.addr_producer: "DynNode" = None
+        #: in-flight memory request (set only while attribution is on;
+        #: carries the service level that classifies the stall)
+        self.mem_req = None
 
     @property
     def addr_resolved(self) -> bool:
@@ -145,7 +151,7 @@ class CoreTile(Tile):
 
     def stall_state(self) -> dict:
         """What this core is waiting on (deadlock diagnostics)."""
-        return {
+        state = {
             "in_flight": len(self._in_flight),
             "ready": len(self._ready),
             "window_base": self._window_base,
@@ -154,6 +160,11 @@ class CoreTile(Tile):
             "outstanding_memory_ops": self._mao_incomplete,
             "accel_inflight": self._accel_inflight,
         }
+        if self.attributor is not None:
+            # the live attribution ledger IS the stall picture: deadlock
+            # diagnostics and telemetry reports share one source of truth
+            state["attribution"] = self.attributor.snapshot()
+        return state
 
     def _check_finished(self) -> None:
         if (self._next_dbb >= len(self.trace.block_trace)
@@ -162,6 +173,11 @@ class CoreTile(Tile):
 
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> int:
+        attributor = self.attributor
+        if attributor is not None:
+            # book the interval since the last step to whatever this tile
+            # was waiting on when it yielded (set at the end of step)
+            attributor.advance(cycle)
         self.next_attention = NEVER
         # 1. internal fixed-latency completions due now
         while self._completions and self._completions[0][0] <= cycle:
@@ -178,6 +194,8 @@ class CoreTile(Tile):
 
         self._check_finished()
         self.stats.cycles = max(self.stats.cycles, cycle)
+        if attributor is not None:
+            attributor.pending = self._classify_wait(cycle, issue_saturated)
         if self._finished:
             return NEVER
         nxt = NEVER
@@ -191,6 +209,53 @@ class CoreTile(Tile):
             # changes only on completions, which wake the tile.
             nxt = min(nxt, cycle + self.period)
         return self.align(nxt) if nxt != NEVER else NEVER
+
+    # -- cycle attribution (docs/observability.md taxonomy) ----------------
+    def _classify_wait(self, cycle: int, issue_saturated: bool):
+        """Decide what the interval until the next step belongs to.
+
+        Returns a category string — or the window-head DynNode itself for
+        in-flight memory accesses, whose ``memory.<level>`` bucket is only
+        known once the hierarchy's response arrives (the attributor banks
+        the interval against the node and flushes it on completion).
+        """
+        if self._finished:
+            return CAT_FRONTEND_IDLE
+        if issue_saturated:
+            # width-limited with issuable work: the base/issue component
+            return CAT_COMPUTE
+        if self._launch_stall_until > cycle:
+            return CAT_MISPREDICT
+        head = self._in_flight.get(self._window_base)
+        if head is None:
+            # nothing in flight but the trace is not exhausted: the
+            # frontend is between DBB launches
+            return CAT_FRONTEND_IDLE
+        snode = head.snode
+        if snode.is_memory:
+            if head.state != _ISSUED:
+                # ready but structurally blocked at the window head
+                return CAT_DAE_SUPPLY if snode.decoupled else CAT_COMPUTE
+            if snode.decoupled or snode.decoupled_store or (
+                    snode.is_store and not snode.is_load
+                    and self.config.store_buffer):
+                # retires next cycle (queue deposit / store buffer)
+                return CAT_COMPUTE
+            return head  # defer to the response's service level
+        if snode.opcode is Opcode.CALL:
+            timing = snode.intrinsic_timing
+            if timing == "accel":
+                return CAT_ACCEL
+            if timing == "comm":
+                callee = snode.callee
+                if callee == "barrier":
+                    return CAT_BARRIER
+                if callee.startswith(("dae_produce", "dae_store_value")):
+                    return CAT_DAE_SUPPLY
+                if callee.startswith(("dae_consume", "dae_store_take")):
+                    return CAT_DAE_CONSUME
+                return CAT_FABRIC
+        return CAT_COMPUTE
 
     #: predictor modes that speculate on correctly-predicted branches
     _PREDICTED_MODES = ("static", "twobit", "gshare")
@@ -431,7 +496,7 @@ class CoreTile(Tile):
             is_atomic = snode.opcode is Opcode.ATOMICRMW
             penalty = self.config.atomic_penalty * self.period \
                 if is_atomic else 0
-            self.services.mem_access(
+            request = self.services.mem_access(
                 self.mem_port, node.address, snode.access_size or 8,
                 is_write=snode.is_store and not snode.is_load,
                 is_atomic=is_atomic,
@@ -439,6 +504,8 @@ class CoreTile(Tile):
                 callback=lambda c, n=node, p=penalty:
                     self._complete_later(n, c + p) if p
                     else self._external_complete(n, c))
+            if self.attributor is not None:
+                node.mem_req = request
             return
         if snode.opcode is Opcode.CALL:
             self._dispatch_call(node, cycle)
@@ -618,6 +685,11 @@ class CoreTile(Tile):
         if snode.is_memory:
             self._mao_incomplete -= 1
             self._mao_compact()
+            if self.attributor is not None:
+                # flush cycles banked against this in-flight access to its
+                # now-known memory.<level> bucket
+                self.attributor.resolve_memory(node)
+                node.mem_req = None
         # wake dependents (rule 2)
         for dependent in node.dependents:
             dependent.pending -= 1

@@ -70,14 +70,15 @@ class TileServices:
 
     def mem_access(self, port: int, address: int, size: int, *,
                    is_write: bool, is_atomic: bool, cycle: int,
-                   callback: Callable[[int], None]) -> None:
+                   callback: Callable[[int], None]):
         if self.memory is None:
-            # no hierarchy configured: fixed ideal latency
+            # no hierarchy configured: fixed ideal latency (no request
+            # object — attribution classifies this as memory.ideal)
             self.scheduler.at(cycle + 1, callback)
-            return
-        self.memory.access(port, address, size, is_write=is_write,
-                           is_atomic=is_atomic, cycle=cycle,
-                           callback=callback)
+            return None
+        return self.memory.access(port, address, size, is_write=is_write,
+                                  is_atomic=is_atomic, cycle=cycle,
+                                  callback=callback)
 
     def accel_invoke(self, invocation: AccelInvocation, cycle: int):
         if self.accelerators is None:
@@ -103,7 +104,8 @@ class Interleaver:
                  max_cycles: int = 2_000_000_000,
                  scheduler: Optional[Scheduler] = None,
                  wall_clock_limit: Optional[float] = None,
-                 tracer=None, metrics=None, profiler=None):
+                 tracer=None, metrics=None, profiler=None,
+                 attribution=None):
         if not tiles:
             raise ValueError("Interleaver needs at least one tile")
         self.tiles = tiles
@@ -123,6 +125,7 @@ class Interleaver:
         self.tracer = tracer
         self.metrics = metrics
         self.profiler = profiler
+        self.attribution = attribution
         service_fabric = self.fabric
         if profiler is not None:
             service_fabric = ProfiledFabric(self.fabric, profiler)
@@ -137,6 +140,8 @@ class Interleaver:
             self._attach_tracer(tracer)
         if metrics is not None:
             self._attach_metrics(metrics)
+        if attribution is not None:
+            self._attach_attribution(attribution)
 
     # ------------------------------------------------------------------
     def _attach_tracer(self, tracer) -> None:
@@ -171,6 +176,13 @@ class Interleaver:
         values only available mid-run (latency distributions)."""
         if self.memory is not None:
             self.memory.attach_metrics(metrics)
+
+    def _attach_attribution(self, attribution) -> None:
+        """Hand every tile its cycle ledger and the fabric its stall
+        counters (same per-subsystem attach pattern as the tracer)."""
+        for tile in self.tiles:
+            tile.attributor = attribution.for_tile(tile.name)
+        self.fabric.attributor = attribution
 
     # ------------------------------------------------------------------
     def run(self) -> SystemStats:
@@ -293,6 +305,9 @@ class Interleaver:
         if self.metrics is not None:
             self._snapshot_metrics(stats)
             stats.metrics = self.metrics.as_dict()
+        if self.attribution is not None:
+            self.attribution.finalize(stats, self.tiles, self.accelerators,
+                                      self.memory)
         if self.profiler is not None:
             self.profiler.finish(cycle, stats.instructions)
         return stats

@@ -77,6 +77,11 @@ class SystemStats:
     dram_energy_nj: float = 0.0
     #: serialized MetricsRegistry snapshot, when the run carried one
     metrics: Optional[Dict[str, dict]] = None
+    #: cycle-attribution report (CPI stacks), when the run carried an
+    #: Attributor — see repro.telemetry.attribution
+    attribution: Optional[dict] = None
+    #: roofline capture (flops, DRAM bytes, attainable-vs-achieved IPC)
+    roofline: Optional[dict] = None
 
     @property
     def memory_energy_nj(self) -> float:

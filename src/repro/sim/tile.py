@@ -36,6 +36,9 @@ class Tile(abc.ABC):
         #: instrumentation point guards on this with a single branch)
         self.tracer = None
         self.trace_tid = 0
+        #: per-tile cycle-accounting ledger (None = attribution disabled;
+        #: same single-branch guard discipline as the tracer)
+        self.attributor = None
 
     @abc.abstractmethod
     def step(self, cycle: int) -> int:

@@ -9,11 +9,18 @@ Three cooperating pieces, all opt-in and zero-cost when disabled:
   SystemStats`;
 * :class:`SelfProfiler` — wall-clock accounting of where simulation
   time goes (event loop vs tile stepping vs memory vs fabric) plus
-  events/sec throughput.
+  events/sec throughput;
+* :class:`Attributor` — per-tile cycle-accounting ledgers (CPI stacks
+  summing exactly to total cycles), roofline capture, and the report
+  validation/diffing behind ``repro analyze`` / ``repro diff``.
 
 See ``docs/observability.md`` for usage and the trace JSON schema.
 """
 
+from .attribution import (
+    Attributor, CATEGORIES, MEMORY_PREFIX, TileAttribution,
+    capture_roofline, diff_reports, is_memory_category, validate_report,
+)
 from .metrics import (
     Counter, DEFAULT_LATENCY_BUCKETS, Gauge, Histogram,
     METRICS_SCHEMA_VERSION, MetricsRegistry, stats_to_dict,
@@ -28,10 +35,12 @@ from .tracer import (
 )
 
 __all__ = [
-    "Counter", "DEFAULT_LATENCY_BUCKETS", "Gauge", "Histogram",
-    "METRICS_SCHEMA_VERSION", "MetricsRegistry", "PHASES",
-    "ProfiledFabric", "ProfileReport", "SelfProfiler",
-    "TRACE_SCHEMA_VERSION", "TraceEvent", "Tracer",
-    "stats_to_dict", "subsystem_categories", "timed",
-    "validate_chrome_trace", "write_stats_json",
+    "Attributor", "CATEGORIES", "Counter", "DEFAULT_LATENCY_BUCKETS",
+    "Gauge", "Histogram", "MEMORY_PREFIX", "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry", "PHASES", "ProfiledFabric", "ProfileReport",
+    "SelfProfiler", "TRACE_SCHEMA_VERSION", "TileAttribution",
+    "TraceEvent", "Tracer", "capture_roofline", "diff_reports",
+    "is_memory_category", "stats_to_dict", "subsystem_categories",
+    "timed", "validate_chrome_trace", "validate_report",
+    "write_stats_json",
 ]

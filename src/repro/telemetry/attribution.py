@@ -1,0 +1,464 @@
+"""Per-tile cycle-accounting engine (CPI stacks, roofline, trace diffing).
+
+The tracer (PR 2) records *what happened when*; this module answers *where
+the cycles went*. Every simulated cycle of every tile is attributed to
+exactly one category, and the stack sums to the run's total cycles **by
+construction**: each :class:`TileAttribution` keeps a cursor that only
+moves forward, and every cursor advance books the interval it crossed to
+the single pending category. There is no second code path that could
+leak or double-count a cycle.
+
+Category taxonomy (``CATEGORIES`` lists the closed set of prefixes):
+
+=====================  =======================================================
+``compute``            issuing/executing instructions, issue-width saturation,
+                       fixed-latency ALU/FP work in flight at the window head
+``memory.<level>``     window head is a memory access served by ``<level>``:
+                       ``l1``/``l2``/``llc`` hits, ``dram``, ``coherence``
+                       (directory invalidation delay), ``ideal`` (no
+                       hierarchy configured)
+``fabric``             waiting on a message ``send``/``recv``
+``dae_supply``         DAE supply stall: producer blocked on a full
+                       decoupled queue (or reserving load-queue space)
+``dae_consume``        DAE consume stall: consumer blocked on an empty
+                       decoupled queue
+``barrier``            waiting inside an SPMD barrier
+``accel``              an accelerator invocation in flight (or serialized
+                       behind one)
+``mispredict``         branch-redirect penalty after a mispredicted DBB
+``frontend_idle``      nothing to launch: trace exhausted (tile finished
+                       before the system) or the frontend is between DBBs
+=====================  =======================================================
+
+Memory waits are special: when the window-head blocker is an in-flight
+memory access, the serving level (L1 hit, LLC, DRAM, ...) is unknown
+until the response returns. The interval is therefore *deferred* —
+banked against the dynamic node — and flushed into the right
+``memory.<level>`` bucket when the node completes, using the
+``service_level`` the hierarchy stamped on the request. Conservation is
+unaffected: deferred cycles are already counted against the cursor and
+only their label resolves late.
+
+Zero-cost-when-disabled: subsystems hold ``attributor = None`` and every
+hook is one ``is not None`` branch, the same discipline as the tracer.
+
+See ``docs/observability.md`` for the report JSON schema (v2) and the
+``repro analyze`` / ``repro diff`` commands built on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: closed set of category names/prefixes a report may contain
+CAT_COMPUTE = "compute"
+CAT_FABRIC = "fabric"
+CAT_DAE_SUPPLY = "dae_supply"
+CAT_DAE_CONSUME = "dae_consume"
+CAT_BARRIER = "barrier"
+CAT_ACCEL = "accel"
+CAT_MISPREDICT = "mispredict"
+CAT_FRONTEND_IDLE = "frontend_idle"
+MEMORY_PREFIX = "memory."
+
+CATEGORIES = (
+    CAT_COMPUTE, CAT_FABRIC, CAT_DAE_SUPPLY, CAT_DAE_CONSUME, CAT_BARRIER,
+    CAT_ACCEL, CAT_MISPREDICT, CAT_FRONTEND_IDLE,
+)
+
+#: categories counted as memory stalls by the diff bottleneck analysis
+def is_memory_category(category: str) -> bool:
+    return category.startswith(MEMORY_PREFIX)
+
+
+def memory_category(node) -> str:
+    """Resolve a completed memory node's category from the request the
+    hierarchy serviced (stamped with ``service_level``/``coherence_delay``
+    on the way through)."""
+    request = getattr(node, "mem_req", None)
+    if request is None:
+        return MEMORY_PREFIX + "ideal"
+    if request.coherence_delay:
+        return MEMORY_PREFIX + "coherence"
+    level = request.service_level
+    if not level:
+        # a response that never reached a classifying level (e.g. the
+        # ideal 1-cycle path behind a None hierarchy wrapper)
+        return MEMORY_PREFIX + "ideal"
+    return MEMORY_PREFIX + level.lower()
+
+
+class TileAttribution:
+    """Cycle ledger for one tile.
+
+    ``pending`` is either a category string or a dynamic memory node
+    whose serving level is not yet known. :meth:`advance` books the
+    interval since the cursor to ``pending``; :meth:`resolve_memory`
+    flushes a node's banked cycles once its response classified it.
+    """
+
+    __slots__ = ("name", "cycles", "cursor", "pending", "_deferred")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.cycles: Dict[str, int] = {}
+        self.cursor = 0
+        self.pending = CAT_FRONTEND_IDLE
+        #: memory DynNode -> cycles awaiting level resolution
+        self._deferred: Dict[object, int] = {}
+
+    # -- hot path (called from CoreTile.step) ----------------------------
+    def advance(self, cycle: int) -> None:
+        """Book ``[cursor, cycle)`` to the pending category."""
+        delta = cycle - self.cursor
+        if delta <= 0:
+            return
+        pending = self.pending
+        if type(pending) is str:
+            self.cycles[pending] = self.cycles.get(pending, 0) + delta
+        else:
+            self._deferred[pending] = self._deferred.get(pending, 0) + delta
+        self.cursor = cycle
+
+    def resolve_memory(self, node) -> None:
+        """A memory node completed: flush its banked wait cycles into the
+        ``memory.<level>`` bucket its response identified."""
+        banked = self._deferred.pop(node, None)
+        pending_is_node = self.pending is node
+        if banked is None and not pending_is_node:
+            return
+        category = memory_category(node)
+        if banked is not None:
+            self.cycles[category] = self.cycles.get(category, 0) + banked
+        if pending_is_node:
+            # future advances book directly; the node object is released
+            self.pending = category
+
+    # -- reading ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Live view (used by stall diagnostics and deadlock reports):
+        resolved buckets plus any cycles still banked against in-flight
+        memory nodes."""
+        categories = dict(self.cycles)
+        unresolved = sum(self._deferred.values())
+        if unresolved:
+            key = MEMORY_PREFIX + "outstanding"
+            categories[key] = categories.get(key, 0) + unresolved
+        pending = self.pending
+        return {
+            "cursor": self.cursor,
+            "pending": pending if type(pending) is str
+            else MEMORY_PREFIX + "outstanding",
+            "categories": categories,
+        }
+
+    def finalize(self, total_cycles: int) -> Dict[str, int]:
+        """Close the ledger at ``total_cycles`` and return the stack.
+
+        Books the tail interval, flushes any still-banked memory waits to
+        their best-known category, and asserts the conservation
+        invariant: the stack sums exactly to ``total_cycles``.
+        """
+        self.advance(total_cycles)
+        if type(self.pending) is not str:
+            # ended while a memory node was the blocker (it completed at
+            # the final cycle); resolve with what the response recorded
+            self.pending = memory_category(self.pending)
+        for node, banked in list(self._deferred.items()):
+            category = memory_category(node)
+            self.cycles[category] = self.cycles.get(category, 0) + banked
+        self._deferred.clear()
+        total = sum(self.cycles.values())
+        assert total == total_cycles, (
+            f"cycle attribution for tile {self.name!r} lost cycles: "
+            f"stack sums to {total}, simulated {total_cycles}")
+        return dict(self.cycles)
+
+
+class Attributor:
+    """Run-wide registry of per-tile ledgers plus fabric stall counters.
+
+    Created by the harness/CLI, attached by the Interleaver (one
+    :class:`TileAttribution` per tile, a stall-counter hook on the
+    fabric), and finalized into the report dictionaries stored on
+    :class:`~repro.sim.statistics.SystemStats` (``attribution`` and
+    ``roofline``).
+    """
+
+    def __init__(self):
+        self.tiles: Dict[str, TileAttribution] = {}
+        #: queue name -> occurrence counts of producer/consumer stalls
+        self.queue_full_stalls: Dict[str, int] = {}
+        self.queue_empty_stalls: Dict[str, int] = {}
+        self.recv_waits = 0
+        self.report: Optional[dict] = None
+        self.roofline: Optional[dict] = None
+
+    def for_tile(self, name: str) -> TileAttribution:
+        ledger = self.tiles.get(name)
+        if ledger is None:
+            ledger = self.tiles[name] = TileAttribution(name)
+        return ledger
+
+    # -- fabric hooks (guarded by ``attributor is not None``) ------------
+    def note_queue_full(self, name: str) -> None:
+        self.queue_full_stalls[name] = self.queue_full_stalls.get(name, 0) + 1
+
+    def note_queue_empty(self, name: str) -> None:
+        self.queue_empty_stalls[name] = \
+            self.queue_empty_stalls.get(name, 0) + 1
+
+    def note_recv_wait(self) -> None:
+        self.recv_waits += 1
+
+    # -- finalization ----------------------------------------------------
+    def finalize(self, stats, tiles, accelerators=None,
+                 memory=None) -> dict:
+        """Close every ledger at the run's total cycle count, append
+        accelerator utilization pseudo-ledgers, attach the roofline
+        capture, and store both documents on ``stats``."""
+        total = stats.cycles
+        tile_stats = {t.name: t for t in stats.tiles}
+        entries: Dict[str, dict] = {}
+        for name, ledger in self.tiles.items():
+            stack = ledger.finalize(total)
+            tstats = tile_stats.get(name)
+            instructions = tstats.instructions if tstats is not None else 0
+            entry = {
+                "kind": "core",
+                "total_cycles": total,
+                "instructions": instructions,
+                "categories": stack,
+            }
+            if instructions:
+                entry["cpi"] = total / instructions
+                entry["cpi_stack"] = {
+                    cat: cycles / instructions
+                    for cat, cycles in sorted(stack.items())}
+            entries[name] = entry
+        if accelerators is not None:
+            for name, accel in sorted(accelerators.tiles.items()):
+                entries[name] = accel.cycle_accounting(total)
+        self.report = {
+            "total_cycles": total,
+            "tiles": entries,
+            "fabric": {
+                "queue_full_stalls": dict(sorted(
+                    self.queue_full_stalls.items())),
+                "queue_empty_stalls": dict(sorted(
+                    self.queue_empty_stalls.items())),
+                "recv_waits": self.recv_waits,
+            },
+        }
+        self.roofline = capture_roofline(stats, tiles, memory)
+        stats.attribution = self.report
+        stats.roofline = self.roofline
+        return self.report
+
+
+# -- roofline capture ---------------------------------------------------------
+
+_FP_CLASSES = ("fpalu", "fpmul", "fpdiv")
+
+
+def _tile_flops(tile) -> Optional[int]:
+    """Exact dynamic FP-operation count for a core tile, derived from the
+    control-flow trace (one post-run pass; no hot-path counters)."""
+    ddg = getattr(tile, "ddg", None)
+    trace = getattr(tile, "trace", None)
+    if ddg is None or trace is None:
+        return None
+    fp_by_bid = [
+        sum(1 for iid in block.node_iids
+            if ddg.nodes[iid].opclass.value in _FP_CLASSES)
+        for block in ddg.blocks]
+    return sum(fp_by_bid[bid] for bid in trace.block_trace)
+
+
+def _dram_peak_bytes_per_cycle(memory) -> float:
+    """Best-effort peak DRAM bandwidth in bytes per global cycle."""
+    if memory is None:
+        return 0.0
+    dram = memory.dram
+    config = dram.config
+    line = memory.line_bytes
+    per_epoch = getattr(dram, "_per_epoch", None)
+    if per_epoch is not None:  # SimpleDRAM: epoch budget
+        return per_epoch * line / max(1, config.epoch_cycles)
+    channels = getattr(config, "channels", 1)
+    burst = getattr(config, "burst_cycles", 1)
+    ratio = getattr(config, "clock_ratio", 1)
+    return channels * getattr(config, "line_bytes", line) \
+        / max(1, burst * ratio)
+
+
+def capture_roofline(stats, tiles, memory=None) -> dict:
+    """Roofline capture: arithmetic intensity plus attainable-vs-achieved
+    rates, per tile and for the whole system.
+
+    DRAM bytes are system-wide (requests x line size, plus accelerator
+    DMA traffic); each tile's share is apportioned by its fraction of
+    memory accesses — an estimate, flagged as such in the schema docs.
+    """
+    line_bytes = memory.line_bytes if memory is not None else 64
+    dram_bytes = stats.dram.requests * line_bytes \
+        + sum(t.accel_bytes for t in stats.tiles)
+    peak_bw = _dram_peak_bytes_per_cycle(memory)
+    total_accesses = sum(t.memory_accesses for t in stats.tiles)
+    tile_lookup = {t.name: t for t in tiles}
+    per_tile: Dict[str, dict] = {}
+    total_flops = 0
+    for tstats in stats.tiles:
+        tile = tile_lookup.get(tstats.name)
+        flops = _tile_flops(tile) if tile is not None else None
+        if flops is None:
+            continue
+        total_flops += flops
+        share = (tstats.memory_accesses / total_accesses
+                 if total_accesses else 0.0)
+        bytes_est = dram_bytes * share
+        config = getattr(tile, "config", None)
+        peak_ipc = float(config.issue_width) if config is not None else 0.0
+        cycles = stats.cycles or 1
+        if bytes_est > 0 and peak_bw > 0:
+            # instructions the memory system can sustain per cycle at
+            # this instruction-per-byte density
+            mem_bound_ipc = tstats.instructions * peak_bw / bytes_est
+            attainable_ipc = min(peak_ipc, mem_bound_ipc)
+        else:
+            attainable_ipc = peak_ipc
+        per_tile[tstats.name] = {
+            "flops": flops,
+            "dram_bytes_est": bytes_est,
+            "arithmetic_intensity": (flops / bytes_est
+                                     if bytes_est else 0.0),
+            "peak_ipc": peak_ipc,
+            "attainable_ipc": attainable_ipc,
+            "achieved_ipc": tstats.ipc,
+            "achieved_flops_per_cycle": flops / cycles,
+            "bound": ("memory" if attainable_ipc < peak_ipc
+                      else "compute"),
+        }
+    return {
+        "dram_bytes": dram_bytes,
+        "dram_peak_bytes_per_cycle": peak_bw,
+        "flops": total_flops,
+        "arithmetic_intensity": (total_flops / dram_bytes
+                                 if dram_bytes else 0.0),
+        "tiles": per_tile,
+    }
+
+
+# -- report validation + diffing ----------------------------------------------
+
+def validate_report(document: dict, schema_version: int = None) -> int:
+    """Validate an ``analyze`` report (schema v2) and re-check the
+    conservation invariant on the serialized numbers. Returns the number
+    of attributed tiles; raises :class:`ValueError` on the first
+    violation (exit 2 in the CLI)."""
+    from .metrics import METRICS_SCHEMA_VERSION
+    expected = schema_version if schema_version is not None \
+        else METRICS_SCHEMA_VERSION
+    if not isinstance(document, dict):
+        raise ValueError("report must be a JSON object")
+    version = document.get("schema_version")
+    if version != expected:
+        raise ValueError(
+            f"report schema version {version!r} unsupported "
+            f"(expected {expected})")
+    attribution = document.get("attribution")
+    if not isinstance(attribution, dict):
+        raise ValueError(
+            "report has no attribution block (was the run made with "
+            "cycle attribution enabled, e.g. `repro analyze`?)")
+    tiles = attribution.get("tiles")
+    if not isinstance(tiles, dict) or not tiles:
+        raise ValueError("attribution block has no tiles")
+    for name, entry in tiles.items():
+        categories = entry.get("categories")
+        if not isinstance(categories, dict):
+            raise ValueError(f"tile {name!r} has no categories")
+        total = entry.get("total_cycles")
+        if not isinstance(total, int) or total < 0:
+            raise ValueError(
+                f"tile {name!r} has no non-negative total_cycles")
+        booked = sum(categories.values())
+        if booked != total:
+            raise ValueError(
+                f"tile {name!r} violates cycle conservation: categories "
+                f"sum to {booked}, total_cycles is {total}")
+        for category, cycles in categories.items():
+            if cycles < 0:
+                raise ValueError(
+                    f"tile {name!r} category {category!r} is negative")
+            if category not in CATEGORIES \
+                    and not category.startswith(MEMORY_PREFIX):
+                raise ValueError(
+                    f"tile {name!r} has unknown category {category!r}")
+    return len(tiles)
+
+
+def diff_reports(before: dict, after: dict) -> dict:
+    """Attribute the cycle delta between two reports to the categories
+    that moved.
+
+    Both documents must pass :func:`validate_report`. Tiles are matched
+    by name; per-category deltas are ``after - before``, so a positive
+    delta is a regression (more cycles spent there). The aggregate view
+    sums matched tiles, which is what ``repro diff`` renders first.
+    """
+    tiles_a = before["attribution"]["tiles"]
+    tiles_b = after["attribution"]["tiles"]
+    shared = [name for name in tiles_a if name in tiles_b]
+    per_tile: Dict[str, dict] = {}
+    aggregate: Dict[str, dict] = {}
+    for name in shared:
+        cats_a = tiles_a[name]["categories"]
+        cats_b = tiles_b[name]["categories"]
+        deltas = {}
+        for category in sorted(set(cats_a) | set(cats_b)):
+            a = cats_a.get(category, 0)
+            b = cats_b.get(category, 0)
+            if a == 0 and b == 0:
+                continue
+            deltas[category] = {"before": a, "after": b, "delta": b - a}
+            agg = aggregate.setdefault(
+                category, {"before": 0, "after": 0, "delta": 0})
+            agg["before"] += a
+            agg["after"] += b
+            agg["delta"] += b - a
+        per_tile[name] = {
+            "total_before": tiles_a[name]["total_cycles"],
+            "total_after": tiles_b[name]["total_cycles"],
+            "categories": deltas,
+        }
+    cycles_a = before["attribution"]["total_cycles"]
+    cycles_b = after["attribution"]["total_cycles"]
+    memory_delta = sum(
+        entry["delta"] for category, entry in aggregate.items()
+        if is_memory_category(category))
+    grown = sorted(
+        ((category, entry["delta"]) for category, entry in
+         aggregate.items() if entry["delta"] > 0),
+        key=lambda item: -item[1])
+    return {
+        "cycles_before": cycles_a,
+        "cycles_after": cycles_b,
+        "cycles_delta": cycles_b - cycles_a,
+        "speedup": cycles_a / cycles_b if cycles_b else 0.0,
+        "tiles_only_before": sorted(set(tiles_a) - set(tiles_b)),
+        "tiles_only_after": sorted(set(tiles_b) - set(tiles_a)),
+        "categories": aggregate,
+        "tiles": per_tile,
+        "memory_stall_delta": memory_delta,
+        "top_regressions": grown,
+    }
+
+
+__all__: List[str] = [
+    "Attributor", "CATEGORIES", "CAT_ACCEL", "CAT_BARRIER", "CAT_COMPUTE",
+    "CAT_DAE_CONSUME", "CAT_DAE_SUPPLY", "CAT_FABRIC", "CAT_FRONTEND_IDLE",
+    "CAT_MISPREDICT", "MEMORY_PREFIX", "TileAttribution",
+    "capture_roofline", "diff_reports", "is_memory_category",
+    "memory_category", "validate_report",
+]

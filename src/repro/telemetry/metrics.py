@@ -111,6 +111,11 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            # bucket-boundary upper bounds: consumers get summary
+            # quantiles without re-deriving them from le-buckets
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -171,7 +176,9 @@ class MetricsRegistry:
 # -- stats serialization -------------------------------------------------------
 
 #: bump when the stats/metrics JSON layout changes incompatibly
-METRICS_SCHEMA_VERSION = 1
+#: v2: histogram p50/p90/p99 summaries; optional ``attribution`` (CPI
+#: stacks) and ``roofline`` blocks (see docs/observability.md)
+METRICS_SCHEMA_VERSION = 2
 
 
 def stats_to_dict(stats) -> dict:
@@ -236,6 +243,10 @@ def stats_to_dict(stats) -> dict:
     }
     if stats.metrics is not None:
         document["metrics"] = stats.metrics
+    if stats.attribution is not None:
+        document["attribution"] = stats.attribution
+    if stats.roofline is not None:
+        document["roofline"] = stats.roofline
     return document
 
 
