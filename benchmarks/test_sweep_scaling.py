@@ -1,0 +1,70 @@
+"""Parallel sweep scaling — serial vs ``jobs=4`` wall clock.
+
+The sweep executor ships the ``Prepared`` workload to each worker once
+(compressed pickle via the pool initializer) and fans sweep points out
+over a ``multiprocessing`` pool (docs/performance.md). This benchmark
+times the same 8-point core grid serially and with 4 workers, records
+the measurement as the ``parallel_sweep`` block of
+``BENCH_simspeed.json``, and asserts the determinism contract: the
+parallel sweep's per-point reports are bit-identical to the serial
+run's.
+
+The *speedup* assertion is gated on the host actually having CPUs to
+scale onto: on a single-CPU container the pool time-slices one core, so
+the ratio measures pool overhead and is recorded, not asserted.
+"""
+
+import json
+
+from repro.harness import (
+    BENCH_SCHEMA_VERSION, dae_hierarchy, measure_sweep_scaling, ooo_core,
+    prepare, render_table,
+)
+from repro.workloads import build_parboil
+
+from .conftest import record
+
+#: 2 x 2 x 2 = 8 points, the acceptance-criteria grid size
+GRID = {"issue_width": [1, 2], "rob_size": [8, 32], "lsq_size": [8, 32]}
+
+
+def test_sweep_scaling(benchmark, results_dir):
+    # Parboil-default spmv: each point simulates ~100k cycles, so the
+    # grid costs seconds and pool startup is noise, not the measurement
+    w = build_parboil("spmv")
+    prepared = prepare(w.kernel, w.args, memory=w.memory)
+    block = benchmark.pedantic(
+        lambda: measure_sweep_scaling(
+            prepared, ooo_core(), GRID, jobs=4,
+            hierarchy_factory=dae_hierarchy),
+        rounds=1, iterations=1)
+
+    rows = [
+        ["points", block["points"]],
+        ["jobs", block["jobs"]],
+        ["cpus available", block["cpus"]],
+        ["serial seconds", f"{block['serial_seconds']:.2f}"],
+        ["parallel seconds", f"{block['parallel_seconds']:.2f}"],
+        ["parallel:serial ratio", f"{block['ratio']:.2f}"],
+        ["bit-identical reports", block["identical"]],
+    ]
+    record("sweep_scaling", render_table(
+        ["metric", "value"], rows,
+        title="Parallel sweep scaling (8-point spmv grid)"))
+
+    # merge into BENCH_simspeed.json (written earlier by test_simspeed;
+    # alphabetical test-file order guarantees it runs first when both run)
+    path = results_dir / "BENCH_simspeed.json"
+    document = (json.loads(path.read_text()) if path.exists()
+                else {"schema_version": BENCH_SCHEMA_VERSION})
+    document["parallel_sweep"] = block
+    path.write_text(json.dumps(document, indent=2) + "\n")
+
+    assert block["points"] == 8
+    assert block["outcomes"] == {"ok": 8}
+    assert block["identical"], \
+        "parallel sweep reports must be bit-identical to serial"
+    if block["cpus"] >= 4:
+        # with real cores behind the pool, 4 workers on 8 points must
+        # beat serial by the acceptance margin
+        assert block["ratio"] <= 0.6, block

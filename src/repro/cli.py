@@ -6,7 +6,9 @@ Commands
 * ``ir <workload>`` — print a workload kernel's IR;
 * ``simulate <workload>`` — run the full toolchain on a system preset
   (``--trace``/``--metrics``/``--profile``/``--stats-json`` attach the
-  observability layer, see ``docs/observability.md``);
+  observability layer, see ``docs/observability.md``; ``--sweep
+  FIELD=V1,V2`` + ``--jobs N`` fan a core-config grid out over a worker
+  pool, see ``docs/performance.md``);
 * ``characterize [workload ...]`` — Figure 6-style IPC table;
 * ``dae <workload>`` — slice a kernel and simulate DAE pairs;
 * ``trace <workload> -o FILE`` — generate and save dynamic traces;
@@ -23,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from .frontend import compile_kernel
@@ -97,6 +100,68 @@ def _hierarchy(name: str):
     return factory() if factory is not None else None
 
 
+# -- sweep path (simulate/inject/analyze --sweep) -----------------------------
+
+def _parse_sweep_value(text: str):
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def _sweep_grid(items: Sequence[str]) -> Dict[str, list]:
+    grid: Dict[str, list] = {}
+    for item in items:
+        key, _, values = item.partition("=")
+        if not values:
+            raise SystemExit(f"--sweep arguments look like field=v1,v2, "
+                             f"got {item!r}")
+        grid[key.strip()] = [_parse_sweep_value(v) for v in values.split(",")]
+    return grid
+
+
+def _run_core_sweep(args, core, hierarchy, plan=None,
+                    wall_clock_limit=None):
+    """Shared ``--sweep`` path: run the cross product of the grid as a
+    design-space sweep (on a worker pool when ``--jobs > 1``) and render
+    the point table. ``plan`` (inject) runs every point under the fault
+    plan; a ``seed=...`` sweep axis fans the plan out over seeds."""
+    from .harness import sweep_core
+    grid = _sweep_grid(args.sweep)
+    if plan is not None:
+        seeds = grid.pop("seed", None)
+        grid["plan"] = ([replace(plan, seed=int(s)) for s in seeds]
+                        if seeds else [plan])
+    workload = _build(args.workload, args.size)
+    prepared = prepare(workload.kernel, workload.args,
+                       num_tiles=args.tiles, memory=workload.memory)
+    try:
+        result = sweep_core(
+            prepared, core, grid, hierarchy=hierarchy,
+            num_tiles=args.tiles, max_cycles=args.max_cycles,
+            wall_clock_limit=wall_clock_limit, jobs=args.jobs)
+    except TypeError as exc:
+        raise SystemExit(f"bad --sweep grid: {exc}")
+    for point in result.points:
+        # FaultPlan reprs are unwieldy in the table; label by seed
+        inner = point.parameters.get("plan")
+        if inner is not None:
+            point.parameters["plan"] = f"seed={inner.seed}"
+        elif "plan" in point.parameters:
+            point.parameters["plan"] = "-"
+    print(result.table(title=f"{workload.name}: {len(result.points)} "
+                             f"point(s), jobs={args.jobs}"))
+    outcomes = result.outcomes()
+    print("outcomes:", "  ".join(f"{name}:{count}" for name, count
+                                 in sorted(outcomes.items())))
+    return result
+
+
 # -- commands ----------------------------------------------------------------
 
 def cmd_list(args) -> int:
@@ -136,12 +201,21 @@ def cmd_simulate(args) -> int:
     from .telemetry import (
         MetricsRegistry, SelfProfiler, Tracer, write_stats_json,
     )
-    workload = _build(args.workload, args.size)
     core = (load_core_config(args.core_config)
             if getattr(args, "core_config", None) else _core(args.core))
     hierarchy = (load_hierarchy_config(args.hierarchy_config)
                  if getattr(args, "hierarchy_config", None)
                  else _hierarchy(args.hierarchy))
+    if args.sweep:
+        if args.trace or args.metrics or args.stats_json or args.profile \
+                or args.retries:
+            print("--sweep is incompatible with --trace/--metrics/"
+                  "--stats-json/--profile/--retries", file=sys.stderr)
+            return 2
+        result = _run_core_sweep(args, core, hierarchy,
+                                 wall_clock_limit=args.timeout)
+        return 0 if any(p.ok for p in result.points) else 2
+    workload = _build(args.workload, args.size)
     accelerators = _detect_accelerators(workload.kernel)
     tracer = Tracer() if args.trace else None
     metrics = MetricsRegistry() if args.metrics else None
@@ -285,6 +359,10 @@ def cmd_analyze(args) -> int:
             return 2
         source = args.report
     elif args.workload:
+        if args.sweep and args.dae:
+            print("analyze --sweep does not combine with --dae",
+                  file=sys.stderr)
+            return 2
         attribution = Attributor()
         workload = _build(args.workload, args.size)
         if args.dae:
@@ -297,8 +375,19 @@ def cmd_analyze(args) -> int:
                                  max_cycles=args.max_cycles,
                                  attribution=attribution)
         else:
+            core = _core(args.core)
+            if args.sweep:
+                result = _run_core_sweep(args, core,
+                                         _hierarchy(args.hierarchy))
+                if not any(p.ok for p in result.points):
+                    print("no successful sweep point to analyze",
+                          file=sys.stderr)
+                    return 2
+                best = result.best("cycles")
+                core = replace(core, **best.parameters)
+                print(f"analyzing best point: {best.parameters}")
             stats = simulate(
-                workload.kernel, workload.args, core=_core(args.core),
+                workload.kernel, workload.args, core=core,
                 num_tiles=args.tiles, hierarchy=_hierarchy(args.hierarchy),
                 accelerators=_detect_accelerators(workload.kernel),
                 max_cycles=args.max_cycles, attribution=attribution)
@@ -346,6 +435,11 @@ def cmd_inject(args) -> int:
         accel_fault_rate=args.accel_fault_rate,
     )
     plan.validate()
+    if args.sweep:
+        result = _run_core_sweep(args, _core(args.core),
+                                 _hierarchy(args.hierarchy), plan=plan,
+                                 wall_clock_limit=args.timeout)
+        return 0 if any(p.ok for p in result.points) else 2
 
     def fresh():
         w = _build(args.workload, args.size)
@@ -468,8 +562,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="wall-clock watchdog limit")
         return sub
 
-    sim = with_supervision(with_workload(commands.add_parser(
-        "simulate", help="simulate a workload on a system preset")))
+    def with_sweep(sub):
+        sub.add_argument("--sweep", action="append", metavar="FIELD=V1,V2",
+                         help="sweep a CoreConfig field over comma-"
+                              "separated values (repeatable; the cross "
+                              "product runs as a design-space sweep). "
+                              "inject also accepts seed=S1,S2 to fan the "
+                              "fault plan out over seeds")
+        sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for sweep points "
+                              "(1 = serial; only used with --sweep)")
+        return sub
+
+    sim = with_sweep(with_supervision(with_workload(commands.add_parser(
+        "simulate", help="simulate a workload on a system preset"))))
     sim.add_argument("--core", default="ooo", choices=sorted(CORES))
     sim.add_argument("--tiles", type=int, default=1)
     sim.add_argument("--hierarchy", default="dae",
@@ -494,8 +600,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "per phase, events/sec)")
     sim.set_defaults(func=cmd_simulate)
 
-    inject = with_supervision(with_workload(commands.add_parser(
-        "inject", help="run a deterministic fault-injection campaign")))
+    inject = with_sweep(with_supervision(with_workload(commands.add_parser(
+        "inject", help="run a deterministic fault-injection campaign"))))
     inject.add_argument("--core", default="ooo", choices=sorted(CORES))
     inject.add_argument("--tiles", type=int, default=1)
     inject.add_argument("--hierarchy", default="dae",
@@ -584,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the report JSON (diff-able)")
     analyze.add_argument("--top", type=int, default=3,
                          help="bottleneck categories to rank")
+    with_sweep(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     diff = commands.add_parser(

@@ -20,7 +20,8 @@ from .sweeps import (
 )
 from .simspeed import (
     BENCH_SCHEMA_VERSION, PAPER_MIPS, SpeedReport,
-    measure_simulation_speed, trace_footprint_bytes, write_bench_json,
+    measure_simulation_speed, measure_sweep_scaling,
+    trace_footprint_bytes, write_bench_json,
 )
 from .systems import (
     DAE_QUEUE_ENTRIES, DAE_QUEUE_LATENCY, INO_AREA_MM2, OOO_AREA_MM2,
@@ -40,8 +41,8 @@ __all__ = [
     "SweepPoint", "SweepResult", "sweep_core", "sweep_hierarchy",
     "sweep_runs",
     "BENCH_SCHEMA_VERSION", "PAPER_MIPS", "SpeedReport",
-    "measure_simulation_speed", "trace_footprint_bytes",
-    "write_bench_json",
+    "measure_simulation_speed", "measure_sweep_scaling",
+    "trace_footprint_bytes", "write_bench_json",
     "DAE_QUEUE_ENTRIES", "DAE_QUEUE_LATENCY", "INO_AREA_MM2",
     "OOO_AREA_MM2", "dae_hierarchy", "inorder_core", "ooo_core",
     "xeon_core", "xeon_hierarchy",

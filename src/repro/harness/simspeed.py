@@ -14,19 +14,23 @@ simulation, and trace footprints stay modest.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from ..sim.accelerator.library import sgemm_design
 from ..sim.accelerator.perf_model import GenericPerformanceModel
 from ..sim.config import CoreConfig
 from ..telemetry.profiler import ProfileReport, SelfProfiler
-from .runner import Prepared, prepare, simulate
+from .runner import DEFAULT_MAX_CYCLES, Prepared, prepare, simulate
 from .systems import dae_hierarchy, ooo_core
 
 #: bump when the BENCH_simspeed.json layout changes incompatibly
-BENCH_SCHEMA_VERSION = 1
+#: (v2: headline ``mips`` is derived from the self-profile when one was
+#: captured, and an optional ``parallel_sweep`` block records sweep
+#: scaling — see ``measure_sweep_scaling``)
+BENCH_SCHEMA_VERSION = 2
 
 #: paper-quoted comparison points (§VI-B), MIPS
 PAPER_MIPS = {
@@ -44,9 +48,18 @@ class SpeedReport:
     accel_models_per_second: float
     #: per-phase self-profile (set when measured with profile=True)
     profile: Optional[ProfileReport] = None
+    #: serial-vs-parallel sweep timing (from measure_sweep_scaling)
+    parallel_sweep: Optional[Dict] = None
 
     @property
     def mips(self) -> float:
+        # The headline figure is derived from the self-profile when one
+        # was captured: the profile and the outer timer are independent
+        # clocks, and publishing both (slightly disagreeing) numbers made
+        # BENCH_simspeed.json self-inconsistent. The outer timer remains
+        # in ``wall_seconds`` (it additionally covers run setup).
+        if self.profile is not None and self.profile.wall_seconds:
+            return self.profile.mips
         return self.simulated_instructions / self.wall_seconds / 1e6
 
     def as_dict(self) -> dict:
@@ -60,13 +73,23 @@ class SpeedReport:
         }
         if self.profile is not None:
             document["profile"] = self.profile.as_dict()
+        if self.parallel_sweep is not None:
+            document["parallel_sweep"] = dict(self.parallel_sweep)
         return document
 
 
 def write_bench_json(report: SpeedReport, path: str) -> None:
     """Serialize a :class:`SpeedReport` to ``BENCH_simspeed.json``."""
+    document = report.as_dict()
+    profile = document.get("profile")
+    if profile is not None:
+        # the file must carry ONE MIPS figure: the headline is defined
+        # as the profile's number whenever a profile was captured
+        assert document["mips"] == profile["mips"], (
+            f"headline mips {document['mips']} disagrees with "
+            f"profile.mips {profile['mips']}")
     with open(path, "w") as handle:
-        json.dump(report.as_dict(), handle, indent=2)
+        json.dump(document, handle, indent=2)
         handle.write("\n")
 
 
@@ -94,6 +117,63 @@ def measure_simulation_speed(prepared: Prepared,
     accel_wall = time.perf_counter() - accel_start
     return SpeedReport(stats.instructions, wall, calls / accel_wall,
                        profile=profiler.report if profiler else None)
+
+
+def _point_fingerprint(point) -> tuple:
+    """A comparable record of one sweep point: its full stats report (or
+    its failure record) — the unit of the bit-identical contract."""
+    from ..telemetry import stats_to_dict
+    stats = (stats_to_dict(point.stats)
+             if point.stats is not None else None)
+    return (point.parameters, point.outcome, point.error, stats)
+
+
+def measure_sweep_scaling(prepared: Prepared, core: CoreConfig,
+                          grid: Dict[str, Iterable], *,
+                          jobs: int = 4,
+                          hierarchy=None, hierarchy_factory=None,
+                          num_tiles: int = 1,
+                          max_cycles: int = DEFAULT_MAX_CYCLES,
+                          wall_clock_limit: Optional[float] = None) -> Dict:
+    """Time the same ``sweep_core`` grid serially and with ``jobs``
+    workers, and check the per-point reports are bit-identical.
+
+    Returns the ``parallel_sweep`` block for ``BENCH_simspeed.json``:
+    points, jobs, serial/parallel wall seconds, the parallel:serial
+    ratio, ``identical`` (the determinism contract), and ``cpus`` (the
+    CPUs the pool could actually use — on a single-CPU host the ratio
+    measures pool overhead, not speedup; see docs/performance.md).
+    """
+    from .sweeps import sweep_core
+
+    def run(jobs_n: int):
+        start = time.perf_counter()
+        result = sweep_core(
+            prepared, core, grid, hierarchy=hierarchy,
+            hierarchy_factory=hierarchy_factory, num_tiles=num_tiles,
+            max_cycles=max_cycles, wall_clock_limit=wall_clock_limit,
+            jobs=jobs_n)
+        return result, time.perf_counter() - start
+
+    serial, serial_wall = run(1)
+    parallel, parallel_wall = run(jobs)
+    identical = (
+        [_point_fingerprint(p) for p in serial.points]
+        == [_point_fingerprint(p) for p in parallel.points])
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cpus = os.cpu_count() or 1
+    return {
+        "points": len(serial.points),
+        "jobs": jobs,
+        "cpus": cpus,
+        "serial_seconds": serial_wall,
+        "parallel_seconds": parallel_wall,
+        "ratio": parallel_wall / serial_wall if serial_wall else 0.0,
+        "identical": identical,
+        "outcomes": serial.outcomes(),
+    }
 
 
 def trace_footprint_bytes(prepared: Prepared) -> Dict[str, int]:

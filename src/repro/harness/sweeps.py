@@ -11,14 +11,28 @@ Sweeps degrade gracefully: a configuration that deadlocks, blows its
 cycle budget, or fails validation is recorded as a non-``ok`` point and
 the sweep continues, so one bad corner of the design space never costs
 the whole exploration.
+
+Sweeps are embarrassingly parallel — every point re-times the same
+prepared traces under an independent system — so each sweep entry point
+takes ``jobs``: with ``jobs > 1`` the points run on a
+``multiprocessing`` pool. The :class:`Prepared` workload is shipped to
+each worker exactly once (pickled + zlib, via the pool initializer), a
+point is a pure-data spec the worker can rebuild the system from, and
+failures inside a worker land in the same non-``ok`` SweepPoint records
+as serial sweeps. Point order — and therefore every stat — is identical
+to a serial run (see docs/performance.md). ``on_error="raise"`` forces
+serial execution so the first failure propagates with its traceback.
 """
 
 from __future__ import annotations
 
 import itertools
+import multiprocessing
+import pickle
+import zlib
 from collections import Counter
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..resilience.faults import FaultInjector
 from ..sim.config import ConfigError, CoreConfig, MemoryHierarchyConfig
@@ -99,6 +113,70 @@ def _run_point(parameters: Dict[str, object], simulate_call,
     return SweepPoint(parameters, stats)
 
 
+# -- sweep execution: serial or worker pool --------------------------------
+#
+# A sweep point is (parameters, spec): ``parameters`` labels the point in
+# the result table; ``spec`` is a pure-data dict of ``simulate`` keyword
+# arguments, plus two convenience keys resolved at run time —
+# ``hierarchy_factory`` (rebuilds a cold memory config per point) and
+# ``plan`` (a FaultPlan wired in as a fresh FaultInjector). Pure data is
+# what makes the spec picklable, which is what lets a worker process
+# execute it against its own copy of the Prepared workload.
+
+#: per-worker-process Prepared workload, installed by _worker_init
+_WORKER_PREPARED: Optional[Prepared] = None
+
+
+def _worker_init(payload: bytes) -> None:
+    global _WORKER_PREPARED
+    _WORKER_PREPARED = pickle.loads(zlib.decompress(payload))
+
+
+def _execute_spec(prepared: Prepared, spec: Dict) -> SystemStats:
+    spec = dict(spec)
+    factory = spec.pop("hierarchy_factory", None)
+    if factory is not None:
+        spec["hierarchy"] = factory()
+    plan = spec.pop("plan", None)
+    if plan is not None:
+        plan.validate()
+        spec["injector"] = FaultInjector(plan)
+    return simulate(prepared.function, [], prepared=prepared, **spec)
+
+
+def _worker_point(task: Tuple[Dict, Dict, str]) -> SweepPoint:
+    parameters, spec, on_error = task
+    return _run_point(
+        parameters, lambda: _execute_spec(_WORKER_PREPARED, spec), on_error)
+
+
+def _execute_sweep(prepared: Prepared, tasks: List[Tuple[Dict, Dict]],
+                   on_error: str, jobs: int) -> SweepResult:
+    """Run every (parameters, spec) task; in order, serially or on a pool.
+
+    Workers receive the Prepared workload once (compressed pickle via the
+    pool initializer), then stream pure-data specs. ``Pool.map`` returns
+    results in submission order, so the SweepResult is bit-identical to a
+    serial sweep — each point's simulation is an isolated deterministic
+    run either way. ``on_error="raise"`` executes serially so the first
+    failure propagates with a usable traceback.
+    """
+    result = SweepResult()
+    jobs = min(jobs, len(tasks))
+    if jobs <= 1 or len(tasks) <= 1 or on_error == "raise":
+        for parameters, spec in tasks:
+            result.points.append(_run_point(
+                parameters, lambda s=spec: _execute_spec(prepared, s),
+                on_error))
+        return result
+    payload = zlib.compress(pickle.dumps(prepared, protocol=4), 6)
+    with multiprocessing.Pool(jobs, initializer=_worker_init,
+                              initargs=(payload,)) as pool:
+        result.points = pool.map(
+            _worker_point, [(p, s, on_error) for p, s in tasks])
+    return result
+
+
 def sweep_core(prepared: Prepared, base: CoreConfig,
                grid: Dict[str, Iterable], *,
                hierarchy: Optional[MemoryHierarchyConfig] = None,
@@ -107,9 +185,15 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
                num_tiles: int = 1,
                max_cycles: int = DEFAULT_MAX_CYCLES,
                wall_clock_limit: Optional[float] = None,
-               on_error: str = "record") -> SweepResult:
+               on_error: str = "record",
+               jobs: int = 1) -> SweepResult:
     """Simulate ``prepared`` under every combination of core-config
     overrides in ``grid`` (a dict of CoreConfig field -> values).
+
+    The special grid key ``"plan"`` holds :class:`FaultPlan` values (or
+    ``None``) instead of a core-config field: each point runs under a
+    fresh :class:`FaultInjector` for its plan, so fault scenarios sweep
+    like any other axis.
 
     ``hierarchy_factory`` rebuilds the memory system per point (cold
     caches for every configuration); passing ``hierarchy`` reuses one
@@ -117,23 +201,28 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
 
     ``on_error="record"`` (default) turns failures into non-``ok``
     points; ``on_error="raise"`` propagates the first failure.
+    ``jobs > 1`` distributes points over a worker pool (same results,
+    same order).
     """
     names = sorted(grid)
-    result = SweepResult()
+    tasks = []
     for combo in itertools.product(*(list(grid[name]) for name in names)):
         overrides = dict(zip(names, combo))
-
-        def run(overrides=overrides):
-            core = replace(base, **overrides)
-            h = hierarchy_factory() if hierarchy_factory is not None \
-                else hierarchy
-            return simulate(prepared.function, [], prepared=prepared,
-                            core=core, num_tiles=num_tiles, hierarchy=h,
-                            max_cycles=max_cycles,
-                            wall_clock_limit=wall_clock_limit)
-
-        result.points.append(_run_point(overrides, run, on_error))
-    return result
+        core_overrides = dict(overrides)
+        plan = core_overrides.pop("plan", None)
+        spec = {
+            "core": replace(base, **core_overrides),
+            "num_tiles": num_tiles,
+            "max_cycles": max_cycles,
+            "wall_clock_limit": wall_clock_limit,
+            "plan": plan,
+        }
+        if hierarchy_factory is not None:
+            spec["hierarchy_factory"] = hierarchy_factory
+        else:
+            spec["hierarchy"] = hierarchy
+        tasks.append((overrides, spec))
+    return _execute_sweep(prepared, tasks, on_error, jobs)
 
 
 def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
@@ -141,23 +230,20 @@ def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
                     num_tiles: int = 1,
                     max_cycles: int = DEFAULT_MAX_CYCLES,
                     wall_clock_limit: Optional[float] = None,
-                    on_error: str = "record") -> SweepResult:
+                    on_error: str = "record",
+                    jobs: int = 1) -> SweepResult:
     """Simulate ``prepared`` under each named memory-hierarchy config."""
-    result = SweepResult()
-    for name, hierarchy in configurations.items():
-
-        def run(hierarchy=hierarchy):
-            return simulate(prepared.function, [], prepared=prepared,
-                            core=core, num_tiles=num_tiles,
-                            hierarchy=hierarchy, max_cycles=max_cycles,
-                            wall_clock_limit=wall_clock_limit)
-
-        result.points.append(_run_point({"hierarchy": name}, run, on_error))
-    return result
+    tasks = [({"hierarchy": name},
+              {"core": core, "num_tiles": num_tiles,
+               "hierarchy": hierarchy, "max_cycles": max_cycles,
+               "wall_clock_limit": wall_clock_limit})
+             for name, hierarchy in configurations.items()]
+    return _execute_sweep(prepared, tasks, on_error, jobs)
 
 
 def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
-               on_error: str = "record") -> SweepResult:
+               on_error: str = "record",
+               jobs: int = 1) -> SweepResult:
     """Simulate ``prepared`` once per named run configuration.
 
     Each value of ``runs`` is a dict of :func:`simulate` keyword
@@ -166,17 +252,5 @@ def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
     Failing runs are recorded (deadlock/timeout/fault/...) and the sweep
     continues — the acceptance scenario for resilient exploration.
     """
-    result = SweepResult()
-    for name, kwargs in runs.items():
-
-        def run(kwargs=kwargs):
-            kwargs = dict(kwargs)
-            plan = kwargs.pop("plan", None)
-            if plan is not None:
-                plan.validate()
-                kwargs["injector"] = FaultInjector(plan)
-            return simulate(prepared.function, [], prepared=prepared,
-                            **kwargs)
-
-        result.points.append(_run_point({"run": name}, run, on_error))
-    return result
+    tasks = [({"run": name}, dict(kwargs)) for name, kwargs in runs.items()]
+    return _execute_sweep(prepared, tasks, on_error, jobs)

@@ -49,6 +49,12 @@ class Cache:
         self.tracer = None
         self.trace_tid = 0
         self._sets = [_Set() for _ in range(config.num_sets)]
+        # geometry scalars hoisted off the config (num_sets is a derived
+        # property; the access path reads these every request)
+        self._num_sets = config.num_sets
+        self._line_bytes = config.line_bytes
+        self._latency = config.latency
+        self._mshr_entries = config.mshr_entries
         #: line -> list of waiting requests (MSHR)
         self._mshr: Dict[int, List[MemRequest]] = {}
         self._port_free = 0.0
@@ -63,9 +69,10 @@ class Cache:
         self._port_free = max(self._port_free, float(cycle)) + self._port_step
         self._charge_energy()
 
-        line = request.line(self.config.line_bytes)
-        set_index = line % self.config.num_sets
-        tag = line // self.config.num_sets
+        num_sets = self._num_sets
+        line = request.line(self._line_bytes)
+        set_index = line % num_sets
+        tag = line // num_sets
         cache_set = self._sets[set_index]
 
         if self._prefetcher is not None and not request.is_prefetch:
@@ -80,7 +87,7 @@ class Cache:
             if request.service_level is None:
                 # first level to hit classifies the request (attribution)
                 request.service_level = self.stats.name
-            self._respond(request, start + self.config.latency)
+            self._respond(request, start + self._latency)
             return
 
         # miss ---------------------------------------------------------
@@ -93,7 +100,7 @@ class Cache:
             self.stats.mshr_merges += 1
             waiting.append(request)
             return
-        if len(self._mshr) >= self.config.mshr_entries:
+        if len(self._mshr) >= self._mshr_entries:
             # MSHR full: retry next cycle (models back-pressure)
             self.scheduler.at(start + 1, lambda c, r=request: self.access(r, c))
             return
@@ -104,31 +111,32 @@ class Cache:
 
         self._mshr[line] = [request]
         fill = MemRequest(
-            line * self.config.line_bytes, self.config.line_bytes,
+            line * self._line_bytes, self._line_bytes,
             is_write=False, is_prefetch=request.is_prefetch,
             core_id=request.core_id)
         fill.callback = lambda c, f=fill, wr=request.is_write, st=start: \
             self._fill(f, wr, c, st)
-        self.next_access(fill, start + self.config.latency)
+        self.next_access(fill, start + self._latency)
 
     # ------------------------------------------------------------------
     def _fill(self, fill_request: MemRequest, was_write: bool, cycle: int,
               miss_cycle: int = 0) -> None:
-        line = fill_request.line(self.config.line_bytes)
+        line = fill_request.line(self._line_bytes)
         if self.tracer is not None:
             # span: the miss's full round trip until the line fills
             self.tracer.complete(
                 "cache", f"{self.stats.name} miss", miss_cycle, cycle,
                 self.trace_tid, {"line": line})
-        set_index = line % self.config.num_sets
-        tag = line // self.config.num_sets
+        num_sets = self._num_sets
+        set_index = line % num_sets
+        tag = line // num_sets
         cache_set = self._sets[set_index]
         if tag not in cache_set.lines:
             if len(cache_set.lines) >= self.config.associativity:
                 victim_tag, dirty = next(iter(cache_set.lines.items()))
                 del cache_set.lines[victim_tag]
                 if dirty:
-                    self._writeback(victim_tag * self.config.num_sets
+                    self._writeback(victim_tag * num_sets
                                     + set_index, cycle)
             cache_set.lines[tag] = False
         waiting = self._mshr.pop(line, [])

@@ -73,10 +73,10 @@ class DDGNode:
     #: retires once its address is ready; the write fires when the value
     #: token arrives from the execute slice's store-value queue.
     decoupled_store: bool = False
-
-    @property
-    def is_memory(self) -> bool:
-        return self.is_load or self.is_store
+    #: ``is_load or is_store``, materialized at build time — the timing
+    #: simulator reads this on every issue/complete, so it must be a
+    #: plain attribute, not a computed property
+    is_memory: bool = False
 
 
 @dataclass
@@ -178,4 +178,5 @@ def _make_node(inst: Instruction, bid: int) -> DDGNode:
         node.callee = inst.callee
         info = intrin.lookup(inst.callee)
         node.intrinsic_timing = info.timing if info else ""
+    node.is_memory = node.is_load or node.is_store
     return node

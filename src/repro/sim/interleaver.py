@@ -186,70 +186,98 @@ class Interleaver:
 
     # ------------------------------------------------------------------
     def run(self) -> SystemStats:
-        tiles = self.tiles
         scheduler = self.scheduler
         profiler = self.profiler
         perf = time.perf_counter
+        monotonic = time.monotonic
         if profiler is not None:
             profiler.start()
         cycle = 0
         deadline = None
         if self.wall_clock_limit is not None:
-            deadline = time.monotonic() + self.wall_clock_limit
+            deadline = monotonic() + self.wall_clock_limit
         iterations = 0
-        while True:
+        max_cycles = self.max_cycles
+        sched_next = scheduler.next_cycle
+        sched_run_due = scheduler.run_due
+        # the active set is maintained incrementally: tiles are pruned as
+        # they finish, never re-derived from scratch, and the attention
+        # minimum is taken over this (shrinking) set only
+        active = [t for t in self.tiles if not t.done]
+        while active:
             if deadline is not None:
                 iterations += 1
-                if (iterations & 63) == 0 and time.monotonic() > deadline:
+                if (iterations & 63) == 0 and monotonic() > deadline:
                     raise WatchdogTimeout(
                         f"wall-clock watchdog fired after "
                         f"{self.wall_clock_limit}s at cycle {cycle}")
-            active = [t for t in tiles if not t.done]
-            if not active:
-                break
             next_cycle = NEVER
-            event_cycle = scheduler.next_cycle()
+            event_cycle = sched_next()
             if event_cycle is not None:
                 next_cycle = event_cycle
             for tile in active:
-                if tile.next_attention < next_cycle:
-                    next_cycle = tile.next_attention
+                attention = tile.next_attention
+                if attention < next_cycle:
+                    next_cycle = attention
             if next_cycle >= NEVER:
                 self._raise_deadlock(cycle)
-            cycle = max(cycle, next_cycle)
-            if cycle > self.max_cycles:
-                raise CycleBudgetExceeded(
-                    f"simulation exceeded {self.max_cycles} cycles")
+            if next_cycle > cycle:
+                cycle = next_cycle
+                if cycle > max_cycles:
+                    raise CycleBudgetExceeded(
+                        f"simulation exceeded {max_cycles} cycles")
 
             # events first (memory responses, message deliveries), which
             # may wake tiles at this very cycle
             if profiler is None:
-                scheduler.run_due(cycle)
+                sched_run_due(cycle)
             else:
                 t0 = perf()
-                profiler.events += scheduler.run_due(cycle)
+                profiler.events += sched_run_due(cycle)
                 profiler.add("event_loop", perf() - t0)
                 t0 = perf()
             # then step every tile due at this cycle; stepping can wake
             # peers at the same cycle (e.g. a consume frees queue space),
             # so iterate to a fixed point
+            finished = False
+            steps = 0
             for _ in range(64):
+                # the watchdog is polled inside the fixed-point loop too
+                # (same & 63 stride), so a pathological same-cycle
+                # ping-pong cannot blow far past wall_clock_limit
+                if deadline is not None:
+                    iterations += 1
+                    if (iterations & 63) == 0 and monotonic() > deadline:
+                        raise WatchdogTimeout(
+                            f"wall-clock watchdog fired after "
+                            f"{self.wall_clock_limit}s at cycle {cycle}")
                 progressed = False
-                for tile in tiles:
-                    if not tile.done and tile.next_attention <= cycle:
+                for tile in active:
+                    if tile.next_attention <= cycle:
+                        if tile.done:
+                            # finished by an event callback (not its own
+                            # step): clear the stale wakeup so the min
+                            # scan never sees it again, and prune below
+                            tile.next_attention = NEVER
+                            finished = True
+                            continue
                         returned = tile.step(cycle)
                         if returned < tile.next_attention:
                             tile.next_attention = returned
                         progressed = True
-                        if profiler is not None:
-                            profiler.tile_steps += 1
+                        steps += 1
+                        if tile.done:
+                            finished = True
                 if not progressed:
                     break
             else:  # pragma: no cover - indicates a livelock bug
                 raise SimulationError(
                     f"tiles did not reach a fixed point at cycle {cycle}")
             if profiler is not None:
+                profiler.tile_steps += steps
                 profiler.add("tile_step", perf() - t0)
+            if finished:
+                active = [t for t in active if not t.done]
         return self._collect(cycle)
 
     # ------------------------------------------------------------------
@@ -309,6 +337,12 @@ class Interleaver:
             self.attribution.finalize(stats, self.tiles, self.accelerators,
                                       self.memory)
         if self.profiler is not None:
+            # fast-path counters: how often the scheduler drained through
+            # its monomorphic (no-cancellable-entries) loop
+            self.profiler.counters["scheduler_fast_drains"] = \
+                self.scheduler.fast_drains
+            self.profiler.counters["scheduler_slow_drains"] = \
+                self.scheduler.slow_drains
             self.profiler.finish(cycle, stats.instructions)
         return stats
 

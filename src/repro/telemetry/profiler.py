@@ -43,6 +43,9 @@ class ProfileReport:
     events: int = 0
     tile_steps: int = 0
     instructions: int = 0
+    #: fast-path hit counters (e.g. scheduler monomorphic drains) — see
+    #: docs/performance.md for the meaning of each key
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
@@ -70,6 +73,7 @@ class ProfileReport:
             "events_per_second": self.events_per_second,
             "cycles_per_second": self.cycles_per_second,
             "mips": self.mips,
+            "counters": dict(self.counters),
         }
 
     def summary(self) -> str:
@@ -102,6 +106,9 @@ class SelfProfiler:
         self._buckets: Dict[str, float] = {phase: 0.0 for phase in PHASES}
         self.events = 0
         self.tile_steps = 0
+        #: fast-path hit counters filled in by the Interleaver at collect
+        #: time (cheap: subsystems count unconditionally, ints only)
+        self.counters: Dict[str, int] = {}
         self._started_at: Optional[float] = None
         self.report: Optional[ProfileReport] = None
 
@@ -127,7 +134,7 @@ class SelfProfiler:
         self.report = ProfileReport(
             wall_seconds=wall, phases=buckets, cycles=cycles,
             events=self.events, tile_steps=self.tile_steps,
-            instructions=instructions)
+            instructions=instructions, counters=dict(self.counters))
         return self.report
 
 

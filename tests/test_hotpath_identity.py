@@ -1,0 +1,48 @@
+"""Hot-path identity: the optimized cycle engine is a pure speedup.
+
+The interleaver/scheduler/core-model hot paths (docs/performance.md)
+carry a determinism contract: every optimization must leave simulated
+behavior bit-identical. This test pins the contract to numbers — the
+cycle and instruction counts of all 11 Parboil kernels on the ooo/dae
+reference system, captured in ``BENCH_cycle_identity.json`` *before*
+the hot paths were rewritten. Any divergence means an optimization
+changed simulated time, not just wall-clock time.
+
+Regenerate the baseline (only when simulated behavior is *meant* to
+change, e.g. a timing-model fix) by deleting the JSON and running
+``tests/test_hotpath_identity.py --regenerate-identity``... there is no
+such flag on purpose: rewrite the file by hand from this test's failure
+output so the change is deliberate and reviewed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import dae_hierarchy, ooo_core, prepare, simulate
+from repro.workloads import build_parboil
+
+BASELINE_PATH = (Path(__file__).parent.parent
+                 / "benchmarks" / "results" / "BENCH_cycle_identity.json")
+BASELINE = json.loads(BASELINE_PATH.read_text())
+
+
+def test_baseline_covers_all_parboil_kernels():
+    from repro.workloads import PARBOIL
+    assert sorted(BASELINE["kernels"]) == sorted(PARBOIL)
+    assert BASELINE["core"] == "ooo" and BASELINE["hierarchy"] == "dae"
+
+
+@pytest.mark.parametrize("kernel", sorted(BASELINE["kernels"]))
+def test_cycle_counts_match_seed_baseline(kernel):
+    expected = BASELINE["kernels"][kernel]
+    w = build_parboil(kernel)
+    prepared = prepare(w.kernel, w.args, memory=w.memory)
+    stats = simulate(w.kernel, w.args, prepared=prepared, core=ooo_core(),
+                     hierarchy=dae_hierarchy())
+    w.verify()
+    assert (stats.cycles, stats.instructions) \
+        == (expected["cycles"], expected["instructions"]), (
+        f"{kernel}: optimized engine diverged from the seed baseline — "
+        f"a hot-path change altered simulated behavior")

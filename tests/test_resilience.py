@@ -350,7 +350,9 @@ class TestCancellableEvents:
         scheduler.at(5, lambda c: fired.append(-c))
         handle.cancel()
         scheduler.run_due(10)
-        assert fired == [-10]
+        # the surviving callback receives its *stamped* cycle (5), not
+        # the cycle the drain ran at (10)
+        assert fired == [-5]
 
     def test_pending_and_next_cycle_skip_cancelled(self):
         scheduler = Scheduler()
@@ -361,6 +363,44 @@ class TestCancellableEvents:
         first.cancel()
         assert scheduler.pending == 1
         assert scheduler.next_cycle() == 7
+
+
+class TestStampedCycle:
+    """Regression tests for the cycle-stamp skew bug: ``run_due`` used to
+    invoke every past-due callback with the *drain* cycle, silently
+    shifting completion times whenever an event was scheduled behind the
+    cycle the Interleaver later drained at."""
+
+    def test_past_due_event_fires_with_its_own_cycle(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(3, fired.append)  # behind the eventual drain cycle
+        scheduler.at(7, fired.append)
+        scheduler.run_due(10)
+        assert fired == [3, 7], "callbacks must see their stamped cycle"
+
+    def test_slow_path_stamps_too(self):
+        # a live cancellable forces the len-4-tuple (slow) drain path
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at_cancellable(2, lambda c: fired.append(("c", c)))
+        scheduler.at(5, lambda c: fired.append(("p", c)))
+        scheduler.run_due(9)
+        assert fired == [("c", 2), ("p", 5)]
+
+    def test_callback_scheduling_in_the_past_lands_next_drain(self):
+        scheduler = Scheduler()
+        fired = []
+
+        def reschedule(cycle):
+            # schedules behind the drain cycle: must still fire with
+            # its own stamp on the next drain
+            scheduler.at(cycle + 1, fired.append)
+
+        scheduler.at(4, reschedule)
+        scheduler.run_due(10)
+        scheduler.run_due(10)
+        assert fired == [5]
 
 
 SPMV = ["spmv", "--size", "rows=16", "--size", "cols=16"]
@@ -374,6 +414,19 @@ class TestCLI:
     def test_budget_failure_exits_nonzero(self, capsys):
         assert main(["simulate"] + SPMV + ["--max-cycles", "10"]) == 2
         assert "exceeded" in capsys.readouterr().err
+
+    def test_simulate_sweep_renders_point_table(self, capsys):
+        assert main(["simulate"] + SPMV
+                    + ["--sweep", "issue_width=1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 point(s)" in out and "outcomes: ok:2" in out
+
+    def test_inject_sweep_fans_plan_over_seeds(self, capsys):
+        assert main(["inject"] + SPMV
+                    + ["--bitflip-rate", "0.1",
+                       "--sweep", "seed=0,1"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=0" in out and "seed=1" in out
 
     def test_supervised_failure_exits_nonzero(self, capsys):
         assert main(["simulate"] + SPMV

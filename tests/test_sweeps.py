@@ -7,7 +7,9 @@ from repro.harness import (
     dae_hierarchy, prepare, sweep_core, sweep_hierarchy, xeon_hierarchy,
 )
 from repro.ir import F64
+from repro.resilience import FaultPlan
 from repro.sim.config import CoreConfig
+from repro.telemetry import stats_to_dict
 from repro.trace import SimMemory
 
 from . import kernels
@@ -57,6 +59,54 @@ class TestSweepCore:
         second = sweep_core(prepared, BASE, {"issue_width": [2]},
                             hierarchy_factory=dae_hierarchy)
         assert first.points[0].cycles == second.points[0].cycles
+
+
+class TestParallelSweeps:
+    """The determinism contract: a sweep on a worker pool returns the
+    same points, in the same order, with bit-identical per-point reports
+    — including points that fail (deadlock) or run under a FaultPlan."""
+
+    @staticmethod
+    def _fingerprint(point):
+        stats = (stats_to_dict(point.stats)
+                 if point.stats is not None else None)
+        return (point.parameters, point.outcome, point.error, stats)
+
+    def test_serial_and_jobs4_are_bit_identical(self):
+        # 8 points: 2 issue widths x 4 fault scenarios. drop-everything
+        # deadlocks ping_pong (the tiles wait on messages that never
+        # arrive); delay-everything and bitflips complete with the fault
+        # machinery engaged; None is the clean baseline.
+        prepared = prepare(kernels.ping_pong, [16], num_tiles=2)
+        grid = {
+            "issue_width": [1, 2],
+            "plan": [
+                None,
+                FaultPlan(seed=1, message_delay_rate=1.0),
+                FaultPlan(seed=2, message_drop_rate=1.0),
+                FaultPlan(seed=3, bitflip_load_rate=0.5),
+            ],
+        }
+
+        def run(jobs):
+            return sweep_core(prepared, CoreConfig(), grid,
+                              hierarchy_factory=dae_hierarchy,
+                              num_tiles=2, jobs=jobs)
+
+        serial, parallel = run(1), run(4)
+        assert len(serial.points) == 8
+        assert serial.outcomes() == {"ok": 6, "deadlock": 2}
+        assert ([self._fingerprint(p) for p in serial.points]
+                == [self._fingerprint(p) for p in parallel.points])
+
+    def test_on_error_raise_stays_serial_and_propagates(self):
+        from repro.sim.errors import DeadlockError
+        prepared = prepare(kernels.ping_pong, [16], num_tiles=2)
+        with pytest.raises(DeadlockError):
+            sweep_core(prepared, CoreConfig(),
+                       {"plan": [FaultPlan(message_drop_rate=1.0)]},
+                       hierarchy_factory=dae_hierarchy, num_tiles=2,
+                       on_error="raise", jobs=4)
 
 
 class TestSweepHierarchy:
