@@ -8,7 +8,11 @@ Commands
   (``--trace``/``--metrics``/``--profile``/``--stats-json`` attach the
   observability layer, see ``docs/observability.md``; ``--sweep
   FIELD=V1,V2`` + ``--jobs N`` fan a core-config grid out over a worker
-  pool, see ``docs/performance.md``);
+  pool, see ``docs/performance.md``; ``--checkpoint FILE`` autosaves a
+  resumable snapshot every ``--checkpoint-every`` cycles and
+  ``--resume FILE`` continues a killed run bit-identically, while
+  ``--journal FILE`` + ``--resume-sweep`` make sweeps
+  crash-recoverable, see ``docs/resilience.md``);
 * ``characterize [workload ...]`` — Figure 6-style IPC table;
 * ``dae <workload>`` — slice a kernel and simulate DAE pairs;
 * ``trace <workload> -o FILE`` — generate and save dynamic traces;
@@ -30,14 +34,14 @@ from typing import Dict, List, Optional, Sequence
 
 from .frontend import compile_kernel
 from .harness import (
-    DEFAULT_MAX_CYCLES, dae_hierarchy, inorder_core, ooo_core, prepare,
-    prepare_dae_sliced, render_table, run_supervised, simulate, simulate_dae,
-    xeon_core, xeon_hierarchy,
+    DEFAULT_MAX_CYCLES, build_system, dae_hierarchy, graceful_interrupts,
+    inorder_core, ooo_core, prepare, prepare_dae_sliced, render_table,
+    run_supervised, simulate, simulate_dae, xeon_core, xeon_hierarchy,
 )
 from .ir import format_function
 from .resilience import FaultPlan
 from .sim.config import ConfigError
-from .sim.errors import DeadlockError, SimulationError
+from .sim.errors import DeadlockError, SimulationError, SimulationInterrupted
 from .trace import save_traces
 from .workloads import PARBOIL, build_parboil
 from .workloads.graphproj import build as _build_graphproj
@@ -100,6 +104,36 @@ def _hierarchy(name: str):
     return factory() if factory is not None else None
 
 
+# -- checkpoint/resume path (simulate/inject/analyze --resume) ----------------
+
+def _checkpoint_sink(args):
+    """Build the autosave sink ``--checkpoint`` asks for (None without)."""
+    if not getattr(args, "checkpoint", None):
+        return None
+    from .checkpoint import CheckpointSink
+    return CheckpointSink(args.checkpoint, args.checkpoint_every,
+                          keep=args.checkpoint_keep)
+
+
+def _resume_run(args):
+    """Shared ``--resume`` path: restore the snapshot, apply budget and
+    sink overrides, and run it to completion (gracefully interruptible
+    again). Returns (stats, interleaver)."""
+    from .checkpoint import load_checkpoint
+    restored = load_checkpoint(args.resume)
+    interleaver = restored.interleaver
+    interleaver.max_cycles = args.max_cycles
+    if getattr(args, "timeout", None) is not None:
+        interleaver.wall_clock_limit = args.timeout
+    sink = _checkpoint_sink(args)
+    if sink is not None:
+        interleaver.checkpoint = sink
+    print(f"resuming {args.resume} from cycle {restored.cycle}")
+    with graceful_interrupts(interleaver):
+        stats = interleaver.run()
+    return stats, interleaver
+
+
 # -- sweep path (simulate/inject/analyze --sweep) -----------------------------
 
 def _parse_sweep_value(text: str):
@@ -137,6 +171,9 @@ def _run_core_sweep(args, core, hierarchy, plan=None,
         seeds = grid.pop("seed", None)
         grid["plan"] = ([replace(plan, seed=int(s)) for s in seeds]
                         if seeds else [plan])
+    if args.resume_sweep and not args.journal:
+        raise SystemExit("--resume-sweep needs --journal FILE to "
+                         "resume from")
     workload = _build(args.workload, args.size)
     prepared = prepare(workload.kernel, workload.args,
                        num_tiles=args.tiles, memory=workload.memory)
@@ -144,7 +181,8 @@ def _run_core_sweep(args, core, hierarchy, plan=None,
         result = sweep_core(
             prepared, core, grid, hierarchy=hierarchy,
             num_tiles=args.tiles, max_cycles=args.max_cycles,
-            wall_clock_limit=wall_clock_limit, jobs=args.jobs)
+            wall_clock_limit=wall_clock_limit, jobs=args.jobs,
+            journal_path=args.journal, resume=args.resume_sweep)
     except TypeError as exc:
         raise SystemExit(f"bad --sweep grid: {exc}")
     for point in result.points:
@@ -208,18 +246,42 @@ def cmd_simulate(args) -> int:
                  else _hierarchy(args.hierarchy))
     if args.sweep:
         if args.trace or args.metrics or args.stats_json or args.profile \
-                or args.retries:
+                or args.retries or args.resume or args.checkpoint:
             print("--sweep is incompatible with --trace/--metrics/"
-                  "--stats-json/--profile/--retries", file=sys.stderr)
+                  "--stats-json/--profile/--retries/--checkpoint/--resume",
+                  file=sys.stderr)
             return 2
         result = _run_core_sweep(args, core, hierarchy,
                                  wall_clock_limit=args.timeout)
         return 0 if any(p.ok for p in result.points) else 2
+    if args.resume:
+        if args.retries or args.profile:
+            print("--resume is incompatible with --retries/--profile",
+                  file=sys.stderr)
+            return 2
+        # the workload already ran functionally before the original
+        # run's snapshot, so verify() is deliberately skipped here
+        stats, interleaver = _resume_run(args)
+        tracer = interleaver.tracer
+        profile = None
+        print(f"workload: {args.workload} (resumed)")
+        print(stats.summary())
+        if tracer is not None and args.trace:
+            tracer.write(args.trace, frequency_ghz=stats.frequency_ghz)
+            print(f"trace: {len(tracer.events())} event(s) -> {args.trace}")
+        if args.metrics:
+            write_stats_json(stats, args.metrics)
+            print(f"metrics: -> {args.metrics}")
+        if args.stats_json:
+            write_stats_json(stats, args.stats_json)
+            print(f"stats: -> {args.stats_json}")
+        return 0
     workload = _build(args.workload, args.size)
     accelerators = _detect_accelerators(workload.kernel)
     tracer = Tracer() if args.trace else None
     metrics = MetricsRegistry() if args.metrics else None
     profiler = SelfProfiler() if args.profile else None
+    checkpoint = _checkpoint_sink(args)
     if args.retries > 0:
         outcome = run_supervised(
             workload.kernel, workload.args, core=core,
@@ -227,20 +289,25 @@ def cmd_simulate(args) -> int:
             accelerators=accelerators,
             max_cycles=args.max_cycles, wall_clock_limit=args.timeout,
             retries=args.retries, tracer=tracer, metrics=metrics,
-            profiler=profiler)
+            profiler=profiler, checkpoint=checkpoint)
         if not outcome.ok:
             print(f"run failed: {outcome.status} after {outcome.attempts} "
                   f"attempt(s): {outcome.error}", file=sys.stderr)
+            if outcome.checkpoint_path:
+                print(f"resume with --resume {outcome.checkpoint_path}",
+                      file=sys.stderr)
             return 2
         stats = outcome.stats
         profile = outcome.profile
     else:
-        stats = simulate(workload.kernel, workload.args, core=core,
-                         num_tiles=args.tiles, hierarchy=hierarchy,
-                         accelerators=accelerators,
-                         max_cycles=args.max_cycles,
-                         wall_clock_limit=args.timeout, tracer=tracer,
-                         metrics=metrics, profiler=profiler)
+        interleaver = build_system(
+            workload.kernel, workload.args, core=core,
+            num_tiles=args.tiles, hierarchy=hierarchy,
+            accelerators=accelerators, max_cycles=args.max_cycles,
+            wall_clock_limit=args.timeout, tracer=tracer,
+            metrics=metrics, profiler=profiler, checkpoint=checkpoint)
+        with graceful_interrupts(interleaver):
+            stats = interleaver.run()
         profile = profiler.report if profiler is not None else None
     workload.verify()
     print(f"workload: {workload.name}  system: {args.tiles}x {core.name} "
@@ -348,7 +415,27 @@ def cmd_analyze(args) -> int:
     from .telemetry import (
         Attributor, stats_to_dict, validate_report, write_stats_json,
     )
-    if args.report:
+    if args.resume:
+        if args.report:
+            print("analyze takes --resume or --report, not both",
+                  file=sys.stderr)
+            return 2
+        # attribution must have been attached to the original
+        # (checkpointed) run; the restored ledgers finish seamlessly
+        stats, _ = _resume_run(args)
+        document = stats_to_dict(stats)
+        try:
+            validate_report(document)
+        except ValueError as exc:
+            print(f"resumed run has no analyzable report ({exc}); "
+                  f"checkpoint a run started with attribution (e.g. "
+                  f"analyze <workload> --checkpoint ...)", file=sys.stderr)
+            return 2
+        if args.json:
+            write_stats_json(stats, args.json)
+            print(f"report: -> {args.json}")
+        source = f"{args.resume} (resumed)"
+    elif args.report:
         if args.workload:
             print("analyze takes a workload or --report FILE, not both",
                   file=sys.stderr)
@@ -373,7 +460,8 @@ def cmd_analyze(args) -> int:
                                  execute_core=inorder_core(),
                                  hierarchy=_hierarchy(args.hierarchy),
                                  max_cycles=args.max_cycles,
-                                 attribution=attribution)
+                                 attribution=attribution,
+                                 checkpoint=_checkpoint_sink(args))
         else:
             core = _core(args.core)
             if args.sweep:
@@ -390,7 +478,8 @@ def cmd_analyze(args) -> int:
                 workload.kernel, workload.args, core=core,
                 num_tiles=args.tiles, hierarchy=_hierarchy(args.hierarchy),
                 accelerators=_detect_accelerators(workload.kernel),
-                max_cycles=args.max_cycles, attribution=attribution)
+                max_cycles=args.max_cycles, attribution=attribution,
+                checkpoint=_checkpoint_sink(args))
         document = stats_to_dict(stats)
         validate_report(document)  # self-check before rendering
         if args.json:
@@ -426,6 +515,18 @@ def cmd_diff(args) -> int:
 def cmd_inject(args) -> int:
     """Fault-injection campaign: run a workload under a deterministic
     FaultPlan, under supervision, and report faults + outcome."""
+    if args.resume:
+        from .checkpoint import find_injector
+        # the restored graph carries the fault injector (and its RNG
+        # streams) mid-campaign; plan flags on the command line are
+        # ignored on resume
+        stats, interleaver = _resume_run(args)
+        injector = find_injector(interleaver)
+        faults = len(injector.log) if injector is not None else 0
+        print(f"workload: {args.workload} (resumed)  "
+              f"faults injected: {faults}")
+        print(stats.summary())
+        return 0
     plan = FaultPlan(
         seed=args.seed,
         bitflip_load_rate=args.bitflip_rate,
@@ -451,7 +552,8 @@ def cmd_inject(args) -> int:
         core=_core(args.core), num_tiles=args.tiles,
         hierarchy=_hierarchy(args.hierarchy),
         max_cycles=args.max_cycles, wall_clock_limit=args.timeout,
-        retries=args.retries, fresh=fresh)
+        retries=args.retries, fresh=fresh,
+        checkpoint=_checkpoint_sink(args))
     print(f"workload: {workload.name}  plan: seed={plan.seed} "
           f"bitflip={plan.bitflip_load_rate} drop={plan.message_drop_rate} "
           f"delay={plan.message_delay_rate} "
@@ -471,6 +573,9 @@ def cmd_inject(args) -> int:
         print(outcome.stats.summary())
         return 0
     print(f"error: {outcome.error}", file=sys.stderr)
+    if outcome.checkpoint_path:
+        print(f"resume with --resume {outcome.checkpoint_path}",
+              file=sys.stderr)
     return 2
 
 
@@ -572,10 +677,34 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="worker processes for sweep points "
                               "(1 = serial; only used with --sweep)")
+        sub.add_argument("--journal", metavar="FILE",
+                         help="append completed sweep points to a JSONL "
+                              "journal as they finish (crash-recoverable)")
+        sub.add_argument("--resume-sweep", action="store_true",
+                         dest="resume_sweep",
+                         help="skip points already recorded in --journal "
+                              "and restore their results bit-identically")
         return sub
 
-    sim = with_sweep(with_supervision(with_workload(commands.add_parser(
-        "simulate", help="simulate a workload on a system preset"))))
+    def with_checkpoint(sub):
+        sub.add_argument("--checkpoint", metavar="FILE",
+                         help="autosave a resumable snapshot to FILE "
+                              "(atomic; last --checkpoint-keep kept)")
+        sub.add_argument("--checkpoint-every", type=int, default=500_000,
+                         metavar="N", dest="checkpoint_every",
+                         help="simulated cycles between autosaves "
+                              "(default 500000; with --checkpoint)")
+        sub.add_argument("--checkpoint-keep", type=int, default=2,
+                         metavar="K", dest="checkpoint_keep",
+                         help="rotated snapshots to keep (default 2)")
+        sub.add_argument("--resume", metavar="FILE",
+                         help="resume a checkpointed run instead of "
+                              "starting fresh")
+        return sub
+
+    sim = with_checkpoint(with_sweep(with_supervision(with_workload(
+        commands.add_parser(
+            "simulate", help="simulate a workload on a system preset")))))
     sim.add_argument("--core", default="ooo", choices=sorted(CORES))
     sim.add_argument("--tiles", type=int, default=1)
     sim.add_argument("--hierarchy", default="dae",
@@ -600,8 +729,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "per phase, events/sec)")
     sim.set_defaults(func=cmd_simulate)
 
-    inject = with_sweep(with_supervision(with_workload(commands.add_parser(
-        "inject", help="run a deterministic fault-injection campaign"))))
+    inject = with_checkpoint(with_sweep(with_supervision(with_workload(
+        commands.add_parser(
+            "inject",
+            help="run a deterministic fault-injection campaign")))))
     inject.add_argument("--core", default="ooo", choices=sorted(CORES))
     inject.add_argument("--tiles", type=int, default=1)
     inject.add_argument("--hierarchy", default="dae",
@@ -691,6 +822,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--top", type=int, default=3,
                          help="bottleneck categories to rank")
     with_sweep(analyze)
+    with_checkpoint(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     diff = commands.add_parser(
@@ -711,11 +843,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except SystemExit:
         raise
+    except SimulationInterrupted as exc:
+        # graceful SIGINT/SIGTERM: a final checkpoint was flushed (when a
+        # sink was armed) and the message carries the resume hint
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 128 + exc.signum
     except DeadlockError as exc:
         print(f"deadlock: {exc}", file=sys.stderr)
         return 2
     except SimulationError as exc:
         print(f"simulation error: {exc}", file=sys.stderr)
+        if getattr(exc, "checkpoint_path", None):
+            print(f"resume with --resume {exc.checkpoint_path}",
+                  file=sys.stderr)
         return 2
     except (ConfigError, ConfigFileError) as exc:
         print(f"configuration error: {exc}", file=sys.stderr)

@@ -11,12 +11,14 @@ from .reporting import (
 )
 from .runner import (
     DAEPairSpec, DEFAULT_MAX_CYCLES, FaultedRun, Prepared, RunOutcome,
-    classify_failure, prepare, prepare_dae, prepare_dae_sliced,
+    build_dae, build_heterogeneous, build_system, classify_failure,
+    graceful_interrupts, prepare, prepare_dae, prepare_dae_sliced,
     run_supervised, run_with_faults, simulate, simulate_dae,
     simulate_heterogeneous,
 )
 from .sweeps import (
-    SweepPoint, SweepResult, sweep_core, sweep_hierarchy, sweep_runs,
+    SweepJournal, SweepPoint, SweepResult, sweep_core, sweep_hierarchy,
+    sweep_runs,
 )
 from .simspeed import (
     BENCH_SCHEMA_VERSION, PAPER_MIPS, SpeedReport,
@@ -35,11 +37,12 @@ __all__ = [
     "geomean", "render_attribution_report", "render_bars",
     "render_report_diff", "render_table", "render_timeline",
     "DAEPairSpec", "DEFAULT_MAX_CYCLES", "FaultedRun", "Prepared",
-    "RunOutcome", "classify_failure", "prepare", "prepare_dae",
+    "RunOutcome", "build_dae", "build_heterogeneous", "build_system",
+    "classify_failure", "graceful_interrupts", "prepare", "prepare_dae",
     "prepare_dae_sliced", "run_supervised", "run_with_faults", "simulate",
     "simulate_dae", "simulate_heterogeneous",
-    "SweepPoint", "SweepResult", "sweep_core", "sweep_hierarchy",
-    "sweep_runs",
+    "SweepJournal", "SweepPoint", "SweepResult", "sweep_core",
+    "sweep_hierarchy", "sweep_runs",
     "BENCH_SCHEMA_VERSION", "PAPER_MIPS", "SpeedReport",
     "measure_simulation_speed", "measure_sweep_scaling",
     "trace_footprint_bytes", "write_bench_json",

@@ -14,6 +14,8 @@ generate memory and control flow path traces"):
 
 from __future__ import annotations
 
+import contextlib
+import signal as _signal
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
@@ -30,7 +32,7 @@ from ..sim.config import ConfigError, CoreConfig, MemoryHierarchyConfig
 from ..sim.core.model import CoreTile
 from ..sim.errors import (
     AcceleratorFaultError, CycleBudgetExceeded, DeadlockError,
-    SimulationError, WatchdogTimeout,
+    SimulationError, SimulationInterrupted, WatchdogTimeout,
 )
 from ..sim.events import Scheduler
 from ..sim.interleaver import Interleaver
@@ -88,26 +90,25 @@ def prepare(kernel: Kernel, args: Sequence, *, num_tiles: int = 1,
     return Prepared(func, build_ddg(func), traces, mem)
 
 
-def simulate(kernel: Kernel, args: Sequence, *,
-             core: Optional[CoreConfig] = None,
-             num_tiles: int = 1,
-             hierarchy: Optional[MemoryHierarchyConfig] = None,
-             accelerators: Optional[AcceleratorFarm] = None,
-             memory: Optional[SimMemory] = None,
-             frequency_ghz: Optional[float] = None,
-             prepared: Optional[Prepared] = None,
-             max_cycles: int = DEFAULT_MAX_CYCLES,
-             wall_clock_limit: Optional[float] = None,
-             injector: Optional[FaultInjector] = None,
-             tracer=None, metrics=None, profiler=None,
-             attribution=None) -> SystemStats:
-    """One-stop homogeneous simulation: ``num_tiles`` copies of ``core``
-    running the SPMD kernel over a shared memory hierarchy.
+def build_system(kernel: Kernel, args: Sequence, *,
+                 core: Optional[CoreConfig] = None,
+                 num_tiles: int = 1,
+                 hierarchy: Optional[MemoryHierarchyConfig] = None,
+                 accelerators: Optional[AcceleratorFarm] = None,
+                 memory: Optional[SimMemory] = None,
+                 frequency_ghz: Optional[float] = None,
+                 prepared: Optional[Prepared] = None,
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 wall_clock_limit: Optional[float] = None,
+                 injector: Optional[FaultInjector] = None,
+                 tracer=None, metrics=None, profiler=None,
+                 attribution=None, checkpoint=None) -> Interleaver:
+    """Build (without running) the homogeneous system :func:`simulate`
+    would run: ``num_tiles`` copies of ``core`` over a shared hierarchy.
 
-    ``injector`` wires timing-level fault injection (fabric, DRAM,
-    accelerators) into the run; ``wall_clock_limit`` arms the watchdog.
-    ``tracer``/``metrics``/``profiler``/``attribution`` attach the
-    telemetry layer (see ``docs/observability.md``); all default to off.
+    The build/run split is what checkpoint tests and the graceful-
+    interrupt path hang off: the returned Interleaver can be armed for
+    signals, run under a cycle budget, snapshotted, and resumed.
     """
     core = core if core is not None else CoreConfig()
     core.validate()
@@ -134,37 +135,62 @@ def simulate(kernel: Kernel, args: Sequence, *,
                         prepared.traces[t])
         tile.barrier_group_size = num_tiles
         tiles.append(tile)
-    interleaver = Interleaver(tiles, memory=memsys, fabric=fabric,
-                              accelerators=accelerators,
-                              frequency_ghz=freq, max_cycles=max_cycles,
-                              scheduler=scheduler,
-                              wall_clock_limit=wall_clock_limit,
-                              tracer=tracer, metrics=metrics,
-                              profiler=profiler, attribution=attribution)
-    return interleaver.run()
+    return Interleaver(tiles, memory=memsys, fabric=fabric,
+                       accelerators=accelerators,
+                       frequency_ghz=freq, max_cycles=max_cycles,
+                       scheduler=scheduler,
+                       wall_clock_limit=wall_clock_limit,
+                       tracer=tracer, metrics=metrics,
+                       profiler=profiler, attribution=attribution,
+                       checkpoint=checkpoint)
 
 
-def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
-                           cores: Sequence[CoreConfig],
-                           hierarchy: Optional[MemoryHierarchyConfig] = None,
-                           accelerators: Optional[AcceleratorFarm] = None,
-                           memory: Optional[SimMemory] = None,
-                           prepared: Optional[Prepared] = None,
-                           max_cycles: int = DEFAULT_MAX_CYCLES,
-                           wall_clock_limit: Optional[float] = None,
-                           injector: Optional[FaultInjector] = None,
-                           tracer=None, metrics=None, profiler=None,
-                           attribution=None) -> SystemStats:
-    """Heterogeneous SPMD simulation: one tile per entry of ``cores``,
-    each with its own microarchitecture and clock (paper §II: "MosaicSim
-    can simulate more heterogeneous processors by providing, and hence
-    interleaving, more diverse models"; "tiles may run at different clock
-    speeds, so the Interleaver queries and coordinates their events
-    accordingly").
+def simulate(kernel: Kernel, args: Sequence, *,
+             core: Optional[CoreConfig] = None,
+             num_tiles: int = 1,
+             hierarchy: Optional[MemoryHierarchyConfig] = None,
+             accelerators: Optional[AcceleratorFarm] = None,
+             memory: Optional[SimMemory] = None,
+             frequency_ghz: Optional[float] = None,
+             prepared: Optional[Prepared] = None,
+             max_cycles: int = DEFAULT_MAX_CYCLES,
+             wall_clock_limit: Optional[float] = None,
+             injector: Optional[FaultInjector] = None,
+             tracer=None, metrics=None, profiler=None,
+             attribution=None, checkpoint=None) -> SystemStats:
+    """One-stop homogeneous simulation: ``num_tiles`` copies of ``core``
+    running the SPMD kernel over a shared memory hierarchy.
 
-    The global clock is the fastest tile's; slower tiles get proportional
-    periods (rounded to whole global cycles).
+    ``injector`` wires timing-level fault injection (fabric, DRAM,
+    accelerators) into the run; ``wall_clock_limit`` arms the watchdog.
+    ``tracer``/``metrics``/``profiler``/``attribution`` attach the
+    telemetry layer (see ``docs/observability.md``); ``checkpoint`` (a
+    :class:`~repro.checkpoint.CheckpointSink`) arms periodic autosave
+    (see ``docs/resilience.md``). All default to off.
     """
+    return build_system(
+        kernel, args, core=core, num_tiles=num_tiles, hierarchy=hierarchy,
+        accelerators=accelerators, memory=memory,
+        frequency_ghz=frequency_ghz, prepared=prepared,
+        max_cycles=max_cycles, wall_clock_limit=wall_clock_limit,
+        injector=injector, tracer=tracer, metrics=metrics,
+        profiler=profiler, attribution=attribution,
+        checkpoint=checkpoint).run()
+
+
+def build_heterogeneous(kernel: Kernel, args: Sequence, *,
+                        cores: Sequence[CoreConfig],
+                        hierarchy: Optional[MemoryHierarchyConfig] = None,
+                        accelerators: Optional[AcceleratorFarm] = None,
+                        memory: Optional[SimMemory] = None,
+                        prepared: Optional[Prepared] = None,
+                        max_cycles: int = DEFAULT_MAX_CYCLES,
+                        wall_clock_limit: Optional[float] = None,
+                        injector: Optional[FaultInjector] = None,
+                        tracer=None, metrics=None, profiler=None,
+                        attribution=None, checkpoint=None) -> Interleaver:
+    """Build (without running) the heterogeneous system
+    :func:`simulate_heterogeneous` would run."""
     if not cores:
         raise ValueError("simulate_heterogeneous needs at least one core")
     for c in cores:
@@ -193,14 +219,44 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
                         prepared.traces[index], period=period)
         tile.barrier_group_size = num_tiles
         tiles.append(tile)
-    interleaver = Interleaver(tiles, memory=memsys, fabric=fabric,
-                              accelerators=accelerators,
-                              frequency_ghz=fastest, max_cycles=max_cycles,
-                              scheduler=scheduler,
-                              wall_clock_limit=wall_clock_limit,
-                              tracer=tracer, metrics=metrics,
-                              profiler=profiler, attribution=attribution)
-    return interleaver.run()
+    return Interleaver(tiles, memory=memsys, fabric=fabric,
+                       accelerators=accelerators,
+                       frequency_ghz=fastest, max_cycles=max_cycles,
+                       scheduler=scheduler,
+                       wall_clock_limit=wall_clock_limit,
+                       tracer=tracer, metrics=metrics,
+                       profiler=profiler, attribution=attribution,
+                       checkpoint=checkpoint)
+
+
+def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
+                           cores: Sequence[CoreConfig],
+                           hierarchy: Optional[MemoryHierarchyConfig] = None,
+                           accelerators: Optional[AcceleratorFarm] = None,
+                           memory: Optional[SimMemory] = None,
+                           prepared: Optional[Prepared] = None,
+                           max_cycles: int = DEFAULT_MAX_CYCLES,
+                           wall_clock_limit: Optional[float] = None,
+                           injector: Optional[FaultInjector] = None,
+                           tracer=None, metrics=None, profiler=None,
+                           attribution=None, checkpoint=None) -> SystemStats:
+    """Heterogeneous SPMD simulation: one tile per entry of ``cores``,
+    each with its own microarchitecture and clock (paper §II: "MosaicSim
+    can simulate more heterogeneous processors by providing, and hence
+    interleaving, more diverse models"; "tiles may run at different clock
+    speeds, so the Interleaver queries and coordinates their events
+    accordingly").
+
+    The global clock is the fastest tile's; slower tiles get proportional
+    periods (rounded to whole global cycles).
+    """
+    return build_heterogeneous(
+        kernel, args, cores=cores, hierarchy=hierarchy,
+        accelerators=accelerators, memory=memory, prepared=prepared,
+        max_cycles=max_cycles, wall_clock_limit=wall_clock_limit,
+        injector=injector, tracer=tracer, metrics=metrics,
+        profiler=profiler, attribution=attribution,
+        checkpoint=checkpoint).run()
 
 
 @dataclass
@@ -255,20 +311,20 @@ def prepare_dae(access_kernel: Kernel, execute_kernel: Kernel,
     return specs
 
 
-def simulate_dae(specs: List[DAEPairSpec], *,
-                 access_core: CoreConfig,
-                 execute_core: CoreConfig,
-                 hierarchy: Optional[MemoryHierarchyConfig] = None,
-                 accelerators: Optional[AcceleratorFarm] = None,
-                 queue_entries: int = DAE_QUEUE_ENTRIES,
-                 frequency_ghz: Optional[float] = None,
-                 max_cycles: int = DEFAULT_MAX_CYCLES,
-                 wall_clock_limit: Optional[float] = None,
-                 injector: Optional[FaultInjector] = None,
-                 tracer=None, metrics=None, profiler=None,
-                 attribution=None) -> SystemStats:
-    """Simulate P DAE pairs: tiles 0..P-1 are access cores, P..2P-1 the
-    matching execute cores, communicating through bounded DAE queues."""
+def build_dae(specs: List[DAEPairSpec], *,
+              access_core: CoreConfig,
+              execute_core: CoreConfig,
+              hierarchy: Optional[MemoryHierarchyConfig] = None,
+              accelerators: Optional[AcceleratorFarm] = None,
+              queue_entries: int = DAE_QUEUE_ENTRIES,
+              frequency_ghz: Optional[float] = None,
+              max_cycles: int = DEFAULT_MAX_CYCLES,
+              wall_clock_limit: Optional[float] = None,
+              injector: Optional[FaultInjector] = None,
+              tracer=None, metrics=None, profiler=None,
+              attribution=None, checkpoint=None) -> Interleaver:
+    """Build (without running) the DAE system :func:`simulate_dae`
+    would run."""
     pairs = len(specs)
     access_core.validate()
     execute_core.validate()
@@ -297,13 +353,73 @@ def simulate_dae(specs: List[DAEPairSpec], *,
         execute.barrier_group = "dae-execute"
         execute.barrier_group_size = pairs
         tiles.append(execute)
-    interleaver = Interleaver(tiles, memory=memsys, fabric=fabric,
-                              accelerators=accelerators, frequency_ghz=freq,
-                              max_cycles=max_cycles, scheduler=scheduler,
-                              wall_clock_limit=wall_clock_limit,
-                              tracer=tracer, metrics=metrics,
-                              profiler=profiler, attribution=attribution)
-    return interleaver.run()
+    return Interleaver(tiles, memory=memsys, fabric=fabric,
+                       accelerators=accelerators, frequency_ghz=freq,
+                       max_cycles=max_cycles, scheduler=scheduler,
+                       wall_clock_limit=wall_clock_limit,
+                       tracer=tracer, metrics=metrics,
+                       profiler=profiler, attribution=attribution,
+                       checkpoint=checkpoint)
+
+
+def simulate_dae(specs: List[DAEPairSpec], *,
+                 access_core: CoreConfig,
+                 execute_core: CoreConfig,
+                 hierarchy: Optional[MemoryHierarchyConfig] = None,
+                 accelerators: Optional[AcceleratorFarm] = None,
+                 queue_entries: int = DAE_QUEUE_ENTRIES,
+                 frequency_ghz: Optional[float] = None,
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 wall_clock_limit: Optional[float] = None,
+                 injector: Optional[FaultInjector] = None,
+                 tracer=None, metrics=None, profiler=None,
+                 attribution=None, checkpoint=None) -> SystemStats:
+    """Simulate P DAE pairs: tiles 0..P-1 are access cores, P..2P-1 the
+    matching execute cores, communicating through bounded DAE queues."""
+    return build_dae(
+        specs, access_core=access_core, execute_core=execute_core,
+        hierarchy=hierarchy, accelerators=accelerators,
+        queue_entries=queue_entries, frequency_ghz=frequency_ghz,
+        max_cycles=max_cycles, wall_clock_limit=wall_clock_limit,
+        injector=injector, tracer=tracer, metrics=metrics,
+        profiler=profiler, attribution=attribution,
+        checkpoint=checkpoint).run()
+
+
+# -- graceful interrupts (robustness layer) --------------------------------------
+
+@contextlib.contextmanager
+def graceful_interrupts(interleaver: Interleaver,
+                        signals: Sequence[int] = (_signal.SIGINT,
+                                                  _signal.SIGTERM)):
+    """Convert SIGINT/SIGTERM during ``interleaver.run()`` into a clean
+    :class:`SimulationInterrupted` carrying a final checkpoint (when a
+    sink is attached) and partial stats, instead of an arbitrary-point
+    KeyboardInterrupt that can tear the run mid-event.
+
+    The handler itself only notes the signal number; the run loop acts
+    on it at the next snapshot consistency point. A second signal of the
+    same kind falls back to Python's default behavior only after the
+    handlers are restored (on exit from the ``with`` block). No-op when
+    not running in the main thread (signal handlers cannot be installed
+    there).
+    """
+    interleaver.arm_interrupts()
+
+    def _note(signum, frame):
+        interleaver.request_interrupt(signum)
+
+    previous = {}
+    try:
+        for signum in signals:
+            previous[signum] = _signal.signal(signum, _note)
+    except ValueError:  # not the main thread: run unprotected
+        pass
+    try:
+        yield interleaver
+    finally:
+        for signum, handler in previous.items():
+            _signal.signal(signum, handler)
 
 
 # -- fault injection + supervised runs (robustness layer) ------------------------
@@ -351,7 +467,7 @@ class RunOutcome:
     happened, how many attempts it took, and how long it ran."""
 
     status: str                      # ok | deadlock | timeout | fault |
-                                     # error | config-error
+                                     # error | config-error | interrupted
     stats: Optional[SystemStats] = None
     error: str = ""
     attempts: int = 1
@@ -359,6 +475,10 @@ class RunOutcome:
     wall_seconds: float = 0.0
     #: simulator self-profile (set when the run carried a SelfProfiler)
     profile: Optional[ProfileReport] = None
+    #: checkpoint flushed before the failure, resumable via
+    #: repro.checkpoint.resume_simulation (set when a sink was attached
+    #: and the run died at a snapshottable point)
+    checkpoint_path: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -367,6 +487,8 @@ class RunOutcome:
 
 def classify_failure(exc: BaseException) -> str:
     """Map a simulation exception to a coarse outcome label."""
+    if isinstance(exc, SimulationInterrupted):
+        return "interrupted"
     if isinstance(exc, DeadlockError):
         return "deadlock"
     if isinstance(exc, (CycleBudgetExceeded, WatchdogTimeout)):
@@ -403,7 +525,7 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
                    backoff_seconds: float = 0.0,
                    fresh: Optional[Callable[[], tuple]] = None,
                    tracer=None, metrics=None, profiler=None,
-                   attribution=None) -> RunOutcome:
+                   attribution=None, checkpoint=None) -> RunOutcome:
     """Run a simulation under supervision: cycle budget, wall-clock
     watchdog, and retry-with-backoff for transient faults.
 
@@ -416,6 +538,12 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
     workload mutates its own memory (most kernels do), pass ``fresh``: a
     zero-argument callable returning a new ``(kernel, args, memory)``
     triple per attempt, so retries start from pristine state.
+
+    With ``checkpoint`` (a CheckpointSink), the run autosaves and — the
+    supervisor integration — flushes a final snapshot *before* the cycle
+    budget or watchdog failure propagates, so ``RunOutcome.
+    checkpoint_path`` points at a resumable snapshot of the work already
+    done instead of throwing those cycles away.
     """
     attempts = 0
     start = time.monotonic()
@@ -436,7 +564,7 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
                              wall_clock_limit=wall_clock_limit,
                              injector=injector, tracer=tracer,
                              metrics=metrics, profiler=profiler,
-                             attribution=attribution)
+                             attribution=attribution, checkpoint=checkpoint)
             return RunOutcome(
                 "ok", stats=stats, attempts=attempts,
                 fault_log=tuple(injector.log) if injector else (),
@@ -452,4 +580,6 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
             break
     return RunOutcome(
         classify_failure(last_exc), error=str(last_exc), attempts=attempts,
-        fault_log=fault_log, wall_seconds=time.monotonic() - start)
+        stats=getattr(last_exc, "partial_stats", None),
+        fault_log=fault_log, wall_seconds=time.monotonic() - start,
+        checkpoint_path=getattr(last_exc, "checkpoint_path", None))

@@ -13,7 +13,6 @@ simulation, and trace footprints stay modest.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from dataclasses import dataclass
@@ -88,9 +87,8 @@ def write_bench_json(report: SpeedReport, path: str) -> None:
         assert document["mips"] == profile["mips"], (
             f"headline mips {document['mips']} disagrees with "
             f"profile.mips {profile['mips']}")
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2)
-        handle.write("\n")
+    from ..ioutil import atomic_write_json
+    atomic_write_json(path, document, indent=2)
 
 
 def measure_simulation_speed(prepared: Prepared,

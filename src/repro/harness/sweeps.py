@@ -14,23 +14,39 @@ the whole exploration.
 
 Sweeps are embarrassingly parallel — every point re-times the same
 prepared traces under an independent system — so each sweep entry point
-takes ``jobs``: with ``jobs > 1`` the points run on a
-``multiprocessing`` pool. The :class:`Prepared` workload is shipped to
-each worker exactly once (pickled + zlib, via the pool initializer), a
-point is a pure-data spec the worker can rebuild the system from, and
-failures inside a worker land in the same non-``ok`` SweepPoint records
-as serial sweeps. Point order — and therefore every stat — is identical
-to a serial run (see docs/performance.md). ``on_error="raise"`` forces
-serial execution so the first failure propagates with its traceback.
+takes ``jobs``: with ``jobs > 1`` the points run on a process pool. The
+:class:`Prepared` workload is shipped to each worker exactly once
+(pickled + zlib, via the pool initializer), a point is a pure-data spec
+the worker can rebuild the system from, and failures inside a worker
+land in the same non-``ok`` SweepPoint records as serial sweeps. Point
+order — and therefore every stat — is identical to a serial run (see
+docs/performance.md). ``on_error="raise"`` forces serial execution so
+the first failure propagates with its traceback.
+
+Sweeps are also crash-recoverable (see ``docs/resilience.md``): with
+``journal_path`` every completed point is appended to a JSONL journal
+(its index, a parameter fingerprint, the outcome, a digest of the
+canonical report, and the pickled stats), and ``resume=True`` skips
+journaled points on a re-run, reconstructing them bit-identically. A
+worker that dies *hard* — SIGKILL, OOM — no longer hangs the sweep: the
+broken pool is detected, unfinished points are retried on a fresh pool
+with backoff, and a point whose retries are exhausted is recorded as
+``outcome="worker_died"``.
 """
 
 from __future__ import annotations
 
+import base64
+import hashlib
 import itertools
-import multiprocessing
+import json
+import os
 import pickle
+import time
 import zlib
 from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -113,6 +129,108 @@ def _run_point(parameters: Dict[str, object], simulate_call,
     return SweepPoint(parameters, stats)
 
 
+# -- crash-recoverable sweep journal ----------------------------------------
+
+#: bump when the journal line layout changes incompatibly
+SWEEP_JOURNAL_VERSION = 1
+
+
+def _params_key(parameters: Dict[str, object]) -> str:
+    """Stable fingerprint of a point's parameters; parameter values may
+    be arbitrary objects (FaultPlans, config names), so the key is the
+    repr of the sorted items, not JSON."""
+    return repr(sorted(parameters.items(), key=lambda item: item[0]))
+
+
+def _stats_digest(stats: Optional[SystemStats]) -> Optional[str]:
+    if stats is None:
+        return None
+    from ..telemetry import stats_to_dict
+    canonical = json.dumps(stats_to_dict(stats), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class SweepJournal:
+    """Append-only JSONL record of completed sweep points.
+
+    One line per completed point: journal version, point index, the
+    parameter fingerprint, outcome, error, a digest of the canonical
+    stats report, and the pickled stats themselves (zlib + base64) — so
+    a resumed sweep reconstructs skipped points *bit-identically*, not
+    just approximately. Lines are flushed and fsynced as each point
+    completes; a torn final line from a crash is ignored on load.
+    ``worker_died`` points are never journaled, so a resume retries
+    them.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def append(self, index: int, parameters: Dict[str, object],
+               point: SweepPoint) -> None:
+        stats_blob = None
+        if point.stats is not None:
+            stats_blob = base64.b64encode(zlib.compress(
+                pickle.dumps(point.stats, protocol=4), 6)).decode("ascii")
+        line = json.dumps({
+            "version": SWEEP_JOURNAL_VERSION,
+            "index": index,
+            "parameters": _params_key(parameters),
+            "outcome": point.outcome,
+            "error": point.error,
+            "digest": _stats_digest(point.stats),
+            "stats": stats_blob,
+        })
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> Dict[int, dict]:
+        """Journaled entries by point index (last write wins); missing
+        file means an empty journal, and a torn tail line ends the
+        scan — everything after it simply re-runs."""
+        entries: Dict[int, dict] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return entries
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except ValueError:
+                break
+            if (not isinstance(document, dict)
+                    or document.get("version") != SWEEP_JOURNAL_VERSION
+                    or not isinstance(document.get("index"), int)):
+                continue
+            entries[document["index"]] = document
+        return entries
+
+    @staticmethod
+    def restore_point(parameters: Dict[str, object],
+                      entry: dict) -> Optional[SweepPoint]:
+        """Rebuild the SweepPoint a journal entry records, verifying the
+        stats digest; None when the entry does not decode (the caller
+        re-runs the point)."""
+        stats = None
+        if entry.get("stats") is not None:
+            try:
+                stats = pickle.loads(zlib.decompress(
+                    base64.b64decode(entry["stats"])))
+            except Exception:
+                return None
+            if _stats_digest(stats) != entry.get("digest"):
+                return None
+        return SweepPoint(parameters, stats,
+                          outcome=entry.get("outcome", "ok"),
+                          error=entry.get("error", ""))
+
+
 # -- sweep execution: serial or worker pool --------------------------------
 #
 # A sweep point is (parameters, spec): ``parameters`` labels the point in
@@ -150,31 +268,119 @@ def _worker_point(task: Tuple[Dict, Dict, str]) -> SweepPoint:
         parameters, lambda: _execute_spec(_WORKER_PREPARED, spec), on_error)
 
 
+def _execute_parallel(payload: bytes,
+                      todo: List[Tuple[int, Dict, Dict]],
+                      on_error: str, jobs: int,
+                      point_retries: int, retry_backoff: float,
+                      collected) -> None:
+    """Run ``(index, parameters, spec)`` tasks on a process pool,
+    surviving hard worker deaths.
+
+    A SIGKILLed/OOMed worker breaks the whole executor: its unfinished
+    futures all raise :class:`BrokenProcessPool`. Finished results are
+    kept, the survivors are retried on a fresh pool (with exponential
+    backoff), and a point still unfinished after ``point_retries``
+    extra rounds is recorded as ``outcome="worker_died"`` — the sweep
+    never hangs and never silently drops a point. ``collected(index,
+    parameters, point)`` receives every result, in index order within
+    each round.
+    """
+    pending = todo
+    attempt = 0
+    while pending:
+        workers = min(jobs, len(pending))
+        broken = False
+        survivors: List[Tuple[int, Dict, Dict]] = []
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_worker_init,
+                                 initargs=(payload,)) as pool:
+            futures = []
+            try:
+                for index, parameters, spec in pending:
+                    futures.append((index, parameters,
+                                    pool.submit(_worker_point,
+                                                (parameters, spec,
+                                                 on_error))))
+            except BrokenProcessPool:
+                broken = True
+            for position, (index, parameters, future) in enumerate(futures):
+                try:
+                    collected(index, parameters, future.result())
+                except BrokenProcessPool:
+                    broken = True
+                    survivors.append(pending[position])
+            # tasks never submitted (pool broke first) must retry too
+            survivors.extend(pending[len(futures):])
+        if not broken:
+            return
+        attempt += 1
+        if attempt > point_retries:
+            for index, parameters, spec in survivors:
+                collected(index, parameters, SweepPoint(
+                    parameters, None, outcome="worker_died",
+                    error=f"worker process died hard (SIGKILL/OOM) and "
+                          f"{point_retries} retries were exhausted"))
+            return
+        if retry_backoff > 0:
+            time.sleep(retry_backoff * (2 ** (attempt - 1)))
+        pending = survivors
+
+
 def _execute_sweep(prepared: Prepared, tasks: List[Tuple[Dict, Dict]],
-                   on_error: str, jobs: int) -> SweepResult:
+                   on_error: str, jobs: int,
+                   journal_path: Optional[str] = None,
+                   resume: bool = False,
+                   point_retries: int = 2,
+                   retry_backoff: float = 0.0) -> SweepResult:
     """Run every (parameters, spec) task; in order, serially or on a pool.
 
     Workers receive the Prepared workload once (compressed pickle via the
-    pool initializer), then stream pure-data specs. ``Pool.map`` returns
-    results in submission order, so the SweepResult is bit-identical to a
-    serial sweep — each point's simulation is an isolated deterministic
-    run either way. ``on_error="raise"`` executes serially so the first
+    pool initializer), then stream pure-data specs. Results are assembled
+    in submission order, so the SweepResult is bit-identical to a serial
+    sweep — each point's simulation is an isolated deterministic run
+    either way. ``on_error="raise"`` executes serially so the first
     failure propagates with a usable traceback.
+
+    With ``journal_path``, completed points are journaled as they finish;
+    ``resume=True`` additionally skips points the journal already has
+    (matched by index + parameter fingerprint) and restores their results
+    bit-identically. Hard worker deaths are retried ``point_retries``
+    times with exponential ``retry_backoff`` before a point is recorded
+    as ``worker_died`` (parallel mode; a serial worker death kills the
+    process itself, which is exactly what the journal recovers from).
     """
-    result = SweepResult()
-    jobs = min(jobs, len(tasks))
-    if jobs <= 1 or len(tasks) <= 1 or on_error == "raise":
-        for parameters, spec in tasks:
-            result.points.append(_run_point(
+    if resume and journal_path is None:
+        raise ValueError("resume=True needs a journal_path to resume from")
+    journal = SweepJournal(journal_path) if journal_path else None
+    points: List[Optional[SweepPoint]] = [None] * len(tasks)
+    todo: List[Tuple[int, Dict, Dict]] = []
+    entries = journal.load() if (journal is not None and resume) else {}
+    for index, (parameters, spec) in enumerate(tasks):
+        entry = entries.get(index)
+        if entry is not None and entry.get("parameters") == \
+                _params_key(parameters):
+            restored = SweepJournal.restore_point(parameters, entry)
+            if restored is not None:
+                points[index] = restored
+                continue
+        todo.append((index, parameters, spec))
+
+    def collected(index: int, parameters: Dict, point: SweepPoint) -> None:
+        points[index] = point
+        if journal is not None and point.outcome != "worker_died":
+            journal.append(index, parameters, point)
+
+    jobs = min(jobs, len(todo))
+    if jobs <= 1 or len(todo) <= 1 or on_error == "raise":
+        for index, parameters, spec in todo:
+            collected(index, parameters, _run_point(
                 parameters, lambda s=spec: _execute_spec(prepared, s),
                 on_error))
-        return result
-    payload = zlib.compress(pickle.dumps(prepared, protocol=4), 6)
-    with multiprocessing.Pool(jobs, initializer=_worker_init,
-                              initargs=(payload,)) as pool:
-        result.points = pool.map(
-            _worker_point, [(p, s, on_error) for p, s in tasks])
-    return result
+    elif todo:
+        payload = zlib.compress(pickle.dumps(prepared, protocol=4), 6)
+        _execute_parallel(payload, todo, on_error, jobs,
+                          point_retries, retry_backoff, collected)
+    return SweepResult(points)
 
 
 def sweep_core(prepared: Prepared, base: CoreConfig,
@@ -186,7 +392,11 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
                max_cycles: int = DEFAULT_MAX_CYCLES,
                wall_clock_limit: Optional[float] = None,
                on_error: str = "record",
-               jobs: int = 1) -> SweepResult:
+               jobs: int = 1,
+               journal_path: Optional[str] = None,
+               resume: bool = False,
+               point_retries: int = 2,
+               retry_backoff: float = 0.0) -> SweepResult:
     """Simulate ``prepared`` under every combination of core-config
     overrides in ``grid`` (a dict of CoreConfig field -> values).
 
@@ -202,7 +412,9 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
     ``on_error="record"`` (default) turns failures into non-``ok``
     points; ``on_error="raise"`` propagates the first failure.
     ``jobs > 1`` distributes points over a worker pool (same results,
-    same order).
+    same order). ``journal_path``/``resume``/``point_retries``/
+    ``retry_backoff`` make the sweep crash-recoverable — see
+    :func:`_execute_sweep` and ``docs/resilience.md``.
     """
     names = sorted(grid)
     tasks = []
@@ -222,7 +434,10 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
         else:
             spec["hierarchy"] = hierarchy
         tasks.append((overrides, spec))
-    return _execute_sweep(prepared, tasks, on_error, jobs)
+    return _execute_sweep(prepared, tasks, on_error, jobs,
+                          journal_path=journal_path, resume=resume,
+                          point_retries=point_retries,
+                          retry_backoff=retry_backoff)
 
 
 def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
@@ -231,19 +446,30 @@ def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
                     max_cycles: int = DEFAULT_MAX_CYCLES,
                     wall_clock_limit: Optional[float] = None,
                     on_error: str = "record",
-                    jobs: int = 1) -> SweepResult:
+                    jobs: int = 1,
+                    journal_path: Optional[str] = None,
+                    resume: bool = False,
+                    point_retries: int = 2,
+                    retry_backoff: float = 0.0) -> SweepResult:
     """Simulate ``prepared`` under each named memory-hierarchy config."""
     tasks = [({"hierarchy": name},
               {"core": core, "num_tiles": num_tiles,
                "hierarchy": hierarchy, "max_cycles": max_cycles,
                "wall_clock_limit": wall_clock_limit})
              for name, hierarchy in configurations.items()]
-    return _execute_sweep(prepared, tasks, on_error, jobs)
+    return _execute_sweep(prepared, tasks, on_error, jobs,
+                          journal_path=journal_path, resume=resume,
+                          point_retries=point_retries,
+                          retry_backoff=retry_backoff)
 
 
 def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
                on_error: str = "record",
-               jobs: int = 1) -> SweepResult:
+               jobs: int = 1,
+               journal_path: Optional[str] = None,
+               resume: bool = False,
+               point_retries: int = 2,
+               retry_backoff: float = 0.0) -> SweepResult:
     """Simulate ``prepared`` once per named run configuration.
 
     Each value of ``runs`` is a dict of :func:`simulate` keyword
@@ -253,4 +479,7 @@ def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
     continues — the acceptance scenario for resilient exploration.
     """
     tasks = [({"run": name}, dict(kwargs)) for name, kwargs in runs.items()]
-    return _execute_sweep(prepared, tasks, on_error, jobs)
+    return _execute_sweep(prepared, tasks, on_error, jobs,
+                          journal_path=journal_path, resume=resume,
+                          point_retries=point_retries,
+                          retry_backoff=retry_backoff)

@@ -1,0 +1,54 @@
+"""Crash-safe file output.
+
+Every artifact writer in the repo (stats/trace/bench JSON, checkpoints,
+sweep journals) goes through the same protocol: write to a temporary
+file in the destination directory, fsync it, then atomically rename it
+over the destination. A crash — power loss, SIGKILL, OOM — therefore
+leaves either the previous complete artifact or the new complete
+artifact on disk, never a truncated one for CI (or a resume) to choke
+on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_json", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp + fsync + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str, document: Union[dict, list], *,
+                      indent=None, sort_keys: bool = False,
+                      separators=None, trailing_newline: bool = True
+                      ) -> None:
+    """Serialize ``document`` and write it atomically."""
+    text = json.dumps(document, indent=indent, sort_keys=sort_keys,
+                      separators=separators)
+    if trailing_newline:
+        text += "\n"
+    atomic_write_text(path, text)

@@ -19,6 +19,37 @@ from .request import MemRequest
 NextAccess = Callable[[MemRequest, int], None]
 
 
+class _Retry:
+    """Re-present a request blocked by a full MSHR (picklable callback —
+    the checkpoint layer snapshots the live scheduler heap)."""
+
+    __slots__ = ("cache", "request")
+
+    def __init__(self, cache: "Cache", request: MemRequest):
+        self.cache = cache
+        self.request = request
+
+    def __call__(self, cycle: int) -> None:
+        self.cache.access(self.request, cycle)
+
+
+class _FillCallback:
+    """Install the fetched line and release the MSHR waiters when the
+    next level responds to a miss's fill request."""
+
+    __slots__ = ("cache", "fill", "was_write", "miss_cycle")
+
+    def __init__(self, cache: "Cache", fill: MemRequest, was_write: bool,
+                 miss_cycle: int):
+        self.cache = cache
+        self.fill = fill
+        self.was_write = was_write
+        self.miss_cycle = miss_cycle
+
+    def __call__(self, cycle: int) -> None:
+        self.cache._fill(self.fill, self.was_write, cycle, self.miss_cycle)
+
+
 class _Set:
     """One cache set with LRU replacement. Maps tag -> dirty flag, with
     insertion order as recency (last = most recent)."""
@@ -102,7 +133,7 @@ class Cache:
             return
         if len(self._mshr) >= self._mshr_entries:
             # MSHR full: retry next cycle (models back-pressure)
-            self.scheduler.at(start + 1, lambda c, r=request: self.access(r, c))
+            self.scheduler.at(start + 1, _Retry(self, request))
             return
         if request.is_prefetch:
             self.stats.prefetches += 1
@@ -114,8 +145,7 @@ class Cache:
             line * self._line_bytes, self._line_bytes,
             is_write=False, is_prefetch=request.is_prefetch,
             core_id=request.core_id)
-        fill.callback = lambda c, f=fill, wr=request.is_write, st=start: \
-            self._fill(f, wr, c, st)
+        fill.callback = _FillCallback(self, fill, request.is_write, start)
         self.next_access(fill, start + self._latency)
 
     # ------------------------------------------------------------------

@@ -21,6 +21,98 @@ from .noc import MeshNoC
 from .request import MemRequest
 
 
+# -- picklable callback objects -----------------------------------------------
+#
+# Everything that can sit in the Scheduler heap or on a MemRequest must
+# be a callable class or bound method, never a closure, so the
+# checkpoint layer (repro.checkpoint) can snapshot in-flight requests.
+
+class _Deliver:
+    """Deliver ``request`` to an access entry point at the fire cycle."""
+
+    __slots__ = ("entry", "request")
+
+    def __init__(self, entry: Callable[[MemRequest, int], None],
+                 request: MemRequest):
+        self.entry = entry
+        self.request = request
+
+    def __call__(self, cycle: int) -> None:
+        self.entry(self.request, cycle)
+
+
+class _NoCReturn:
+    """Charge the response's mesh traversal back to the core before the
+    original callback fires."""
+
+    __slots__ = ("scheduler", "callback", "delay")
+
+    def __init__(self, scheduler: Scheduler,
+                 callback: Callable[[int], None], delay: int):
+        self.scheduler = scheduler
+        self.callback = callback
+        self.delay = delay
+
+    def __call__(self, cycle: int) -> None:
+        self.scheduler.at(cycle + self.delay, self.callback)
+
+
+class _NoCEntry:
+    """Per-core hierarchy entry that charges the mesh traversal to and
+    from the owning LLC bank (replaces MemorySystem._noc_wrap)."""
+
+    __slots__ = ("noc", "scheduler", "core", "llc_access")
+
+    def __init__(self, noc: MeshNoC, scheduler: Scheduler, core: int,
+                 llc_access: Callable[[MemRequest, int], None]):
+        self.noc = noc
+        self.scheduler = scheduler
+        self.core = core
+        self.llc_access = llc_access
+
+    def __call__(self, request: MemRequest, cycle: int) -> None:
+        there = self.noc.core_to_bank_latency(self.core, request.address)
+        original = request.callback
+        if original is not None:
+            back = self.noc.core_to_bank_latency(self.core, request.address)
+            request.callback = _NoCReturn(self.scheduler, original, back)
+        self.scheduler.at(cycle + there,
+                          _Deliver(self.llc_access, request))
+
+
+class _Invalidator:
+    """Coherence invalidation hook over one core's private levels."""
+
+    __slots__ = ("levels",)
+
+    def __init__(self, levels: List["Cache"]):
+        self.levels = levels
+
+    def __call__(self, address: int) -> None:
+        for cache in self.levels:
+            cache.invalidate(address)
+
+
+class _TrackedCallback:
+    """Response bookkeeping: decrement the outstanding count, observe the
+    end-to-end latency, then run the issuer's callback."""
+
+    __slots__ = ("memsys", "done", "issue_cycle")
+
+    def __init__(self, memsys: "MemorySystem",
+                 done: Callable[[int], None], issue_cycle: int):
+        self.memsys = memsys
+        self.done = done
+        self.issue_cycle = issue_cycle
+
+    def __call__(self, cycle: int) -> None:
+        memsys = self.memsys
+        memsys.outstanding -= 1
+        if memsys._latency_hist is not None:
+            memsys._latency_hist.observe(cycle - self.issue_cycle)
+        self.done(cycle)
+
+
 class MemorySystem:
     """Builds and owns the full cache/DRAM composition."""
 
@@ -75,7 +167,8 @@ class MemorySystem:
         for core in range(num_cores):
             chain_entry = llc_access
             if self.noc is not None:
-                chain_entry = self._noc_wrap(core, llc_access)
+                chain_entry = _NoCEntry(self.noc, scheduler, core,
+                                        llc_access)
             levels: List[Cache] = []
             for level_config in reversed(config.private_levels):
                 stats = self._stats_for(level_config.name)
@@ -102,35 +195,7 @@ class MemorySystem:
                 noc=self.noc)
             for core in range(num_cores):
                 self.directory.invalidate_hooks[core] = \
-                    self._invalidator(core)
-
-    def _noc_wrap(self, core: int,
-                  llc_access: Callable[[MemRequest, int], None]
-                  ) -> Callable[[MemRequest, int], None]:
-        """Charge the mesh traversal to and from the owning LLC bank."""
-        noc = self.noc
-        scheduler = self.scheduler
-
-        def access(request: MemRequest, cycle: int) -> None:
-            there = noc.core_to_bank_latency(core, request.address)
-            original = request.callback
-            if original is not None:
-                back = noc.core_to_bank_latency(core, request.address)
-                request.callback = \
-                    lambda c, cb=original, d=back: scheduler.at(c + d, cb)
-            scheduler.at(cycle + there,
-                         lambda c, r=request: llc_access(r, c))
-
-        return access
-
-    def _invalidator(self, core: int):
-        levels = self.private_caches[core]
-
-        def invalidate(address: int) -> None:
-            for cache in levels:
-                cache.invalidate(address)
-
-        return invalidate
+                    _Invalidator(self.private_caches[core])
 
     def _stats_for(self, name: str) -> CacheStats:
         if name not in self.cache_stats:
@@ -168,16 +233,10 @@ class MemorySystem:
         Returns the request object so callers that attribute stall cycles
         can read the ``service_level`` the hierarchy stamps on it."""
         self.outstanding += 1
-
-        def tracked(c: int, _done=callback) -> None:
-            self.outstanding -= 1
-            if self._latency_hist is not None:
-                self._latency_hist.observe(c - cycle)
-            _done(c)
-
         request = MemRequest(address, size, is_write=is_write,
                              is_atomic=is_atomic, core_id=core_id,
-                             callback=tracked, issue_cycle=cycle)
+                             callback=_TrackedCallback(self, callback, cycle),
+                             issue_cycle=cycle)
         if self.directory is not None:
             delay = self.directory.access(core_id, address,
                                           is_write or is_atomic)
@@ -185,7 +244,7 @@ class MemorySystem:
                 request.coherence_delay = delay
                 self.scheduler.at(
                     cycle + delay,
-                    lambda c, r=request, e=self._entries[core_id]: e(r, c))
+                    _Deliver(self._entries[core_id], request))
                 return request
         self._entries[core_id](request, cycle)
         return request

@@ -10,8 +10,8 @@ from .config import (
 )
 from .core.model import CoreTile
 from .errors import (
-    AcceleratorFaultError, CycleBudgetExceeded, DeadlockError,
-    SimulationError, WatchdogTimeout,
+    AcceleratorFaultError, CheckpointError, CycleBudgetExceeded,
+    DeadlockError, SimulationError, SimulationInterrupted, WatchdogTimeout,
 )
 from .events import Event, Scheduler
 from .interleaver import Interleaver, TileServices
@@ -22,8 +22,9 @@ __all__ = [
     "CacheConfig", "ConfigError", "CoreConfig", "DRAMSim2Config",
     "MemoryHierarchyConfig", "PrefetcherConfig", "SimpleDRAMConfig",
     "CoreTile", "Event", "Scheduler",
-    "AcceleratorFaultError", "CycleBudgetExceeded", "DeadlockError",
-    "SimulationError", "WatchdogTimeout",
+    "AcceleratorFaultError", "CheckpointError", "CycleBudgetExceeded",
+    "DeadlockError", "SimulationError", "SimulationInterrupted",
+    "WatchdogTimeout",
     "Interleaver", "TileServices",
     "CacheStats", "DRAMStats", "SystemStats", "TileStats",
     "NEVER", "Tile",

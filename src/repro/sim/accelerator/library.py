@@ -101,6 +101,7 @@ def sgemm_design(plm_bytes: int = 64 * 1024) -> AcceleratorDesign:
         num_chunks=chunks,
         avg_power_watts=_power("sgemm", plm_bytes),
         area_um2=_area("sgemm", plm_bytes),
+        recipe=("sgemm", plm_bytes),
     )
 
 
@@ -125,6 +126,7 @@ def histo_design(plm_bytes: int = 64 * 1024) -> AcceleratorDesign:
         num_chunks=_chunks_by_input(in_bytes),
         avg_power_watts=_power("histo", plm_bytes),
         area_um2=_area("histo", plm_bytes),
+        recipe=("histo", plm_bytes),
     )
 
 
@@ -149,6 +151,7 @@ def elementwise_design(plm_bytes: int = 64 * 1024) -> AcceleratorDesign:
         num_chunks=_chunks_by_input(in_bytes),
         avg_power_watts=_power("elementwise", plm_bytes),
         area_um2=_area("elementwise", plm_bytes),
+        recipe=("elementwise", plm_bytes),
     )
 
 
@@ -182,6 +185,7 @@ def conv2d_design(plm_bytes: int = 128 * 1024) -> AcceleratorDesign:
         num_chunks=_chunks_by_input(in_bytes),
         avg_power_watts=_power("conv2d", plm_bytes),
         area_um2=_area("conv2d", plm_bytes),
+        recipe=("conv2d", plm_bytes),
     )
 
 
@@ -206,6 +210,7 @@ def dense_design(plm_bytes: int = 128 * 1024) -> AcceleratorDesign:
         num_chunks=_chunks_by_input(in_bytes),
         avg_power_watts=_power("dense", plm_bytes),
         area_um2=_area("dense", plm_bytes),
+        recipe=("dense", plm_bytes),
     )
 
 
@@ -227,6 +232,7 @@ def _streaming_design(kind: str, plm_bytes: int,
         num_chunks=_chunks_by_input(in_bytes),
         avg_power_watts=_power(kind, plm_bytes),
         area_um2=_area(kind, plm_bytes),
+        recipe=(kind, plm_bytes),
     )
 
 
@@ -253,6 +259,13 @@ DESIGN_FACTORIES = {
     "relu": relu_design,
     "batchnorm": batchnorm_design,
 }
+
+
+def design_from_recipe(kind: str, plm_bytes: int) -> AcceleratorDesign:
+    """Rebuild a design point from its ``(kind, plm_bytes)`` recipe —
+    the unpickle hook behind ``AcceleratorDesign.__reduce__`` (designs
+    carry parameter functions, so they serialize as rebuild recipes)."""
+    return DESIGN_FACTORIES[kind](plm_bytes)
 
 
 # -- intrinsic argument decoding ----------------------------------------------

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 #: configuration parameters of one invocation (accelerator-specific keys,
 #: e.g. {"n": 64, "m": 64, "k": 64})
@@ -97,9 +97,25 @@ class AcceleratorDesign:
     #: processes (back-annotated from the RTL communication model); this
     #: is why larger PLMs — fewer, bigger transfers — run faster (Fig. 10)
     chunk_overhead_cycles: int = 280
+    #: ``(kind, plm_bytes)`` rebuild recipe: trip counts and byte
+    #: expressions are plain functions of the invocation parameters, so a
+    #: design pickles as the instruction to re-run its library factory
+    #: (checkpoint/restore support). Hand-built designs have no recipe
+    #: and cannot be checkpointed.
+    recipe: Optional[Tuple[str, int]] = None
 
     def process_cycles(self, params: AccelParams) -> List[int]:
         return [p.cycles(params, self.plm_bytes) for p in self.processes]
+
+    def __reduce__(self):
+        if self.recipe is None:
+            raise TypeError(
+                f"accelerator design {self.name!r} was built without a "
+                f"recipe and cannot be pickled; construct it through "
+                f"DESIGN_FACTORIES (or set design.recipe = (kind, "
+                f"plm_bytes)) to make it checkpointable")
+        from .library import design_from_recipe
+        return (design_from_recipe, self.recipe)
 
 
 @dataclass

@@ -21,6 +21,19 @@ from .perf_model import AccelResult, AcceleratorDesign, \
 from .rtl_sim import RTLSimulation
 
 
+class _RTLEstimate:
+    """Estimate entry point over a cycle-level RTL simulation (picklable
+    stand-in for the former lambda, so checkpointed farms restore)."""
+
+    __slots__ = ("rtl",)
+
+    def __init__(self, rtl: RTLSimulation):
+        self.rtl = rtl
+
+    def __call__(self, params, num_instances: int = 1) -> AccelResult:
+        return self.rtl.simulate(params)
+
+
 class AcceleratorTile:
     """One accelerator (possibly with several parallel instances)."""
 
@@ -37,8 +50,7 @@ class AcceleratorTile:
             self._model = GenericPerformanceModel(design, max_bandwidth_gbps)
             self._estimate = self._model.estimate
         elif model == "rtl":
-            rtl = RTLSimulation(design)
-            self._estimate = lambda params, n=1: rtl.simulate(params)
+            self._estimate = _RTLEstimate(RTLSimulation(design))
         else:
             raise ValueError(f"unknown accelerator model {model!r}")
         #: next-free global cycle per hardware instance

@@ -115,6 +115,147 @@ class DynDBB:
         self.remaining = size    # uncompleted instructions
 
 
+# -- scheduler/fabric callback objects ----------------------------------------
+#
+# Every callback that can sit in the Scheduler heap or a CommFabric
+# waiter queue is a module-level callable class (or a bound method such
+# as ``tile.wake``), never a closure: closures cannot be pickled, and
+# the checkpoint layer (:mod:`repro.checkpoint`) snapshots the live heap
+# and waiter queues mid-run. Each class carries exactly the state its
+# former closure captured.
+
+def _noop(cycle: int) -> None:
+    """Fire-and-forget completion (store-buffer drains, DeSC writes)."""
+
+
+class _ExternalComplete:
+    """Complete ``node`` at the callback cycle (memory-response path)."""
+
+    __slots__ = ("tile", "node")
+
+    def __init__(self, tile: "CoreTile", node: DynNode):
+        self.tile = tile
+        self.node = node
+
+    def __call__(self, cycle: int) -> None:
+        self.tile._external_complete(self.node, cycle)
+
+
+class _PenaltyComplete:
+    """Complete ``node`` a fixed penalty after the response (atomics)."""
+
+    __slots__ = ("tile", "node", "penalty")
+
+    def __init__(self, tile: "CoreTile", node: DynNode, penalty: int):
+        self.tile = tile
+        self.node = node
+        self.penalty = penalty
+
+    def __call__(self, cycle: int) -> None:
+        self.tile._complete_later(self.node, cycle + self.penalty)
+
+
+class _FloorComplete:
+    """Complete ``node`` at the wakeup cycle, no earlier than ``floor``
+    (fabric waits: barrier release, recv, DAE consume)."""
+
+    __slots__ = ("tile", "node", "floor")
+
+    def __init__(self, tile: "CoreTile", node: DynNode, floor: int):
+        self.tile = tile
+        self.node = node
+        self.floor = floor
+
+    def __call__(self, cycle: int) -> None:
+        floor = self.floor
+        self.tile._complete_later(self.node,
+                                  cycle if cycle > floor else floor)
+
+
+class _QueueDeposit:
+    """Deposit a reserved DAE token ``latency`` cycles after the memory
+    response arrives (DeSC decoupled load)."""
+
+    __slots__ = ("tile", "queue", "latency")
+
+    def __init__(self, tile: "CoreTile", queue: str, latency: int):
+        self.tile = tile
+        self.queue = queue
+        self.latency = latency
+
+    def __call__(self, cycle: int) -> None:
+        self.tile.services.fabric.queue_deposit_reserved(
+            self.queue, cycle + self.latency)
+
+
+class _FireWrite:
+    """Issue the buffered DeSC store once its value token arrived."""
+
+    __slots__ = ("tile", "address", "size")
+
+    def __init__(self, tile: "CoreTile", address: int, size: int):
+        self.tile = tile
+        self.address = address
+        self.size = size
+
+    def __call__(self, cycle: int) -> None:
+        tile = self.tile
+        tile.services.mem_access(
+            tile.mem_port, self.address, self.size, is_write=True,
+            is_atomic=False, cycle=cycle, callback=_noop)
+
+
+class _ScheduleAtFloor:
+    """Route ``target`` through the scheduler at ``max(cycle, floor)`` —
+    orders a store-value consume wakeup behind the comm latency."""
+
+    __slots__ = ("tile", "floor", "target")
+
+    def __init__(self, tile: "CoreTile", floor: int, target):
+        self.tile = tile
+        self.floor = floor
+        self.target = target
+
+    def __call__(self, cycle: int) -> None:
+        floor = self.floor
+        self.tile.services.schedule(
+            cycle if cycle > floor else floor, self.target)
+
+
+class _AccelFinish:
+    """Release the device-driver serialization and complete ``node`` when
+    an accelerator invocation returns."""
+
+    __slots__ = ("tile", "node")
+
+    def __init__(self, tile: "CoreTile", node: DynNode):
+        self.tile = tile
+        self.node = node
+
+    def __call__(self, cycle: int) -> None:
+        tile = self.tile
+        tile._accel_inflight -= 1
+        tile._external_complete(self.node, cycle)
+
+
+class _RetryProduce:
+    """Re-attempt a DAE produce once a consumer freed a slot."""
+
+    __slots__ = ("tile", "node", "queue", "latency")
+
+    def __init__(self, tile: "CoreTile", node: DynNode, queue: str,
+                 latency: int):
+        self.tile = tile
+        self.node = node
+        self.queue = queue
+        self.latency = latency
+
+    def __call__(self, cycle: int) -> None:
+        tile = self.tile
+        tile._try_produce(self.node, self.queue, cycle, self.latency)
+        tile.wake(cycle)
+
+
 class CoreTile(Tile):
     def __init__(self, name: str, tile_id: int, config: CoreConfig,
                  ddg: StaticDDG, trace: KernelTrace,
@@ -576,8 +717,7 @@ class CoreTile(Tile):
                     continue
                 if checks & _C_DECOUPLED and \
                         not self.services.fabric.queue_try_reserve(
-                            self.dae_queue_names["load"],
-                            lambda c: self.wake(c)):
+                            self.dae_queue_names["load"], self.wake):
                     # load queue full: back-pressure from the execute slice
                     retry.append(node)
                     continue
@@ -635,11 +775,9 @@ class CoreTile(Tile):
             self.stats.memory_accesses += 1
             size, is_write, is_atomic, penalty = self._mem_args_by_iid[iid]
             if penalty:
-                callback = (lambda c, n=node, p=penalty:
-                            self._complete_later(n, c + p))
+                callback = _PenaltyComplete(self, node, penalty)
             else:
-                callback = (lambda c, n=node:
-                            self._external_complete(n, c))
+                callback = _ExternalComplete(self, node)
             request = self.services.mem_access(
                 self.mem_port, node.address, size,
                 is_write=is_write, is_atomic=is_atomic,
@@ -653,12 +791,10 @@ class CoreTile(Tile):
             self.stats.memory_accesses += 1
             queue = self.dae_queue_names["load"]
             latency = self._comm_latency
-            fabric = self.services.fabric
             self.services.mem_access(
                 self.mem_port, node.address, snode.access_size or 8,
                 is_write=False, is_atomic=False, cycle=cycle,
-                callback=lambda c, q=queue, l=latency:
-                    fabric.queue_deposit_reserved(q, c + l))
+                callback=_QueueDeposit(self, queue, latency))
             self._schedule_completion(node, cycle + self.period)
             return
         if kind == _D_MEM_DECOUPLED_STORE:
@@ -667,18 +803,11 @@ class CoreTile(Tile):
             self.stats.memory_accesses += 1
             queue = self.dae_queue_names["store"]
             latency = self._comm_latency
-            port, address = self.mem_port, node.address
-            size = snode.access_size or 8
-
-            def fire_write(c: int) -> None:
-                self.services.mem_access(
-                    port, address, size, is_write=True, is_atomic=False,
-                    cycle=c, callback=lambda c2: None)
-
+            fire_write = _FireWrite(self, node.address,
+                                    snode.access_size or 8)
             if self.services.fabric.queue_try_consume(
                     queue, cycle,
-                    lambda c: self.services.schedule(
-                        max(c, cycle + latency), fire_write)):
+                    _ScheduleAtFloor(self, cycle + latency, fire_write)):
                 self.services.schedule(cycle + latency, fire_write)
             self._schedule_completion(node, cycle + self.period)
             return
@@ -688,7 +817,7 @@ class CoreTile(Tile):
             self.services.mem_access(
                 self.mem_port, node.address, snode.access_size or 8,
                 is_write=True, is_atomic=False, cycle=cycle,
-                callback=lambda c: None)
+                callback=_noop)
             self._schedule_completion(node, cycle + self.period)
             return
         if kind == _D_CALL_FP:
@@ -725,12 +854,7 @@ class CoreTile(Tile):
         self.stats.accel_bytes += nbytes
         self.stats.energy_nj += energy
         self._accel_inflight += 1
-
-        def finish(c: int, n=node) -> None:
-            self._accel_inflight -= 1
-            self._external_complete(n, c)
-
-        self.services.schedule(completion, finish)
+        self.services.schedule(completion, _AccelFinish(self, node))
 
     def _dispatch_comm(self, node: DynNode, cycle: int) -> None:
         name = node.snode.callee
@@ -742,8 +866,7 @@ class CoreTile(Tile):
             if fabric.barrier_arrive(
                     self.barrier_group, self.barrier_group_size, generation,
                     cycle + latency,
-                    lambda c, n=node: self._complete_later(
-                        n, max(c, cycle + latency))):
+                    _FloorComplete(self, node, cycle + latency)):
                 self._schedule_completion(node, cycle + latency)
             return
         if name.startswith("send_"):
@@ -754,8 +877,7 @@ class CoreTile(Tile):
         if name.startswith("recv_"):
             peer = self._next_peer(node)
             if fabric.try_recv(peer, self.tile_id, cycle,
-                               lambda c, n=node: self._complete_later(
-                                   n, max(c, cycle + latency))):
+                               _FloorComplete(self, node, cycle + latency)):
                 self._schedule_completion(node, cycle + latency)
             return
         if name.startswith("dae_produce") or \
@@ -769,22 +891,16 @@ class CoreTile(Tile):
                 "load" if name.startswith("dae_consume") else "store"]
             if fabric.queue_try_consume(
                     queue, cycle,
-                    lambda c, n=node: self._complete_later(
-                        n, max(c, cycle + latency))):
+                    _FloorComplete(self, node, cycle + latency)):
                 self._schedule_completion(node, cycle + latency)
             return
         raise ValueError(f"unknown comm intrinsic {name!r}")
 
     def _try_produce(self, node: DynNode, queue: str, cycle: int,
                      latency: int) -> None:
-        fabric = self.services.fabric
-
-        def on_space(space_cycle: int, n=node) -> None:
-            # retry the deposit once a consumer freed a slot
-            self._try_produce(n, queue, space_cycle, latency)
-            self.wake(space_cycle)
-
-        if fabric.queue_try_produce(queue, cycle + latency, on_space):
+        if self.services.fabric.queue_try_produce(
+                queue, cycle + latency,
+                _RetryProduce(self, node, queue, latency)):
             self._complete_later(node, cycle + latency)
 
     def _next_peer(self, node: DynNode) -> int:
@@ -849,8 +965,7 @@ class CoreTile(Tile):
     def _complete_later(self, node: DynNode, cycle: int) -> None:
         """Completion known now but effective at a future cycle: route it
         through the scheduler so effects apply in timestamp order."""
-        self.services.schedule(
-            cycle, lambda c, n=node: self._external_complete(n, c))
+        self.services.schedule(cycle, _ExternalComplete(self, node))
 
     def _complete(self, node: DynNode, cycle: int) -> None:
         snode = node.snode

@@ -41,6 +41,34 @@ class WatchdogTimeout(SimulationError):
     """The wall-clock watchdog fired before the simulation finished."""
 
 
+class CheckpointError(SimulationError):
+    """A checkpoint could not be saved or restored.
+
+    Raised with a structured message for every failure mode — missing
+    file, wrong magic, schema-version mismatch, truncated or corrupt
+    payload — so callers never see a raw pickle traceback.
+    """
+
+
+class SimulationInterrupted(SimulationError):
+    """The run was interrupted by SIGINT/SIGTERM under graceful-shutdown
+    supervision. Carries the final checkpoint path (if one was flushed)
+    and the partial stats collected at the interrupt cycle."""
+
+    def __init__(self, signum: int, cycle: int,
+                 checkpoint_path: Optional[str] = None,
+                 partial_stats=None):
+        name = {2: "SIGINT", 15: "SIGTERM"}.get(signum, f"signal {signum}")
+        hint = (f"; resume with --resume {checkpoint_path}"
+                if checkpoint_path else "")
+        super().__init__(
+            f"simulation interrupted by {name} at cycle {cycle}{hint}")
+        self.signum = signum
+        self.cycle = cycle
+        self.checkpoint_path = checkpoint_path
+        self.partial_stats = partial_stats
+
+
 class AcceleratorFaultError(SimulationError):
     """An accelerator invocation failed (injected or modeled fault)."""
 

@@ -41,15 +41,17 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a circular import with
 from .accelerator.tile import AcceleratorFarm
 from .comm.fabric import CommFabric
 from .errors import (
-    CycleBudgetExceeded, DeadlockError, SimulationError, WatchdogTimeout,
+    CheckpointError, CycleBudgetExceeded, DeadlockError, SimulationError,
+    SimulationInterrupted, WatchdogTimeout,
 )
 from .events import Scheduler
 from .statistics import SystemStats
 from .tile import NEVER, Tile
 
 __all__ = [
-    "CycleBudgetExceeded", "DeadlockError", "Interleaver",
-    "SimulationError", "TileServices", "WatchdogTimeout",
+    "CheckpointError", "CycleBudgetExceeded", "DeadlockError", "Interleaver",
+    "SimulationError", "SimulationInterrupted", "TileServices",
+    "WatchdogTimeout",
 ]
 
 
@@ -105,9 +107,14 @@ class Interleaver:
                  scheduler: Optional[Scheduler] = None,
                  wall_clock_limit: Optional[float] = None,
                  tracer=None, metrics=None, profiler=None,
-                 attribution=None):
+                 attribution=None, checkpoint=None):
         if not tiles:
             raise ValueError("Interleaver needs at least one tile")
+        if checkpoint is not None and profiler is not None:
+            raise CheckpointError(
+                "cannot combine checkpointing with a SelfProfiler: "
+                "wall-clock self-profiles are meaningless across a "
+                "crash/restore boundary; drop one of the two")
         self.tiles = tiles
         if scheduler is not None:
             self.scheduler = scheduler
@@ -126,6 +133,14 @@ class Interleaver:
         self.metrics = metrics
         self.profiler = profiler
         self.attribution = attribution
+        #: optional CheckpointSink polled on the watchdog stride
+        self.checkpoint = checkpoint
+        #: cycle run() starts from; load_checkpoint sets it on restore
+        self._resume_cycle = 0
+        #: signal number noted by request_interrupt(), polled by run()
+        self._interrupt_signum: Optional[int] = None
+        #: whether run() should poll _interrupt_signum at all
+        self._signals_armed = False
         service_fabric = self.fabric
         if profiler is not None:
             service_fabric = ProfiledFabric(self.fabric, profiler)
@@ -192,12 +207,17 @@ class Interleaver:
         monotonic = time.monotonic
         if profiler is not None:
             profiler.start()
-        cycle = 0
+        cycle = self._resume_cycle
         deadline = None
         if self.wall_clock_limit is not None:
             deadline = monotonic() + self.wall_clock_limit
         iterations = 0
         max_cycles = self.max_cycles
+        checkpoint = self.checkpoint
+        # one precomputed boolean keeps the disabled case at its original
+        # single-branch cost on the hot path
+        watch = (deadline is not None or checkpoint is not None
+                 or self._signals_armed)
         sched_next = scheduler.next_cycle
         sched_run_due = scheduler.run_due
         # the active set is maintained incrementally: tiles are pruned as
@@ -205,12 +225,23 @@ class Interleaver:
         # minimum is taken over this (shrinking) set only
         active = [t for t in self.tiles if not t.done]
         while active:
-            if deadline is not None:
+            if watch:
+                # the top of the outer loop is the snapshot consistency
+                # point: every event due at `cycle` has fired and every
+                # due tile has stepped to a fixed point, so this is the
+                # only place autosaves and graceful interrupts act
                 iterations += 1
-                if (iterations & 63) == 0 and monotonic() > deadline:
-                    raise WatchdogTimeout(
-                        f"wall-clock watchdog fired after "
-                        f"{self.wall_clock_limit}s at cycle {cycle}")
+                if (iterations & 63) == 0:
+                    if deadline is not None and monotonic() > deadline:
+                        exc = WatchdogTimeout(
+                            f"wall-clock watchdog fired after "
+                            f"{self.wall_clock_limit}s at cycle {cycle}")
+                        exc.checkpoint_path = self._flush_checkpoint(cycle)
+                        raise exc
+                    if self._interrupt_signum is not None:
+                        self._raise_interrupted(cycle)
+                    if checkpoint is not None and checkpoint.due(cycle):
+                        checkpoint.save(self, cycle)
             next_cycle = NEVER
             event_cycle = sched_next()
             if event_cycle is not None:
@@ -224,8 +255,13 @@ class Interleaver:
             if next_cycle > cycle:
                 cycle = next_cycle
                 if cycle > max_cycles:
-                    raise CycleBudgetExceeded(
+                    # nothing due at `cycle` has been drained yet, so a
+                    # snapshot here resumes exactly where an uninterrupted
+                    # run (with a larger budget) would have continued
+                    exc = CycleBudgetExceeded(
                         f"simulation exceeded {max_cycles} cycles")
+                    exc.checkpoint_path = self._flush_checkpoint(cycle)
+                    raise exc
 
             # events first (memory responses, message deliveries), which
             # may wake tiles at this very cycle
@@ -279,6 +315,35 @@ class Interleaver:
             if finished:
                 active = [t for t in active if not t.done]
         return self._collect(cycle)
+
+    # ------------------------------------------------------------------
+    def arm_interrupts(self) -> None:
+        """Make run() poll :meth:`request_interrupt` flags (the graceful
+        SIGINT/SIGTERM path). Must be called before run() starts."""
+        self._signals_armed = True
+
+    def request_interrupt(self, signum: int) -> None:
+        """Note a signal (async-signal-safe: one attribute write). The
+        run loop converts it into :class:`SimulationInterrupted` at the
+        next consistency point, after flushing a final checkpoint."""
+        self._interrupt_signum = signum
+
+    def _flush_checkpoint(self, cycle: int) -> Optional[str]:
+        """Final snapshot at an outer-loop consistency point; returns its
+        path, or None when no sink is attached."""
+        if self.checkpoint is None:
+            return None
+        return self.checkpoint.save(self, cycle)
+
+    def _raise_interrupted(self, cycle: int) -> None:
+        signum = self._interrupt_signum
+        self._interrupt_signum = None
+        path = self._flush_checkpoint(cycle)
+        # collect AFTER saving: _collect mutates the telemetry ledgers,
+        # and the snapshot must capture them mid-run
+        partial = self._collect(cycle)
+        raise SimulationInterrupted(signum, cycle, checkpoint_path=path,
+                                    partial_stats=partial)
 
     # ------------------------------------------------------------------
     def _diagnose(self, cycle: int) -> dict:

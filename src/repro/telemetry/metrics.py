@@ -251,11 +251,12 @@ def stats_to_dict(stats) -> dict:
 
 
 def write_stats_json(stats, path: str) -> None:
-    """Serialize ``stats`` (with any registry snapshot) to ``path``."""
-    import json
-    with open(path, "w") as handle:
-        json.dump(stats_to_dict(stats), handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    """Serialize ``stats`` (with any registry snapshot) to ``path``.
+
+    Atomic (temp + fsync + rename): a crash mid-write never leaves a
+    truncated report."""
+    from ..ioutil import atomic_write_json
+    atomic_write_json(path, stats_to_dict(stats), indent=2)
 
 
 __all__: List[str] = [

@@ -173,10 +173,14 @@ class Tracer:
 
     def write(self, path: str,
               frequency_ghz: Optional[float] = None) -> int:
-        """Write the Chrome JSON to ``path``; returns the event count."""
+        """Write the Chrome JSON to ``path``; returns the event count.
+
+        Atomic (temp + fsync + rename) so a crash cannot leave a
+        truncated trace for Perfetto or CI validation to choke on."""
+        from ..ioutil import atomic_write_json
         document = self.to_chrome(frequency_ghz)
-        with open(path, "w") as handle:
-            json.dump(document, handle, separators=(",", ":"))
+        atomic_write_json(path, document, separators=(",", ":"),
+                          trailing_newline=False)
         return len(document["traceEvents"])
 
 
