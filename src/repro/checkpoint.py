@@ -66,14 +66,21 @@ _HEADER = struct.Struct("<8sI32sQ")
 
 @dataclass
 class Checkpoint:
-    """A restored snapshot: the live Interleaver plus its cycle cursor."""
+    """A restored snapshot: the live Interleaver plus its cycle cursor.
+
+    ``run_id`` is the originating run's registry id (None for snapshots
+    taken before the run registry existed or without one): a resumed
+    run keeps writing artifacts under the same id, so the whole
+    crash/resume lineage stays joinable."""
 
     schema_version: int
     cycle: int
     interleaver: object
+    run_id: Optional[str] = None
 
 
-def save_checkpoint(interleaver, path: str, *, cycle: int) -> str:
+def save_checkpoint(interleaver, path: str, *, cycle: int,
+                    run_id: Optional[str] = None) -> str:
     """Snapshot ``interleaver`` (paused at ``cycle``) to ``path``.
 
     Must only be called at an outer-loop consistency point — the
@@ -86,12 +93,13 @@ def save_checkpoint(interleaver, path: str, *, cycle: int) -> str:
             "wall-clock self-profiles are meaningless across a "
             "crash/restore boundary (and the timing wrappers are not "
             "picklable); run without --profile to checkpoint")
+    document = {"cycle": cycle, "interleaver": interleaver}
+    if run_id is not None:
+        document["run_id"] = run_id
     try:
         # level 1: autosaves sit on the simulation's critical path, and
         # the pickle compresses ~8:1 even at the fastest setting
-        payload = zlib.compress(
-            pickle.dumps({"cycle": cycle, "interleaver": interleaver},
-                         protocol=4), 1)
+        payload = zlib.compress(pickle.dumps(document, protocol=4), 1)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
         raise CheckpointError(
             f"simulation state is not snapshottable: {exc}") from exc
@@ -145,7 +153,9 @@ def load_checkpoint(path: str) -> Checkpoint:
     interleaver = document["interleaver"]
     # arm the run loop to continue from the snapshot cycle
     interleaver._resume_cycle = cycle
-    return Checkpoint(version, cycle, interleaver)
+    # .get(): pre-registry checkpoints carry no run_id and stay loadable
+    return Checkpoint(version, cycle, interleaver,
+                      run_id=document.get("run_id"))
 
 
 class CheckpointSink:
@@ -154,7 +164,8 @@ class CheckpointSink:
     run loop's existing ``& 63`` watchdog stride), keeping the last
     ``keep`` snapshots (``path``, ``path.1``, ... oldest last)."""
 
-    def __init__(self, path: str, every_cycles: int, keep: int = 2):
+    def __init__(self, path: str, every_cycles: int, keep: int = 2,
+                 run_id: Optional[str] = None):
         if every_cycles <= 0:
             raise ValueError(
                 f"checkpoint interval must be positive, got {every_cycles}")
@@ -163,6 +174,8 @@ class CheckpointSink:
         self.path = path
         self.every_cycles = every_cycles
         self.keep = keep
+        #: provenance stamped into every snapshot this sink writes
+        self.run_id = run_id
         self.last_cycle = 0
         self.saves = 0
         #: most recently written snapshot (None until the first save)
@@ -182,7 +195,8 @@ class CheckpointSink:
 
     def save(self, interleaver, cycle: int) -> str:
         self._rotate()
-        save_checkpoint(interleaver, self.path, cycle=cycle)
+        save_checkpoint(interleaver, self.path, cycle=cycle,
+                        run_id=self.run_id)
         self.last_cycle = cycle
         self.saves += 1
         self.last_path = self.path

@@ -22,7 +22,21 @@ Commands
   bottlenecks and roofline from a cycle-attributed run or a saved
   report JSON (schema v2);
 * ``diff A.json B.json`` — attribute the cycle delta between two
-  reports to the categories that moved.
+  reports to the categories that moved;
+* ``watch JOURNAL`` — live terminal dashboard for a running (or
+  crashed) sweep: per-point progress, rolling ETA, straggler/stall
+  diagnosis from streamed heartbeats;
+* ``history`` — the run-registry regression gate: ``list``/``diff``
+  compare runs, ``check --baseline NAME`` exits 2 on regressions
+  beyond a threshold, ``seed`` bootstraps history from committed BENCH
+  artifacts, ``add`` labels a recorded manifest as a baseline.
+
+``--quiet``/``--verbose`` (before the command) set the stderr status
+level; stdout stays machine-readable report content. ``simulate
+--heartbeat FILE`` streams live run heartbeats (see
+``docs/observability.md``); ``--registry [DIR]`` records a provenance
+manifest per run and stamps its ``run_id`` into every artifact the run
+writes.
 """
 
 from __future__ import annotations
@@ -34,9 +48,10 @@ from typing import Dict, List, Optional, Sequence
 
 from .frontend import compile_kernel
 from .harness import (
-    DEFAULT_MAX_CYCLES, build_system, dae_hierarchy, graceful_interrupts,
-    inorder_core, ooo_core, prepare, prepare_dae_sliced, render_table,
-    run_supervised, simulate, simulate_dae, xeon_core, xeon_hierarchy,
+    DEFAULT_MAX_CYCLES, NORMAL, QUIET, STATUS, VERBOSE, build_system,
+    dae_hierarchy, graceful_interrupts, inorder_core, ooo_core, prepare,
+    prepare_dae_sliced, render_table, run_supervised, set_status_level,
+    simulate, simulate_dae, watch_loop, xeon_core, xeon_hierarchy,
 )
 from .ir import format_function
 from .resilience import FaultPlan
@@ -106,32 +121,97 @@ def _hierarchy(name: str):
 
 # -- checkpoint/resume path (simulate/inject/analyze --resume) ----------------
 
-def _checkpoint_sink(args):
+def _checkpoint_sink(args, run_id=None):
     """Build the autosave sink ``--checkpoint`` asks for (None without)."""
     if not getattr(args, "checkpoint", None):
         return None
     from .checkpoint import CheckpointSink
     return CheckpointSink(args.checkpoint, args.checkpoint_every,
-                          keep=args.checkpoint_keep)
+                          keep=args.checkpoint_keep, run_id=run_id)
 
 
-def _resume_run(args):
+def _heartbeat_emitter(args, source=None):
+    """Build the ``--heartbeat`` JSONL emitter (None without)."""
+    if not getattr(args, "heartbeat", None):
+        return None
+    from .telemetry import HeartbeatEmitter
+    return HeartbeatEmitter(
+        args.heartbeat,
+        every_cycles=getattr(args, "heartbeat_every", None) or 100_000,
+        source=source)
+
+
+def _resume_run(args, run_id=None):
     """Shared ``--resume`` path: restore the snapshot, apply budget and
     sink overrides, and run it to completion (gracefully interruptible
-    again). Returns (stats, interleaver)."""
+    again). Returns (stats, interleaver, run_id) — the id the snapshot
+    was stamped with, so the crash/resume lineage stays joinable (the
+    explicit ``run_id`` argument wins when given)."""
     from .checkpoint import load_checkpoint
     restored = load_checkpoint(args.resume)
+    run_id = run_id or restored.run_id
     interleaver = restored.interleaver
     interleaver.max_cycles = args.max_cycles
     if getattr(args, "timeout", None) is not None:
         interleaver.wall_clock_limit = args.timeout
-    sink = _checkpoint_sink(args)
+    sink = _checkpoint_sink(args, run_id=run_id)
     if sink is not None:
         interleaver.checkpoint = sink
-    print(f"resuming {args.resume} from cycle {restored.cycle}")
+    emitter = _heartbeat_emitter(args, source={"resumed": args.resume})
+    if emitter is not None:
+        interleaver.emitter = emitter
+    STATUS.info(f"resuming {args.resume} from cycle {restored.cycle}")
     with graceful_interrupts(interleaver):
         stats = interleaver.run()
-    return stats, interleaver
+    return stats, interleaver, run_id
+
+
+# -- run registry path (simulate/inject --registry/--run-id) ------------------
+
+def _registry_run_id(args):
+    """Resolve the provenance id for this run: ``--run-id`` wins;
+    ``--registry`` without one mints a fresh id. None (the default)
+    means no stamping at all, so unregistered artifacts stay
+    byte-identical to pre-registry builds."""
+    if getattr(args, "run_id", None):
+        return args.run_id
+    if getattr(args, "registry", None):
+        from .registry import new_run_id
+        return new_run_id()
+    return None
+
+
+def _record_manifest(args, run_id, *, workload, status, stats=None,
+                     wall_seconds=0.0, seed=None, config=None,
+                     artifacts=None):
+    """Record a provenance manifest under ``--registry`` (no-op
+    without). Returns the manifest path or None."""
+    if not getattr(args, "registry", None) or run_id is None:
+        return None
+    from .checkpoint import CHECKPOINT_SCHEMA_VERSION
+    from .registry import RunManifest, RunRegistry
+    from .telemetry import (
+        HEARTBEAT_SCHEMA_VERSION, METRICS_SCHEMA_VERSION,
+        TRACE_SCHEMA_VERSION,
+    )
+    mips = None
+    if stats is not None and wall_seconds > 0:
+        mips = stats.instructions / wall_seconds / 1e6
+    manifest = RunManifest.capture(
+        run_id, workload=workload, status=status, config=config,
+        seed=seed, stats=stats, wall_seconds=wall_seconds, mips=mips,
+        schema_versions={
+            "trace": TRACE_SCHEMA_VERSION,
+            "metrics": METRICS_SCHEMA_VERSION,
+            "checkpoint": CHECKPOINT_SCHEMA_VERSION,
+            "heartbeat": HEARTBEAT_SCHEMA_VERSION,
+        },
+        artifacts={kind: path for kind, path in (artifacts or {}).items()
+                   if path})
+    path = RunRegistry(args.registry).record(
+        manifest, label=getattr(args, "label", "") or "")
+    STATUS.info(f"run {run_id}: manifest -> {path}")
+    return path
 
 
 # -- sweep path (simulate/inject/analyze --sweep) -----------------------------
@@ -177,14 +257,25 @@ def _run_core_sweep(args, core, hierarchy, plan=None,
     workload = _build(args.workload, args.size)
     prepared = prepare(workload.kernel, workload.args,
                        num_tiles=args.tiles, memory=workload.memory)
+    # journaled sweeps stream worker heartbeats into a live-status file
+    # next to the journal by default, so `repro watch JOURNAL` works
+    # without extra flags; --heartbeat-every tunes the stride
+    heartbeat_every = getattr(args, "heartbeat_every", None)
+    if heartbeat_every is None and args.journal:
+        heartbeat_every = 100_000
     try:
         result = sweep_core(
             prepared, core, grid, hierarchy=hierarchy,
             num_tiles=args.tiles, max_cycles=args.max_cycles,
             wall_clock_limit=wall_clock_limit, jobs=args.jobs,
-            journal_path=args.journal, resume=args.resume_sweep)
+            journal_path=args.journal, resume=args.resume_sweep,
+            heartbeat_every=heartbeat_every)
     except TypeError as exc:
         raise SystemExit(f"bad --sweep grid: {exc}")
+    if args.journal and heartbeat_every:
+        STATUS.verbose(f"live sweep status streamed alongside "
+                       f"{args.journal} (watch with: repro watch "
+                       f"{args.journal})")
     for point in result.points:
         # FaultPlan reprs are unwieldy in the table; label by seed
         inner = point.parameters.get("plan")
@@ -235,6 +326,7 @@ def _detect_accelerators(kernel):
 
 
 def cmd_simulate(args) -> int:
+    import time as _time
     from .sim.configfile import load_core_config, load_hierarchy_config
     from .telemetry import (
         MetricsRegistry, SelfProfiler, Tracer, write_stats_json,
@@ -246,9 +338,11 @@ def cmd_simulate(args) -> int:
                  else _hierarchy(args.hierarchy))
     if args.sweep:
         if args.trace or args.metrics or args.stats_json or args.profile \
-                or args.retries or args.resume or args.checkpoint:
+                or args.retries or args.resume or args.checkpoint \
+                or args.heartbeat or args.registry or args.run_id:
             print("--sweep is incompatible with --trace/--metrics/"
-                  "--stats-json/--profile/--retries/--checkpoint/--resume",
+                  "--stats-json/--profile/--retries/--checkpoint/--resume/"
+                  "--heartbeat/--registry/--run-id",
                   file=sys.stderr)
             return 2
         result = _run_core_sweep(args, core, hierarchy,
@@ -261,27 +355,47 @@ def cmd_simulate(args) -> int:
             return 2
         # the workload already ran functionally before the original
         # run's snapshot, so verify() is deliberately skipped here
-        stats, interleaver = _resume_run(args)
+        began = _time.perf_counter()
+        stats, interleaver, run_id = _resume_run(args, run_id=args.run_id)
+        if run_id is None:
+            run_id = _registry_run_id(args)
+        wall = _time.perf_counter() - began
         tracer = interleaver.tracer
-        profile = None
         print(f"workload: {args.workload} (resumed)")
         print(stats.summary())
         if tracer is not None and args.trace:
-            tracer.write(args.trace, frequency_ghz=stats.frequency_ghz)
-            print(f"trace: {len(tracer.events())} event(s) -> {args.trace}")
+            tracer.write(args.trace, frequency_ghz=stats.frequency_ghz,
+                         run_id=run_id)
+            STATUS.info(f"trace: {len(tracer.events())} event(s) "
+                        f"-> {args.trace}")
         if args.metrics:
-            write_stats_json(stats, args.metrics)
-            print(f"metrics: -> {args.metrics}")
+            write_stats_json(stats, args.metrics, run_id=run_id)
+            STATUS.info(f"metrics: -> {args.metrics}")
         if args.stats_json:
-            write_stats_json(stats, args.stats_json)
-            print(f"stats: -> {args.stats_json}")
+            write_stats_json(stats, args.stats_json, run_id=run_id)
+            STATUS.info(f"stats: -> {args.stats_json}")
+        _record_manifest(
+            args, run_id, workload=args.workload, status="ok",
+            stats=stats, wall_seconds=wall,
+            artifacts={"trace": args.trace, "metrics": args.metrics,
+                       "stats": args.stats_json,
+                       "heartbeat": args.heartbeat,
+                       "checkpoint": args.checkpoint,
+                       "resumed_from": args.resume})
         return 0
     workload = _build(args.workload, args.size)
     accelerators = _detect_accelerators(workload.kernel)
+    run_id = _registry_run_id(args)
     tracer = Tracer() if args.trace else None
     metrics = MetricsRegistry() if args.metrics else None
     profiler = SelfProfiler() if args.profile else None
-    checkpoint = _checkpoint_sink(args)
+    checkpoint = _checkpoint_sink(args, run_id=run_id)
+    emitter = _heartbeat_emitter(args, source={"workload": args.workload})
+    config = {"workload": args.workload, "size": args.size or [],
+              "core": core, "tiles": args.tiles,
+              "hierarchy": args.hierarchy_config or args.hierarchy,
+              "max_cycles": args.max_cycles}
+    began = _time.perf_counter()
     if args.retries > 0:
         outcome = run_supervised(
             workload.kernel, workload.args, core=core,
@@ -289,43 +403,68 @@ def cmd_simulate(args) -> int:
             accelerators=accelerators,
             max_cycles=args.max_cycles, wall_clock_limit=args.timeout,
             retries=args.retries, tracer=tracer, metrics=metrics,
-            profiler=profiler, checkpoint=checkpoint)
+            profiler=profiler, checkpoint=checkpoint, emitter=emitter)
         if not outcome.ok:
             print(f"run failed: {outcome.status} after {outcome.attempts} "
                   f"attempt(s): {outcome.error}", file=sys.stderr)
             if outcome.checkpoint_path:
                 print(f"resume with --resume {outcome.checkpoint_path}",
                       file=sys.stderr)
+            # failed runs are registry-worthy too: the manifest records
+            # the failure and the checkpoint to resume from
+            _record_manifest(
+                args, run_id, workload=args.workload,
+                status=outcome.status, wall_seconds=outcome.wall_seconds,
+                config=config,
+                artifacts={"checkpoint": outcome.checkpoint_path,
+                           "heartbeat": args.heartbeat})
             return 2
         stats = outcome.stats
         profile = outcome.profile
+        wall = outcome.wall_seconds
     else:
         interleaver = build_system(
             workload.kernel, workload.args, core=core,
             num_tiles=args.tiles, hierarchy=hierarchy,
             accelerators=accelerators, max_cycles=args.max_cycles,
             wall_clock_limit=args.timeout, tracer=tracer,
-            metrics=metrics, profiler=profiler, checkpoint=checkpoint)
+            metrics=metrics, profiler=profiler, checkpoint=checkpoint,
+            emitter=emitter)
         with graceful_interrupts(interleaver):
             stats = interleaver.run()
         profile = profiler.report if profiler is not None else None
+        wall = _time.perf_counter() - began
     workload.verify()
     print(f"workload: {workload.name}  system: {args.tiles}x {core.name} "
           f"/ {args.hierarchy_config or args.hierarchy}")
     print(stats.summary())
     if tracer is not None:
-        tracer.write(args.trace, frequency_ghz=stats.frequency_ghz)
+        tracer.write(args.trace, frequency_ghz=stats.frequency_ghz,
+                     run_id=run_id)
         dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
-        print(f"trace: {len(tracer.events())} event(s){dropped} "
-              f"-> {args.trace}")
+        STATUS.info(f"trace: {len(tracer.events())} event(s){dropped} "
+                    f"-> {args.trace}")
     if args.metrics:
-        write_stats_json(stats, args.metrics)
-        print(f"metrics: -> {args.metrics}")
+        write_stats_json(stats, args.metrics, run_id=run_id)
+        STATUS.info(f"metrics: -> {args.metrics}")
     if args.stats_json:
-        write_stats_json(stats, args.stats_json)
-        print(f"stats: -> {args.stats_json}")
+        write_stats_json(stats, args.stats_json, run_id=run_id)
+        STATUS.info(f"stats: -> {args.stats_json}")
+    if emitter is not None:
+        if emitter.errors:
+            STATUS.warn(f"heartbeat: {emitter.errors} write error(s) on "
+                        f"{args.heartbeat}")
+        else:
+            STATUS.info(f"heartbeat: {emitter.seq} snapshot(s) "
+                        f"-> {args.heartbeat}")
     if profile is not None:
         print(profile.summary())
+    _record_manifest(
+        args, run_id, workload=workload.name, status="ok", stats=stats,
+        wall_seconds=wall, config=config,
+        artifacts={"trace": args.trace, "metrics": args.metrics,
+                   "stats": args.stats_json, "heartbeat": args.heartbeat,
+                   "checkpoint": args.checkpoint})
     return 0
 
 
@@ -422,7 +561,7 @@ def cmd_analyze(args) -> int:
             return 2
         # attribution must have been attached to the original
         # (checkpointed) run; the restored ledgers finish seamlessly
-        stats, _ = _resume_run(args)
+        stats, _, _ = _resume_run(args)
         document = stats_to_dict(stats)
         try:
             validate_report(document)
@@ -433,7 +572,7 @@ def cmd_analyze(args) -> int:
             return 2
         if args.json:
             write_stats_json(stats, args.json)
-            print(f"report: -> {args.json}")
+            STATUS.info(f"report: -> {args.json}")
         source = f"{args.resume} (resumed)"
     elif args.report:
         if args.workload:
@@ -473,7 +612,7 @@ def cmd_analyze(args) -> int:
                     return 2
                 best = result.best("cycles")
                 core = replace(core, **best.parameters)
-                print(f"analyzing best point: {best.parameters}")
+                STATUS.info(f"analyzing best point: {best.parameters}")
             stats = simulate(
                 workload.kernel, workload.args, core=core,
                 num_tiles=args.tiles, hierarchy=_hierarchy(args.hierarchy),
@@ -484,7 +623,7 @@ def cmd_analyze(args) -> int:
         validate_report(document)  # self-check before rendering
         if args.json:
             write_stats_json(stats, args.json)
-            print(f"report: -> {args.json}")
+            STATUS.info(f"report: -> {args.json}")
         source = args.workload
     else:
         print("analyze needs a workload or --report FILE", file=sys.stderr)
@@ -520,7 +659,7 @@ def cmd_inject(args) -> int:
         # the restored graph carries the fault injector (and its RNG
         # streams) mid-campaign; plan flags on the command line are
         # ignored on resume
-        stats, interleaver = _resume_run(args)
+        stats, interleaver, _ = _resume_run(args, run_id=args.run_id)
         injector = find_injector(interleaver)
         faults = len(injector.log) if injector is not None else 0
         print(f"workload: {args.workload} (resumed)  "
@@ -547,13 +686,14 @@ def cmd_inject(args) -> int:
         return w.kernel, w.args, w.memory
 
     workload = _build(args.workload, args.size)
+    run_id = _registry_run_id(args)
     outcome = run_supervised(
         workload.kernel, workload.args, plan=plan,
         core=_core(args.core), num_tiles=args.tiles,
         hierarchy=_hierarchy(args.hierarchy),
         max_cycles=args.max_cycles, wall_clock_limit=args.timeout,
         retries=args.retries, fresh=fresh,
-        checkpoint=_checkpoint_sink(args))
+        checkpoint=_checkpoint_sink(args, run_id=run_id))
     print(f"workload: {workload.name}  plan: seed={plan.seed} "
           f"bitflip={plan.bitflip_load_rate} drop={plan.message_drop_rate} "
           f"delay={plan.message_delay_rate} "
@@ -569,6 +709,14 @@ def cmd_inject(args) -> int:
             by_kind[key] = by_kind.get(key, 0) + 1
         for key in sorted(by_kind):
             print(f"  {key}: {by_kind[key]}")
+    _record_manifest(
+        args, run_id, workload=workload.name, status=outcome.status,
+        stats=outcome.stats if outcome.ok else None,
+        wall_seconds=outcome.wall_seconds, seed=plan.seed,
+        config={"workload": args.workload, "size": args.size or [],
+                "core": args.core, "tiles": args.tiles,
+                "hierarchy": args.hierarchy, "plan": plan},
+        artifacts={"checkpoint": outcome.checkpoint_path})
     if outcome.ok:
         print(outcome.stats.summary())
         return 0
@@ -634,12 +782,147 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_watch(args) -> int:
+    """Live sweep dashboard: render journal + streamed heartbeats until
+    every point is done (or forever, with --interval polling, until
+    interrupted). Exit codes: 0 rendered/finished."""
+    return watch_loop(args.journal, args.live, interval=args.interval,
+                      stall_after=args.stall_after, once=args.once)
+
+
+# -- history / run-registry commands ------------------------------------------
+
+def _history_path(args) -> str:
+    """``--history FILE`` wins; otherwise the registry's feed."""
+    if getattr(args, "history", None):
+        return args.history
+    import os
+    return os.path.join(args.registry or "runs", "history.jsonl")
+
+
+def cmd_history_list(args) -> int:
+    from .registry import load_history
+    path = _history_path(args)
+    entries = load_history(path)
+    if not entries:
+        print(f"no history at {path}", file=sys.stderr)
+        return 2
+    rows = []
+    for entry in entries[-args.limit:] if args.limit else entries:
+        rows.append([
+            entry.get("run_id", "?"), entry.get("label") or "-",
+            entry.get("workload") or "-", entry.get("status", "?"),
+            entry.get("cycles") if entry.get("cycles") is not None else "-",
+            f"{entry['ipc']:.3f}" if entry.get("ipc") else "-",
+            f"{entry['mips']:.2f}" if entry.get("mips") else "-",
+        ])
+    print(render_table(
+        ["run", "label", "workload", "status", "cycles", "IPC", "MIPS"],
+        rows, title=f"{path}: {len(entries)} run(s)"))
+    return 0
+
+
+def cmd_history_check(args) -> int:
+    """Regression gate: compare the latest run of each workload against
+    the named baseline. Exit codes: 0 pass, 2 regressions (or no
+    comparable history)."""
+    from .registry import find_baseline, history_check, load_history
+    path = _history_path(args)
+    entries = load_history(path)
+    if not entries:
+        print(f"no history at {path}", file=sys.stderr)
+        return 2
+    if find_baseline(entries, args.baseline) is None:
+        # a typo'd label must not read as a passing gate
+        print(f"no baseline {args.baseline!r} in {path}", file=sys.stderr)
+        return 2
+    regressions = history_check(entries, args.baseline,
+                                threshold=args.threshold,
+                                check_mips=args.check_mips)
+    if not regressions:
+        print(f"history check vs {args.baseline!r}: ok "
+              f"({len(entries)} entries, threshold {args.threshold:.0%})")
+        return 0
+    print(f"history check vs {args.baseline!r}: "
+          f"{len(regressions)} regression(s)")
+    for record in regressions:
+        if record["metric"] == "status":
+            print(f"  {record['workload']}: status "
+                  f"{record['baseline']} -> {record['latest']} "
+                  f"(run {record['run_id']})")
+        else:
+            print(f"  {record['workload']}: {record['metric']} "
+                  f"{record['baseline']:g} -> {record['latest']:g} "
+                  f"({record['ratio'] - 1.0:+.2%}, run {record['run_id']})")
+    return 2
+
+
+def cmd_history_diff(args) -> int:
+    from .registry import render_history_diff, load_history
+    path = _history_path(args)
+    entries = load_history(path)
+    if not entries:
+        print(f"no history at {path}", file=sys.stderr)
+        return 2
+    print(render_history_diff(entries, args.baseline,
+                              threshold=args.threshold,
+                              check_mips=args.check_mips))
+    return 0
+
+
+def cmd_history_add(args) -> int:
+    """Append a recorded manifest to the history feed under a label —
+    how a known-good run gets pinned as the named baseline."""
+    import json
+    from .registry import RunManifest, append_history, history_entry
+    try:
+        with open(args.manifest, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    try:
+        manifest = RunManifest.from_dict(document)
+    except ValueError as exc:
+        print(f"invalid manifest: {exc}", file=sys.stderr)
+        return 2
+    path = _history_path(args)
+    append_history(path, history_entry(manifest, label=args.label))
+    print(f"added {manifest.run_id} to {path}"
+          + (f" as {args.label!r}" if args.label else ""))
+    return 0
+
+
+def cmd_history_seed(args) -> int:
+    """Bootstrap history from the committed BENCH artifacts so fresh
+    clones can gate against the repo's recorded baseline."""
+    from .registry import seed_history_from_bench
+    path = _history_path(args)
+    appended = seed_history_from_bench(args.results, path,
+                                      label=args.label)
+    if not appended:
+        print(f"no BENCH artifacts found under {args.results}",
+              file=sys.stderr)
+        return 2
+    print(f"seeded {appended} baseline entr"
+          f"{'y' if appended == 1 else 'ies'} from {args.results} "
+          f"-> {path}")
+    return 0
+
+
 # -- argument parsing ----------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MosaicSim reproduction command-line interface")
+    level = parser.add_mutually_exclusive_group()
+    level.add_argument("-q", "--quiet", action="store_true",
+                       help="suppress informational stderr status lines "
+                            "(warnings still print)")
+    level.add_argument("-v", "--verbose", action="store_true",
+                       help="print extra stderr status detail (sweep "
+                            "point completions, watch hints)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list workloads and system presets") \
@@ -686,6 +969,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "and restore their results bit-identically")
         return sub
 
+    def with_registry(sub):
+        sub.add_argument("--registry", nargs="?", const="runs",
+                         metavar="DIR",
+                         help="record a provenance manifest (run id, "
+                              "config digest, host, headline stats, "
+                              "artifact paths) in DIR (default: runs) "
+                              "and append to its history feed")
+        sub.add_argument("--run-id", dest="run_id", metavar="ID",
+                         help="stamp artifacts with this run id instead "
+                              "of a generated one")
+        sub.add_argument("--label", default="",
+                         metavar="NAME",
+                         help="label the history entry (e.g. 'baseline') "
+                              "so later runs can gate against it")
+        return sub
+
     def with_checkpoint(sub):
         sub.add_argument("--checkpoint", metavar="FILE",
                          help="autosave a resumable snapshot to FILE "
@@ -702,9 +1001,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "starting fresh")
         return sub
 
-    sim = with_checkpoint(with_sweep(with_supervision(with_workload(
-        commands.add_parser(
-            "simulate", help="simulate a workload on a system preset")))))
+    sim = with_registry(with_checkpoint(with_sweep(with_supervision(
+        with_workload(commands.add_parser(
+            "simulate", help="simulate a workload on a system preset"))))))
     sim.add_argument("--core", default="ooo", choices=sorted(CORES))
     sim.add_argument("--tiles", type=int, default=1)
     sim.add_argument("--hierarchy", default="dae",
@@ -727,12 +1026,21 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--profile", action="store_true",
                      help="print the simulator self-profile (wall-clock "
                           "per phase, events/sec)")
+    sim.add_argument("--heartbeat", metavar="FILE",
+                     help="stream live run heartbeats (cycle, IPC, "
+                          "in-flight memory, attribution deltas) to a "
+                          "JSONL file while the run is in flight")
+    sim.add_argument("--heartbeat-every", type=int, default=None,
+                     metavar="N", dest="heartbeat_every",
+                     help="simulated cycles between heartbeats (default "
+                          "100000; with --heartbeat, or with --sweep "
+                          "--journal to tune the live-status stride)")
     sim.set_defaults(func=cmd_simulate)
 
-    inject = with_checkpoint(with_sweep(with_supervision(with_workload(
-        commands.add_parser(
+    inject = with_registry(with_checkpoint(with_sweep(with_supervision(
+        with_workload(commands.add_parser(
             "inject",
-            help="run a deterministic fault-injection campaign")))))
+            help="run a deterministic fault-injection campaign"))))))
     inject.add_argument("--core", default="ooo", choices=sorted(CORES))
     inject.add_argument("--tiles", type=int, default=1)
     inject.add_argument("--hierarchy", default="dae",
@@ -833,12 +1141,100 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--top", type=int, default=5,
                       help="regressed categories to rank")
     diff.set_defaults(func=cmd_diff)
+
+    watch = commands.add_parser(
+        "watch", help="live terminal dashboard for a running sweep "
+                      "(per-point progress, ETA, straggler diagnosis)")
+    watch.add_argument("journal", help="the sweep's --journal FILE")
+    watch.add_argument("--live", metavar="FILE", default=None,
+                       help="live-status file (default: JOURNAL"
+                            ".live.json, where sweeps stream it)")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="seconds between dashboard refreshes")
+    watch.add_argument("--stall-after", type=float, default=10.0,
+                       metavar="SECONDS", dest="stall_after",
+                       help="flag a point as STALLED (and print its "
+                            "per-tile stall diagnosis) after this many "
+                            "seconds without a heartbeat")
+    watch.add_argument("--once", action="store_true",
+                       help="render one frame and exit (CI-friendly)")
+    watch.set_defaults(func=cmd_watch)
+
+    history = commands.add_parser(
+        "history", help="run-registry history: list runs, diff and "
+                        "gate against a named baseline")
+    hsub = history.add_subparsers(dest="history_command", required=True)
+
+    def with_history(sub):
+        sub.add_argument("--history", metavar="FILE",
+                         help="history JSONL to read/append (default: "
+                              "REGISTRY/history.jsonl)")
+        sub.add_argument("--registry", metavar="DIR", default=None,
+                         help="registry directory the history feed "
+                              "lives in (default: runs)")
+        return sub
+
+    hlist = with_history(hsub.add_parser(
+        "list", help="tabulate recorded runs"))
+    hlist.add_argument("--limit", type=int, default=0, metavar="N",
+                       help="show only the newest N entries")
+    hlist.set_defaults(func=cmd_history_list)
+
+    def with_baseline(sub):
+        sub.add_argument("--baseline", default="baseline", metavar="NAME",
+                         help="label or run id to compare against "
+                              "(default: 'baseline')")
+        sub.add_argument("--threshold", type=float, default=0.05,
+                         metavar="FRACTION",
+                         help="relative regression threshold "
+                              "(default 0.05 = 5%%)")
+        sub.add_argument("--check-mips", action="store_true",
+                         dest="check_mips",
+                         help="also gate on MIPS (host-speed; only "
+                              "meaningful on one machine)")
+        return sub
+
+    hcheck = with_baseline(with_history(hsub.add_parser(
+        "check", help="regression gate: exit 2 if the latest run of "
+                      "any workload regressed beyond the threshold")))
+    hcheck.set_defaults(func=cmd_history_check)
+
+    hdiff = with_baseline(with_history(hsub.add_parser(
+        "diff", help="render latest-vs-baseline per workload")))
+    hdiff.set_defaults(func=cmd_history_diff)
+
+    hadd = with_history(hsub.add_parser(
+        "add", help="append a recorded manifest to the history feed "
+                    "(pin a baseline with --label)"))
+    hadd.add_argument("manifest", help="manifest JSON from --registry")
+    hadd.add_argument("--label", default="", metavar="NAME",
+                      help="label the entry (e.g. 'baseline')")
+    hadd.set_defaults(func=cmd_history_add)
+
+    hseed = with_history(hsub.add_parser(
+        "seed", help="bootstrap baseline history from committed BENCH "
+                     "artifacts"))
+    hseed.add_argument("--results", default="benchmarks/results",
+                       metavar="DIR",
+                       help="directory holding BENCH_*.json artifacts")
+    hseed.add_argument("--label", default="baseline", metavar="NAME",
+                       help="label for the seeded entries")
+    hseed.set_defaults(func=cmd_history_seed)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     from .sim.configfile import ConfigFileError
     args = build_parser().parse_args(argv)
+    if args.quiet:
+        set_status_level(QUIET)
+    elif args.verbose:
+        set_status_level(VERBOSE)
+    else:
+        # explicit reset: main() may be invoked repeatedly in-process
+        # (tests, notebooks) and the level is a module-global
+        set_status_level(NORMAL)
     try:
         return args.func(args)
     except SystemExit:

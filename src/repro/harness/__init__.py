@@ -16,9 +16,16 @@ from .runner import (
     run_supervised, run_with_faults, simulate, simulate_dae,
     simulate_heterogeneous,
 )
+from .status import (
+    NORMAL, QUIET, STATUS, StatusLogger, VERBOSE, set_status_level,
+)
 from .sweeps import (
     SweepJournal, SweepPoint, SweepResult, sweep_core, sweep_hierarchy,
     sweep_runs,
+)
+from .watch import (
+    SweepLiveStatus, estimate_total_cycles, eta_seconds, live_path_for,
+    load_live, render_watch, watch_loop,
 )
 from .simspeed import (
     BENCH_SCHEMA_VERSION, PAPER_MIPS, SpeedReport,
@@ -41,8 +48,12 @@ __all__ = [
     "classify_failure", "graceful_interrupts", "prepare", "prepare_dae",
     "prepare_dae_sliced", "run_supervised", "run_with_faults", "simulate",
     "simulate_dae", "simulate_heterogeneous",
+    "NORMAL", "QUIET", "STATUS", "StatusLogger", "VERBOSE",
+    "set_status_level",
     "SweepJournal", "SweepPoint", "SweepResult", "sweep_core",
     "sweep_hierarchy", "sweep_runs",
+    "SweepLiveStatus", "estimate_total_cycles", "eta_seconds",
+    "live_path_for", "load_live", "render_watch", "watch_loop",
     "BENCH_SCHEMA_VERSION", "PAPER_MIPS", "SpeedReport",
     "measure_simulation_speed", "measure_sweep_scaling",
     "trace_footprint_bytes", "write_bench_json",

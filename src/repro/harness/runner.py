@@ -102,7 +102,8 @@ def build_system(kernel: Kernel, args: Sequence, *,
                  wall_clock_limit: Optional[float] = None,
                  injector: Optional[FaultInjector] = None,
                  tracer=None, metrics=None, profiler=None,
-                 attribution=None, checkpoint=None) -> Interleaver:
+                 attribution=None, checkpoint=None,
+                 emitter=None) -> Interleaver:
     """Build (without running) the homogeneous system :func:`simulate`
     would run: ``num_tiles`` copies of ``core`` over a shared hierarchy.
 
@@ -142,7 +143,7 @@ def build_system(kernel: Kernel, args: Sequence, *,
                        wall_clock_limit=wall_clock_limit,
                        tracer=tracer, metrics=metrics,
                        profiler=profiler, attribution=attribution,
-                       checkpoint=checkpoint)
+                       checkpoint=checkpoint, emitter=emitter)
 
 
 def simulate(kernel: Kernel, args: Sequence, *,
@@ -157,7 +158,8 @@ def simulate(kernel: Kernel, args: Sequence, *,
              wall_clock_limit: Optional[float] = None,
              injector: Optional[FaultInjector] = None,
              tracer=None, metrics=None, profiler=None,
-             attribution=None, checkpoint=None) -> SystemStats:
+             attribution=None, checkpoint=None,
+             emitter=None) -> SystemStats:
     """One-stop homogeneous simulation: ``num_tiles`` copies of ``core``
     running the SPMD kernel over a shared memory hierarchy.
 
@@ -175,7 +177,7 @@ def simulate(kernel: Kernel, args: Sequence, *,
         max_cycles=max_cycles, wall_clock_limit=wall_clock_limit,
         injector=injector, tracer=tracer, metrics=metrics,
         profiler=profiler, attribution=attribution,
-        checkpoint=checkpoint).run()
+        checkpoint=checkpoint, emitter=emitter).run()
 
 
 def build_heterogeneous(kernel: Kernel, args: Sequence, *,
@@ -188,7 +190,8 @@ def build_heterogeneous(kernel: Kernel, args: Sequence, *,
                         wall_clock_limit: Optional[float] = None,
                         injector: Optional[FaultInjector] = None,
                         tracer=None, metrics=None, profiler=None,
-                        attribution=None, checkpoint=None) -> Interleaver:
+                        attribution=None, checkpoint=None,
+                        emitter=None) -> Interleaver:
     """Build (without running) the heterogeneous system
     :func:`simulate_heterogeneous` would run."""
     if not cores:
@@ -226,7 +229,7 @@ def build_heterogeneous(kernel: Kernel, args: Sequence, *,
                        wall_clock_limit=wall_clock_limit,
                        tracer=tracer, metrics=metrics,
                        profiler=profiler, attribution=attribution,
-                       checkpoint=checkpoint)
+                       checkpoint=checkpoint, emitter=emitter)
 
 
 def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
@@ -239,7 +242,8 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
                            wall_clock_limit: Optional[float] = None,
                            injector: Optional[FaultInjector] = None,
                            tracer=None, metrics=None, profiler=None,
-                           attribution=None, checkpoint=None) -> SystemStats:
+                           attribution=None, checkpoint=None,
+                           emitter=None) -> SystemStats:
     """Heterogeneous SPMD simulation: one tile per entry of ``cores``,
     each with its own microarchitecture and clock (paper §II: "MosaicSim
     can simulate more heterogeneous processors by providing, and hence
@@ -256,7 +260,7 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
         max_cycles=max_cycles, wall_clock_limit=wall_clock_limit,
         injector=injector, tracer=tracer, metrics=metrics,
         profiler=profiler, attribution=attribution,
-        checkpoint=checkpoint).run()
+        checkpoint=checkpoint, emitter=emitter).run()
 
 
 @dataclass
@@ -322,7 +326,8 @@ def build_dae(specs: List[DAEPairSpec], *,
               wall_clock_limit: Optional[float] = None,
               injector: Optional[FaultInjector] = None,
               tracer=None, metrics=None, profiler=None,
-              attribution=None, checkpoint=None) -> Interleaver:
+              attribution=None, checkpoint=None,
+              emitter=None) -> Interleaver:
     """Build (without running) the DAE system :func:`simulate_dae`
     would run."""
     pairs = len(specs)
@@ -359,7 +364,7 @@ def build_dae(specs: List[DAEPairSpec], *,
                        wall_clock_limit=wall_clock_limit,
                        tracer=tracer, metrics=metrics,
                        profiler=profiler, attribution=attribution,
-                       checkpoint=checkpoint)
+                       checkpoint=checkpoint, emitter=emitter)
 
 
 def simulate_dae(specs: List[DAEPairSpec], *,
@@ -373,7 +378,8 @@ def simulate_dae(specs: List[DAEPairSpec], *,
                  wall_clock_limit: Optional[float] = None,
                  injector: Optional[FaultInjector] = None,
                  tracer=None, metrics=None, profiler=None,
-                 attribution=None, checkpoint=None) -> SystemStats:
+                 attribution=None, checkpoint=None,
+                 emitter=None) -> SystemStats:
     """Simulate P DAE pairs: tiles 0..P-1 are access cores, P..2P-1 the
     matching execute cores, communicating through bounded DAE queues."""
     return build_dae(
@@ -383,7 +389,7 @@ def simulate_dae(specs: List[DAEPairSpec], *,
         max_cycles=max_cycles, wall_clock_limit=wall_clock_limit,
         injector=injector, tracer=tracer, metrics=metrics,
         profiler=profiler, attribution=attribution,
-        checkpoint=checkpoint).run()
+        checkpoint=checkpoint, emitter=emitter).run()
 
 
 # -- graceful interrupts (robustness layer) --------------------------------------
@@ -525,7 +531,8 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
                    backoff_seconds: float = 0.0,
                    fresh: Optional[Callable[[], tuple]] = None,
                    tracer=None, metrics=None, profiler=None,
-                   attribution=None, checkpoint=None) -> RunOutcome:
+                   attribution=None, checkpoint=None,
+                   emitter=None) -> RunOutcome:
     """Run a simulation under supervision: cycle budget, wall-clock
     watchdog, and retry-with-backoff for transient faults.
 
@@ -564,7 +571,8 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
                              wall_clock_limit=wall_clock_limit,
                              injector=injector, tracer=tracer,
                              metrics=metrics, profiler=profiler,
-                             attribution=attribution, checkpoint=checkpoint)
+                             attribution=attribution, checkpoint=checkpoint,
+                             emitter=emitter)
             return RunOutcome(
                 "ok", stats=stats, attempts=attempts,
                 fault_log=tuple(injector.log) if injector else (),

@@ -1,0 +1,64 @@
+"""Leveled status output for the harness and CLI.
+
+Human-facing progress ("resuming from cycle N", "retrying point 3",
+"trace: -> out.json") goes to **stderr** through this logger, keeping
+stdout machine-readable for ``--json`` consumers and shell pipelines.
+Three levels, selected by the CLI's ``--quiet``/``--verbose`` flags:
+
+* ``QUIET`` — warnings only (worker deaths, retries, fallbacks);
+* ``NORMAL`` — plus one-line progress notes (artifact paths, resume
+  hints);
+* ``VERBOSE`` — plus chatty per-step detail (per-point sweep progress).
+
+The module-level :data:`STATUS` singleton is what library code uses;
+levels are resolved at call time so tests (and the CLI) can flip them
+without re-plumbing every call site.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["NORMAL", "QUIET", "STATUS", "StatusLogger", "VERBOSE",
+           "set_status_level"]
+
+QUIET = 0
+NORMAL = 1
+VERBOSE = 2
+
+
+class StatusLogger:
+    """Writes leveled status lines to stderr (never stdout)."""
+
+    def __init__(self, level: int = NORMAL):
+        self.level = level
+
+    def warn(self, message: str) -> None:
+        """Always shown (even under --quiet): something went sideways."""
+        self._write(message)
+
+    def info(self, message: str) -> None:
+        """Default-level progress note; silenced by --quiet."""
+        if self.level >= NORMAL:
+            self._write(message)
+
+    def verbose(self, message: str) -> None:
+        """Chatty detail; shown only under --verbose."""
+        if self.level >= VERBOSE:
+            self._write(message)
+
+    @staticmethod
+    def _write(message: str) -> None:
+        # resolved at call time so pytest's capsys / CLI redirection see
+        # every line; flushed so progress interleaves correctly with a
+        # child process's own output
+        print(message, file=sys.stderr, flush=True)
+
+
+#: process-wide logger used by harness + CLI status output
+STATUS = StatusLogger()
+
+
+def set_status_level(level: int) -> None:
+    """Clamp and apply a status level (the --quiet/--verbose hook)."""
+    STATUS.level = max(QUIET, min(VERBOSE, level))

@@ -40,8 +40,10 @@ import base64
 import hashlib
 import itertools
 import json
+import multiprocessing
 import os
 import pickle
+import threading
 import time
 import zlib
 from collections import Counter
@@ -54,10 +56,13 @@ from ..resilience.faults import FaultInjector
 from ..sim.config import ConfigError, CoreConfig, MemoryHierarchyConfig
 from ..sim.errors import SimulationError
 from ..sim.statistics import SystemStats
+from ..telemetry.livestream import HeartbeatEmitter
 from .reporting import render_table
 from .runner import (
     DEFAULT_MAX_CYCLES, Prepared, classify_failure, simulate,
 )
+from .status import STATUS
+from .watch import SweepLiveStatus, live_path_for
 
 
 @dataclass
@@ -243,14 +248,22 @@ class SweepJournal:
 
 #: per-worker-process Prepared workload, installed by _worker_init
 _WORKER_PREPARED: Optional[Prepared] = None
+#: heartbeat fan-in queue shared with the coordinator (None = no live
+#: progress requested); workers publish (index, kind, payload) tuples
+_WORKER_HB_QUEUE = None
+_WORKER_HB_EVERY: Optional[int] = None
 
 
-def _worker_init(payload: bytes) -> None:
-    global _WORKER_PREPARED
+def _worker_init(payload: bytes, hb_queue=None,
+                 hb_every: Optional[int] = None) -> None:
+    global _WORKER_PREPARED, _WORKER_HB_QUEUE, _WORKER_HB_EVERY
     _WORKER_PREPARED = pickle.loads(zlib.decompress(payload))
+    _WORKER_HB_QUEUE = hb_queue
+    _WORKER_HB_EVERY = hb_every
 
 
-def _execute_spec(prepared: Prepared, spec: Dict) -> SystemStats:
+def _execute_spec(prepared: Prepared, spec: Dict,
+                  emitter: Optional[HeartbeatEmitter] = None) -> SystemStats:
     spec = dict(spec)
     factory = spec.pop("hierarchy_factory", None)
     if factory is not None:
@@ -259,20 +272,60 @@ def _execute_spec(prepared: Prepared, spec: Dict) -> SystemStats:
     if plan is not None:
         plan.validate()
         spec["injector"] = FaultInjector(plan)
+    if emitter is not None:
+        spec["emitter"] = emitter
     return simulate(prepared.function, [], prepared=prepared, **spec)
 
 
-def _worker_point(task: Tuple[Dict, Dict, str]) -> SweepPoint:
-    parameters, spec, on_error = task
-    return _run_point(
-        parameters, lambda: _execute_spec(_WORKER_PREPARED, spec), on_error)
+class _LiveSend:
+    """In-process heartbeat sink for serial sweeps: heartbeats go
+    straight into the live status, no queue hop."""
+
+    def __init__(self, live, index: int):
+        self.live = live
+        self.index = index
+
+    def __call__(self, heartbeat: dict) -> None:
+        self.live.heartbeat(self.index, heartbeat)
+
+
+class _QueueSend:
+    """Picklable heartbeat sink: tags each heartbeat with its point
+    index and publishes it on the coordinator's fan-in queue."""
+
+    def __init__(self, queue, index: int):
+        self.queue = queue
+        self.index = index
+
+    def __call__(self, heartbeat: dict) -> None:
+        self.queue.put((self.index, "hb", heartbeat))
+
+
+def _worker_point(task: Tuple[int, Dict, Dict, str]) -> SweepPoint:
+    index, parameters, spec, on_error = task
+    if _WORKER_HB_QUEUE is not None:
+        try:
+            _WORKER_HB_QUEUE.put((index, "start", None))
+        except Exception:
+            pass  # a dead coordinator queue must not fail the point
+        emitter = HeartbeatEmitter(
+            send=_QueueSend(_WORKER_HB_QUEUE, index),
+            every_cycles=_WORKER_HB_EVERY or 100_000,
+            source={"point": index})
+        run = lambda: _execute_spec(_WORKER_PREPARED, spec, emitter)
+    else:
+        # two-arg call kept distinct so tests can stub _execute_spec
+        # without caring about heartbeats
+        run = lambda: _execute_spec(_WORKER_PREPARED, spec)
+    return _run_point(parameters, run, on_error)
 
 
 def _execute_parallel(payload: bytes,
                       todo: List[Tuple[int, Dict, Dict]],
                       on_error: str, jobs: int,
                       point_retries: int, retry_backoff: float,
-                      collected) -> None:
+                      collected, hb_queue=None,
+                      hb_every: Optional[int] = None) -> None:
     """Run ``(index, parameters, spec)`` tasks on a process pool,
     surviving hard worker deaths.
 
@@ -293,13 +346,14 @@ def _execute_parallel(payload: bytes,
         survivors: List[Tuple[int, Dict, Dict]] = []
         with ProcessPoolExecutor(max_workers=workers,
                                  initializer=_worker_init,
-                                 initargs=(payload,)) as pool:
+                                 initargs=(payload, hb_queue,
+                                           hb_every)) as pool:
             futures = []
             try:
                 for index, parameters, spec in pending:
                     futures.append((index, parameters,
                                     pool.submit(_worker_point,
-                                                (parameters, spec,
+                                                (index, parameters, spec,
                                                  on_error))))
             except BrokenProcessPool:
                 broken = True
@@ -316,14 +370,34 @@ def _execute_parallel(payload: bytes,
         attempt += 1
         if attempt > point_retries:
             for index, parameters, spec in survivors:
+                STATUS.warn(f"sweep point {index}: worker died hard and "
+                            f"retries are exhausted; recording "
+                            f"worker_died")
                 collected(index, parameters, SweepPoint(
                     parameters, None, outcome="worker_died",
                     error=f"worker process died hard (SIGKILL/OOM) and "
                           f"{point_retries} retries were exhausted"))
             return
+        STATUS.warn(f"sweep worker pool broke (attempt {attempt}/"
+                    f"{point_retries}); retrying {len(survivors)} "
+                    f"unfinished point(s) on a fresh pool")
         if retry_backoff > 0:
             time.sleep(retry_backoff * (2 ** (attempt - 1)))
         pending = survivors
+
+
+def _drain_heartbeats(queue, live: SweepLiveStatus) -> None:
+    """Coordinator-side fan-in thread: fold worker heartbeats into the
+    live status sidecar until the None sentinel arrives."""
+    while True:
+        item = queue.get()
+        if item is None:
+            return
+        index, kind, payload = item
+        if kind == "start":
+            live.point_started(index)
+        elif kind == "hb":
+            live.heartbeat(index, payload)
 
 
 def _execute_sweep(prepared: Prepared, tasks: List[Tuple[Dict, Dict]],
@@ -331,7 +405,8 @@ def _execute_sweep(prepared: Prepared, tasks: List[Tuple[Dict, Dict]],
                    journal_path: Optional[str] = None,
                    resume: bool = False,
                    point_retries: int = 2,
-                   retry_backoff: float = 0.0) -> SweepResult:
+                   retry_backoff: float = 0.0,
+                   heartbeat_every: Optional[int] = None) -> SweepResult:
     """Run every (parameters, spec) task; in order, serially or on a pool.
 
     Workers receive the Prepared workload once (compressed pickle via the
@@ -348,10 +423,21 @@ def _execute_sweep(prepared: Prepared, tasks: List[Tuple[Dict, Dict]],
     times with exponential ``retry_backoff`` before a point is recorded
     as ``worker_died`` (parallel mode; a serial worker death kills the
     process itself, which is exactly what the journal recovers from).
+
+    With ``heartbeat_every`` (a cycle stride) and a ``journal_path``,
+    running points stream heartbeats into a ``<journal>.live.json``
+    sidecar — serially in-process, in parallel over a multiprocessing
+    fan-in queue — which ``repro watch`` renders as a live dashboard.
+    Heartbeats are advisory: they never change point results (the
+    emitter only reads simulation state at consistency points), so
+    serial/parallel bit-identity is preserved.
     """
     if resume and journal_path is None:
         raise ValueError("resume=True needs a journal_path to resume from")
     journal = SweepJournal(journal_path) if journal_path else None
+    live: Optional[SweepLiveStatus] = None
+    if heartbeat_every is not None and journal_path is not None:
+        live = SweepLiveStatus(live_path_for(journal_path), len(tasks))
     points: List[Optional[SweepPoint]] = [None] * len(tasks)
     todo: List[Tuple[int, Dict, Dict]] = []
     entries = journal.load() if (journal is not None and resume) else {}
@@ -369,17 +455,51 @@ def _execute_sweep(prepared: Prepared, tasks: List[Tuple[Dict, Dict]],
         points[index] = point
         if journal is not None and point.outcome != "worker_died":
             journal.append(index, parameters, point)
+        if live is not None:
+            live.point_done(index, point)
+        STATUS.verbose(f"sweep point {index}: {point.outcome}"
+                       + (f" ({point.cycles} cycles)"
+                          if point.cycles is not None else ""))
 
     jobs = min(jobs, len(todo))
     if jobs <= 1 or len(todo) <= 1 or on_error == "raise":
         for index, parameters, spec in todo:
-            collected(index, parameters, _run_point(
-                parameters, lambda s=spec: _execute_spec(prepared, s),
-                on_error))
+            if live is not None:
+                live.point_started(index)
+                emitter = HeartbeatEmitter(
+                    send=_LiveSend(live, index),
+                    every_cycles=heartbeat_every,
+                    source={"point": index})
+                run = (lambda s=spec, e=emitter:
+                       _execute_spec(prepared, s, e))
+            else:
+                # two-arg call kept distinct so tests can stub
+                # _execute_spec without caring about heartbeats
+                run = lambda s=spec: _execute_spec(prepared, s)
+            collected(index, parameters,
+                      _run_point(parameters, run, on_error))
     elif todo:
         payload = zlib.compress(pickle.dumps(prepared, protocol=4), 6)
-        _execute_parallel(payload, todo, on_error, jobs,
-                          point_retries, retry_backoff, collected)
+        hb_queue = None
+        manager = None
+        drain = None
+        if live is not None:
+            manager = multiprocessing.Manager()
+            hb_queue = manager.Queue()
+            drain = threading.Thread(target=_drain_heartbeats,
+                                     args=(hb_queue, live), daemon=True)
+            drain.start()
+        try:
+            _execute_parallel(payload, todo, on_error, jobs,
+                              point_retries, retry_backoff, collected,
+                              hb_queue=hb_queue,
+                              hb_every=heartbeat_every)
+        finally:
+            if drain is not None:
+                hb_queue.put(None)
+                drain.join(timeout=10)
+            if manager is not None:
+                manager.shutdown()
     return SweepResult(points)
 
 
@@ -396,7 +516,8 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
                journal_path: Optional[str] = None,
                resume: bool = False,
                point_retries: int = 2,
-               retry_backoff: float = 0.0) -> SweepResult:
+               retry_backoff: float = 0.0,
+               heartbeat_every: Optional[int] = None) -> SweepResult:
     """Simulate ``prepared`` under every combination of core-config
     overrides in ``grid`` (a dict of CoreConfig field -> values).
 
@@ -415,6 +536,8 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
     same order). ``journal_path``/``resume``/``point_retries``/
     ``retry_backoff`` make the sweep crash-recoverable — see
     :func:`_execute_sweep` and ``docs/resilience.md``.
+    ``heartbeat_every`` (with a journal) streams live per-point
+    progress for ``repro watch`` — see ``docs/observability.md``.
     """
     names = sorted(grid)
     tasks = []
@@ -437,7 +560,8 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
     return _execute_sweep(prepared, tasks, on_error, jobs,
                           journal_path=journal_path, resume=resume,
                           point_retries=point_retries,
-                          retry_backoff=retry_backoff)
+                          retry_backoff=retry_backoff,
+                          heartbeat_every=heartbeat_every)
 
 
 def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
@@ -450,7 +574,8 @@ def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
                     journal_path: Optional[str] = None,
                     resume: bool = False,
                     point_retries: int = 2,
-                    retry_backoff: float = 0.0) -> SweepResult:
+                    retry_backoff: float = 0.0,
+                    heartbeat_every: Optional[int] = None) -> SweepResult:
     """Simulate ``prepared`` under each named memory-hierarchy config."""
     tasks = [({"hierarchy": name},
               {"core": core, "num_tiles": num_tiles,
@@ -460,7 +585,8 @@ def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
     return _execute_sweep(prepared, tasks, on_error, jobs,
                           journal_path=journal_path, resume=resume,
                           point_retries=point_retries,
-                          retry_backoff=retry_backoff)
+                          retry_backoff=retry_backoff,
+                          heartbeat_every=heartbeat_every)
 
 
 def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
@@ -469,7 +595,8 @@ def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
                journal_path: Optional[str] = None,
                resume: bool = False,
                point_retries: int = 2,
-               retry_backoff: float = 0.0) -> SweepResult:
+               retry_backoff: float = 0.0,
+               heartbeat_every: Optional[int] = None) -> SweepResult:
     """Simulate ``prepared`` once per named run configuration.
 
     Each value of ``runs`` is a dict of :func:`simulate` keyword
@@ -482,4 +609,5 @@ def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
     return _execute_sweep(prepared, tasks, on_error, jobs,
                           journal_path=journal_path, resume=resume,
                           point_retries=point_retries,
-                          retry_backoff=retry_backoff)
+                          retry_backoff=retry_backoff,
+                          heartbeat_every=heartbeat_every)

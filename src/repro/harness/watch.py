@@ -1,0 +1,315 @@
+"""Live sweep dashboard: progress fan-in, ETA math, and the `watch` view.
+
+A running sweep publishes two files next to its journal:
+
+* the journal itself (``SweepJournal`` JSONL) — completed points;
+* a live-status sidecar (``<journal>.live.json``, atomic JSON) — which
+  points are running right now, their latest heartbeat, and per-point
+  wall timing, maintained by :class:`SweepLiveStatus` from the worker
+  heartbeats fanned in over a multiprocessing queue (or directly, in a
+  serial sweep).
+
+``repro watch JOURNAL`` renders both into a terminal dashboard:
+per-point progress, ETA from rolling cycles/s, and straggler detection —
+a running point whose last heartbeat is older than ``stall_after``
+seconds is flagged STALLED and its final heartbeat's per-tile
+``stall_state()`` payload is surfaced as a deadlock diagnosis.
+
+The ETA arithmetic lives in small pure functions
+(:func:`estimate_total_cycles`, :func:`eta_seconds`) so the math is
+testable without running a sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..ioutil import atomic_write_json
+
+__all__ = [
+    "LIVE_STATUS_VERSION", "SweepLiveStatus", "estimate_total_cycles",
+    "eta_seconds", "live_path_for", "load_live", "render_watch",
+    "watch_loop",
+]
+
+#: bump when the live-status sidecar layout changes incompatibly
+LIVE_STATUS_VERSION = 1
+
+
+def live_path_for(journal_path: str) -> str:
+    """The live-status sidecar conventionally sits next to the journal."""
+    return journal_path + ".live.json"
+
+
+class SweepLiveStatus:
+    """Coordinator-side aggregate of per-point progress.
+
+    Thread-safe: the parallel sweep drains worker heartbeats on a
+    background thread while ``collected()`` records finished points on
+    the main thread. Every update atomically rewrites the sidecar, so a
+    concurrently running ``repro watch`` never reads a torn document.
+
+    ``clock`` is injectable (tests fake wall time to exercise the
+    straggler detector without sleeping).
+    """
+
+    def __init__(self, path: str, total: int, clock=time.time):
+        self.path = path
+        self.total = total
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._points: Dict[int, dict] = {}
+        self._started_unix = clock()
+
+    def point_started(self, index: int) -> None:
+        with self._lock:
+            # the drain thread can deliver a queued start/heartbeat
+            # after the main thread already recorded the point done;
+            # done is terminal, late progress messages must not revive
+            if self._points.get(index, {}).get("state") == "done":
+                return
+            self._points[index] = {"state": "running",
+                                   "started_unix": self._clock()}
+            self._write()
+
+    def heartbeat(self, index: int, heartbeat: dict) -> None:
+        with self._lock:
+            entry = self._points.setdefault(
+                index, {"state": "running", "started_unix": self._clock()})
+            # a late-drained heartbeat (the worker's final one usually
+            # lands after the main thread records completion) still
+            # refreshes the snapshot, but done state is terminal
+            entry["last"] = heartbeat
+            entry["last_unix"] = self._clock()
+            self._write()
+
+    def point_done(self, index: int, point) -> None:
+        """Record a finished SweepPoint (any outcome)."""
+        with self._lock:
+            previous = self._points.get(index, {})
+            entry = {"state": "done", "outcome": point.outcome}
+            if point.error:
+                entry["error"] = point.error
+            if point.cycles is not None:
+                entry["cycles"] = point.cycles
+            started = previous.get("started_unix")
+            if started is not None:
+                entry["wall_seconds"] = max(0.0, self._clock() - started)
+            # keep the last streamed snapshot: it carries the per-tile
+            # end state the dashboard shows for finished points
+            if "last" in previous:
+                entry["last"] = previous["last"]
+                entry["last_unix"] = previous.get("last_unix")
+            self._points[index] = entry
+            self._write()
+
+    def as_dict(self) -> dict:
+        return {
+            "version": LIVE_STATUS_VERSION,
+            "total": self.total,
+            "started_unix": self._started_unix,
+            "updated_unix": self._clock(),
+            "points": {str(index): entry
+                       for index, entry in sorted(self._points.items())},
+        }
+
+    def _write(self) -> None:
+        # advisory, like heartbeats: a failed sidecar write (disk full,
+        # directory removed) must never take the sweep down
+        try:
+            atomic_write_json(self.path, self.as_dict())
+        except OSError:
+            pass
+
+
+def load_live(path: str) -> Optional[dict]:
+    """The live-status document, or None when absent/undecodable (the
+    writer is atomic, so undecodable means not-a-sidecar, not torn)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict) or \
+            document.get("version") != LIVE_STATUS_VERSION:
+        return None
+    return document
+
+
+# -- ETA math (pure) --------------------------------------------------------
+
+def estimate_total_cycles(completed_cycles: List[int]) -> Optional[float]:
+    """Expected per-point cycle count, from points that finished ok.
+
+    Sweep points re-time the same workload under different
+    configurations, so finished points are the best available predictor
+    for running ones. None until the first point completes."""
+    cycles = [c for c in completed_cycles if c and c > 0]
+    if not cycles:
+        return None
+    return sum(cycles) / len(cycles)
+
+
+def eta_seconds(cycle: int, cycles_per_second: float,
+                total_cycles_estimate: Optional[float]) -> Optional[float]:
+    """Remaining wall seconds for a point at ``cycle`` advancing at
+    ``cycles_per_second``, given the estimated finishing cycle. None
+    when no estimate exists, the rate is unusable, or the point is past
+    the estimate (it will finish when it finishes)."""
+    if total_cycles_estimate is None or cycles_per_second <= 0:
+        return None
+    remaining = total_cycles_estimate - cycle
+    if remaining <= 0:
+        return None
+    return remaining / cycles_per_second
+
+
+def _format_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "eta ?"
+    if seconds < 60:
+        return f"eta {seconds:.0f}s"
+    if seconds < 3600:
+        return f"eta {seconds / 60:.1f}m"
+    return f"eta {seconds / 3600:.1f}h"
+
+
+def _straggler_lines(heartbeat: dict) -> List[str]:
+    """Deadlock-style diagnosis from a stalled point's last heartbeat:
+    which tiles are stuck, and on what."""
+    lines = []
+    for tile in heartbeat.get("tiles", []):
+        if tile.get("done"):
+            continue
+        parts = [f"    {tile.get('name', '?')}:"]
+        attention = tile.get("next_attention")
+        parts.append("attention=never" if attention is None
+                     else f"attention={attention}")
+        for field in ("in_flight", "outstanding_memory_ops", "ready",
+                      "accel_inflight"):
+            if tile.get(field):
+                parts.append(f"{field}={tile[field]}")
+        lines.append(" ".join(parts))
+    pending = heartbeat.get("events_pending")
+    if pending is not None:
+        lines.append(f"    events_pending={pending}, "
+                     f"mem_inflight={heartbeat.get('mem_inflight', 0)}")
+    return lines
+
+
+def render_watch(journal_entries: Dict[int, dict], live: Optional[dict],
+                 now: Optional[float] = None,
+                 stall_after: float = 10.0) -> str:
+    """One frame of the sweep dashboard, as a plain string.
+
+    ``journal_entries`` is ``SweepJournal.load()`` output;
+    ``live`` is the sidecar document (or None when the sweep has no live
+    status — journal-only progress is still rendered). ``now`` defaults
+    to the current wall clock and exists for tests.
+    """
+    if now is None:
+        now = time.time()
+    live_points = (live or {}).get("points", {})
+    total = (live or {}).get("total") or (
+        max(journal_entries) + 1 if journal_entries else 0)
+    total = max(total, (max(journal_entries) + 1) if journal_entries else 0,
+                (max((int(k) for k in live_points), default=-1) + 1))
+    done_cycles: List[int] = []
+    for entry in live_points.values():
+        if entry.get("state") == "done" and entry.get("cycles"):
+            done_cycles.append(entry["cycles"])
+    per_point_estimate = estimate_total_cycles(done_cycles)
+    done_walls = [entry["wall_seconds"] for entry in live_points.values()
+                  if entry.get("state") == "done"
+                  and entry.get("wall_seconds")]
+
+    lines = []
+    done = running = stalled = 0
+    for index in range(total):
+        journal_entry = journal_entries.get(index)
+        entry = live_points.get(str(index), {})
+        if entry.get("state") == "done":
+            done += 1
+            outcome = entry.get("outcome", "ok")
+            detail = f"{entry['cycles']} cycles" if entry.get("cycles") \
+                else entry.get("error", "")[:50]
+            wall = entry.get("wall_seconds")
+            if wall is not None:
+                detail += f" in {wall:.1f}s" if detail else f"{wall:.1f}s"
+            lines.append(f"  [{index:>3}] {outcome:<12} {detail}")
+            continue
+        if journal_entry is not None:
+            # journal-only view (no sidecar): completed, outcome known
+            done += 1
+            lines.append(f"  [{index:>3}] {journal_entry.get('outcome', 'ok')}")
+            continue
+        if entry.get("state") == "running":
+            heartbeat = entry.get("last")
+            last_unix = entry.get("last_unix")
+            if heartbeat is None:
+                running += 1
+                lines.append(f"  [{index:>3}] RUNNING      starting...")
+                continue
+            age = now - last_unix if last_unix is not None else 0.0
+            cycle = heartbeat.get("cycle", 0)
+            rate = heartbeat.get("wall", {}).get("cycles_per_second", 0.0)
+            if age > stall_after:
+                stalled += 1
+                lines.append(
+                    f"  [{index:>3}] STALLED      no heartbeat for "
+                    f"{age:.0f}s, stuck at cycle {cycle}:")
+                lines.extend(_straggler_lines(heartbeat))
+            else:
+                running += 1
+                eta = eta_seconds(cycle, rate, per_point_estimate)
+                lines.append(
+                    f"  [{index:>3}] RUNNING      cycle {cycle}, "
+                    f"ipc {heartbeat.get('ipc', 0.0):.2f}, "
+                    f"{rate:,.0f} cyc/s, {_format_eta(eta)}")
+            continue
+        lines.append(f"  [{index:>3}] pending")
+
+    header = (f"sweep: {done}/{total} done, {running} running, "
+              f"{stalled} stalled, {total - done - running - stalled} "
+              f"pending")
+    remaining = total - done
+    if done_walls and remaining > 0:
+        overall = sum(done_walls) / len(done_walls) * remaining
+        header += f" ({_format_eta(overall)} overall)"
+    return "\n".join([header] + lines)
+
+
+def watch_loop(journal_path: str, live_path: Optional[str] = None,
+               *, interval: float = 2.0, stall_after: float = 10.0,
+               once: bool = False, out=None) -> int:
+    """The ``repro watch`` driver: render the dashboard every
+    ``interval`` seconds until the sweep's points are all done (or
+    forever, for an abandoned journal, until interrupted). Returns 0.
+    """
+    import sys
+    from .sweeps import SweepJournal
+    if out is None:
+        out = sys.stdout
+    if live_path is None:
+        live_path = live_path_for(journal_path)
+    while True:
+        journal_entries = SweepJournal(journal_path).load()
+        live = load_live(live_path)
+        frame = render_watch(journal_entries, live, stall_after=stall_after)
+        out.write(frame + "\n")
+        out.flush()
+        if once:
+            return 0
+        total = (live or {}).get("total", 0)
+        done = sum(1 for entry in ((live or {}).get("points") or {}).values()
+                   if entry.get("state") == "done")
+        if total and done >= total:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+        out.write("\n")

@@ -25,7 +25,9 @@ fabric, memory, accelerators) and records cycle-level spans; an optional
 :class:`~repro.telemetry.MetricsRegistry` collects runtime histograms
 and a whole-run snapshot into ``SystemStats.metrics``; an optional
 :class:`~repro.telemetry.SelfProfiler` accounts wall-clock time per
-simulator phase. All three cost nothing when absent.
+simulator phase; an optional
+:class:`~repro.telemetry.HeartbeatEmitter` streams live JSONL snapshots
+from the outer-loop consistency point. All cost nothing when absent.
 """
 
 from __future__ import annotations
@@ -107,7 +109,7 @@ class Interleaver:
                  scheduler: Optional[Scheduler] = None,
                  wall_clock_limit: Optional[float] = None,
                  tracer=None, metrics=None, profiler=None,
-                 attribution=None, checkpoint=None):
+                 attribution=None, checkpoint=None, emitter=None):
         if not tiles:
             raise ValueError("Interleaver needs at least one tile")
         if checkpoint is not None and profiler is not None:
@@ -135,6 +137,8 @@ class Interleaver:
         self.attribution = attribution
         #: optional CheckpointSink polled on the watchdog stride
         self.checkpoint = checkpoint
+        #: optional HeartbeatEmitter polled on the same stride
+        self.emitter = emitter
         #: cycle run() starts from; load_checkpoint sets it on restore
         self._resume_cycle = 0
         #: signal number noted by request_interrupt(), polled by run()
@@ -214,10 +218,11 @@ class Interleaver:
         iterations = 0
         max_cycles = self.max_cycles
         checkpoint = self.checkpoint
+        emitter = self.emitter
         # one precomputed boolean keeps the disabled case at its original
         # single-branch cost on the hot path
         watch = (deadline is not None or checkpoint is not None
-                 or self._signals_armed)
+                 or emitter is not None or self._signals_armed)
         sched_next = scheduler.next_cycle
         sched_run_due = scheduler.run_due
         # the active set is maintained incrementally: tiles are pruned as
@@ -242,6 +247,8 @@ class Interleaver:
                         self._raise_interrupted(cycle)
                     if checkpoint is not None and checkpoint.due(cycle):
                         checkpoint.save(self, cycle)
+                    if emitter is not None and emitter.due(cycle):
+                        emitter.emit(self, cycle)
             next_cycle = NEVER
             event_cycle = sched_next()
             if event_cycle is not None:
@@ -386,6 +393,10 @@ class Interleaver:
             f"full snapshot", diagnosis)
 
     def _collect(self, cycle: int) -> SystemStats:
+        if self.emitter is not None:
+            # final heartbeat BEFORE attribution.finalize mutates the
+            # ledgers the emitter's delta accounting reads
+            self.emitter.emit(self, cycle, final=True)
         stats = SystemStats(cycles=cycle, frequency_ghz=self.frequency_ghz)
         stats.tiles = [t.stats for t in self.tiles]
         if self.memory is not None:

@@ -12,7 +12,10 @@ Three cooperating pieces, all opt-in and zero-cost when disabled:
   events/sec throughput;
 * :class:`Attributor` — per-tile cycle-accounting ledgers (CPI stacks
   summing exactly to total cycles), roofline capture, and the report
-  validation/diffing behind ``repro analyze`` / ``repro diff``.
+  validation/diffing behind ``repro analyze`` / ``repro diff``;
+* :class:`HeartbeatEmitter` — live JSONL heartbeat streaming from an
+  in-flight run (cycle, IPC, in-flight memory, attribution deltas),
+  the feed behind ``repro watch`` and sweep progress fan-in.
 
 See ``docs/observability.md`` for usage and the trace JSON schema.
 """
@@ -20,6 +23,10 @@ See ``docs/observability.md`` for usage and the trace JSON schema.
 from .attribution import (
     Attributor, CATEGORIES, MEMORY_PREFIX, TileAttribution,
     capture_roofline, diff_reports, is_memory_category, validate_report,
+)
+from .livestream import (
+    HEARTBEAT_SCHEMA_VERSION, HeartbeatEmitter, heartbeat_digest,
+    heartbeat_key, read_heartbeats, validate_heartbeat,
 )
 from .metrics import (
     Counter, DEFAULT_LATENCY_BUCKETS, Gauge, Histogram,
@@ -36,11 +43,13 @@ from .tracer import (
 
 __all__ = [
     "Attributor", "CATEGORIES", "Counter", "DEFAULT_LATENCY_BUCKETS",
-    "Gauge", "Histogram", "MEMORY_PREFIX", "METRICS_SCHEMA_VERSION",
-    "MetricsRegistry", "PHASES", "ProfiledFabric", "ProfileReport",
-    "SelfProfiler", "TRACE_SCHEMA_VERSION", "TileAttribution",
-    "TraceEvent", "Tracer", "capture_roofline", "diff_reports",
-    "is_memory_category", "stats_to_dict", "subsystem_categories",
-    "timed", "validate_chrome_trace", "validate_report",
+    "Gauge", "HEARTBEAT_SCHEMA_VERSION", "HeartbeatEmitter", "Histogram",
+    "MEMORY_PREFIX", "METRICS_SCHEMA_VERSION", "MetricsRegistry",
+    "PHASES", "ProfiledFabric", "ProfileReport", "SelfProfiler",
+    "TRACE_SCHEMA_VERSION", "TileAttribution", "TraceEvent", "Tracer",
+    "capture_roofline", "diff_reports", "heartbeat_digest",
+    "heartbeat_key", "is_memory_category", "read_heartbeats",
+    "stats_to_dict", "subsystem_categories", "timed",
+    "validate_chrome_trace", "validate_heartbeat", "validate_report",
     "write_stats_json",
 ]

@@ -366,6 +366,12 @@ def validate_report(document: dict, schema_version: int = None) -> int:
         raise ValueError(
             f"report schema version {version!r} unsupported "
             f"(expected {expected})")
+    # run_id is optional (pre-registry reports lack it) but must be a
+    # non-empty string when present
+    run_id = document.get("run_id")
+    if run_id is not None and (not isinstance(run_id, str) or not run_id):
+        raise ValueError(
+            f"report run_id must be a non-empty string, got {run_id!r}")
     attribution = document.get("attribution")
     if not isinstance(attribution, dict):
         raise ValueError(

@@ -181,12 +181,15 @@ class MetricsRegistry:
 METRICS_SCHEMA_VERSION = 2
 
 
-def stats_to_dict(stats) -> dict:
+def stats_to_dict(stats, run_id: Optional[str] = None) -> dict:
     """Machine-readable snapshot of a :class:`SystemStats`.
 
     Includes the registry snapshot under ``"metrics"`` when the run
     carried one (``SystemStats.metrics``); this is the single serializer
     behind ``--metrics``, ``--stats-json`` and sweep exports.
+    ``run_id`` (opt-in: only registered runs stamp it, so default
+    reports stay byte-identical across resume-identity checks) makes
+    the report joinable against its run-registry manifest.
     """
     document = {
         "schema_version": METRICS_SCHEMA_VERSION,
@@ -241,6 +244,8 @@ def stats_to_dict(stats) -> dict:
             "average_latency": stats.dram.average_latency,
         },
     }
+    if run_id is not None:
+        document["run_id"] = run_id
     if stats.metrics is not None:
         document["metrics"] = stats.metrics
     if stats.attribution is not None:
@@ -250,13 +255,14 @@ def stats_to_dict(stats) -> dict:
     return document
 
 
-def write_stats_json(stats, path: str) -> None:
+def write_stats_json(stats, path: str,
+                     run_id: Optional[str] = None) -> None:
     """Serialize ``stats`` (with any registry snapshot) to ``path``.
 
     Atomic (temp + fsync + rename): a crash mid-write never leaves a
     truncated report."""
     from ..ioutil import atomic_write_json
-    atomic_write_json(path, stats_to_dict(stats), indent=2)
+    atomic_write_json(path, stats_to_dict(stats, run_id=run_id), indent=2)
 
 
 __all__: List[str] = [

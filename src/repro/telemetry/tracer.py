@@ -153,8 +153,13 @@ class Tracer:
         return [event.key() for event in self.events()]
 
     # -- export ----------------------------------------------------------
-    def to_chrome(self, frequency_ghz: Optional[float] = None) -> dict:
-        """Chrome trace_event JSON object (loadable in Perfetto)."""
+    def to_chrome(self, frequency_ghz: Optional[float] = None,
+                  run_id: Optional[str] = None) -> dict:
+        """Chrome trace_event JSON object (loadable in Perfetto).
+
+        ``run_id`` stamps provenance into ``otherData`` so the trace is
+        joinable against its run-registry manifest (see
+        ``repro.registry``)."""
         events = [
             {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
              "args": {"name": name}}
@@ -168,17 +173,20 @@ class Tracer:
         }
         if frequency_ghz is not None:
             other["frequency_ghz"] = frequency_ghz
+        if run_id is not None:
+            other["run_id"] = run_id
         return {"traceEvents": events, "displayTimeUnit": "ns",
                 "otherData": other}
 
     def write(self, path: str,
-              frequency_ghz: Optional[float] = None) -> int:
+              frequency_ghz: Optional[float] = None,
+              run_id: Optional[str] = None) -> int:
         """Write the Chrome JSON to ``path``; returns the event count.
 
         Atomic (temp + fsync + rename) so a crash cannot leave a
         truncated trace for Perfetto or CI validation to choke on."""
         from ..ioutil import atomic_write_json
-        document = self.to_chrome(frequency_ghz)
+        document = self.to_chrome(frequency_ghz, run_id=run_id)
         atomic_write_json(path, document, separators=(",", ":"),
                           trailing_newline=False)
         return len(document["traceEvents"])
@@ -201,6 +209,13 @@ def validate_chrome_trace(document: dict) -> int:
         raise ValueError(
             f"trace schema version {version!r} unsupported "
             f"(expected {TRACE_SCHEMA_VERSION})")
+    # run_id is optional (pre-registry traces lack it) but must be a
+    # non-empty string when present
+    run_id = other.get("run_id")
+    if run_id is not None and (not isinstance(run_id, str) or not run_id):
+        raise ValueError(
+            f"trace otherData run_id must be a non-empty string, "
+            f"got {run_id!r}")
     events = document.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError("traceEvents must be a list")
