@@ -329,7 +329,7 @@ def cmd_simulate(args) -> int:
     import time as _time
     from .sim.configfile import load_core_config, load_hierarchy_config
     from .telemetry import (
-        MetricsRegistry, SelfProfiler, Tracer, write_stats_json,
+        MemStat, MetricsRegistry, SelfProfiler, Tracer, write_stats_json,
     )
     core = (load_core_config(args.core_config)
             if getattr(args, "core_config", None) else _core(args.core))
@@ -339,10 +339,11 @@ def cmd_simulate(args) -> int:
     if args.sweep:
         if args.trace or args.metrics or args.stats_json or args.profile \
                 or args.retries or args.resume or args.checkpoint \
-                or args.heartbeat or args.registry or args.run_id:
+                or args.heartbeat or args.registry or args.run_id \
+                or args.memstat:
             print("--sweep is incompatible with --trace/--metrics/"
                   "--stats-json/--profile/--retries/--checkpoint/--resume/"
-                  "--heartbeat/--registry/--run-id",
+                  "--heartbeat/--registry/--run-id/--memstat",
                   file=sys.stderr)
             return 2
         result = _run_core_sweep(args, core, hierarchy,
@@ -389,6 +390,7 @@ def cmd_simulate(args) -> int:
     tracer = Tracer() if args.trace else None
     metrics = MetricsRegistry() if args.metrics else None
     profiler = SelfProfiler() if args.profile else None
+    memstat = MemStat() if args.memstat else None
     checkpoint = _checkpoint_sink(args, run_id=run_id)
     emitter = _heartbeat_emitter(args, source={"workload": args.workload})
     config = {"workload": args.workload, "size": args.size or [],
@@ -403,7 +405,8 @@ def cmd_simulate(args) -> int:
             accelerators=accelerators,
             max_cycles=args.max_cycles, wall_clock_limit=args.timeout,
             retries=args.retries, tracer=tracer, metrics=metrics,
-            profiler=profiler, checkpoint=checkpoint, emitter=emitter)
+            profiler=profiler, checkpoint=checkpoint, emitter=emitter,
+            memstat=memstat)
         if not outcome.ok:
             print(f"run failed: {outcome.status} after {outcome.attempts} "
                   f"attempt(s): {outcome.error}", file=sys.stderr)
@@ -429,7 +432,7 @@ def cmd_simulate(args) -> int:
             accelerators=accelerators, max_cycles=args.max_cycles,
             wall_clock_limit=args.timeout, tracer=tracer,
             metrics=metrics, profiler=profiler, checkpoint=checkpoint,
-            emitter=emitter)
+            emitter=emitter, memstat=memstat)
         with graceful_interrupts(interleaver):
             stats = interleaver.run()
         profile = profiler.report if profiler is not None else None
@@ -550,9 +553,10 @@ def cmd_analyze(args) -> int:
     """Render per-tile CPI stacks + bottleneck diagnosis. Reads a saved
     report (``--report``) or runs the workload with cycle attribution
     enabled. Exit codes: 0 rendered, 2 invalid input."""
-    from .harness import render_attribution_report
+    from .harness import render_attribution_report, render_memstat_report
     from .telemetry import (
-        Attributor, stats_to_dict, validate_report, write_stats_json,
+        Attributor, MemStat, stats_to_dict, validate_report,
+        write_stats_json,
     )
     if args.resume:
         if args.report:
@@ -590,6 +594,7 @@ def cmd_analyze(args) -> int:
                   file=sys.stderr)
             return 2
         attribution = Attributor()
+        memstat = MemStat() if args.memory else None
         workload = _build(args.workload, args.size)
         if args.dae:
             fresh = _build(args.workload, args.size)
@@ -600,7 +605,8 @@ def cmd_analyze(args) -> int:
                                  hierarchy=_hierarchy(args.hierarchy),
                                  max_cycles=args.max_cycles,
                                  attribution=attribution,
-                                 checkpoint=_checkpoint_sink(args))
+                                 checkpoint=_checkpoint_sink(args),
+                                 memstat=memstat)
         else:
             core = _core(args.core)
             if args.sweep:
@@ -618,7 +624,7 @@ def cmd_analyze(args) -> int:
                 num_tiles=args.tiles, hierarchy=_hierarchy(args.hierarchy),
                 accelerators=_detect_accelerators(workload.kernel),
                 max_cycles=args.max_cycles, attribution=attribution,
-                checkpoint=_checkpoint_sink(args))
+                checkpoint=_checkpoint_sink(args), memstat=memstat)
         document = stats_to_dict(stats)
         validate_report(document)  # self-check before rendering
         if args.json:
@@ -630,13 +636,16 @@ def cmd_analyze(args) -> int:
         return 2
     print(f"analyze {source}:")
     print(render_attribution_report(document, top=args.top))
+    if args.memory:
+        print()
+        print(render_memstat_report(document))
     return 0
 
 
 def cmd_diff(args) -> int:
     """Diff two saved report JSONs: attribute the cycle delta to the
     categories that moved. Exit codes: 0 rendered, 2 invalid input."""
-    from .harness import render_report_diff
+    from .harness import render_memory_diff, render_report_diff
     from .telemetry import diff_reports
     before, error = _load_report(args.before)
     if error:
@@ -646,8 +655,103 @@ def cmd_diff(args) -> int:
     if error:
         print(f"{args.after}: {error}", file=sys.stderr)
         return 2
+    result = diff_reports(before, after)
     print(f"diff {args.before} -> {args.after}:")
-    print(render_report_diff(diff_reports(before, after), top=args.top))
+    print(render_report_diff(result, top=args.top))
+    if args.memory:
+        print()
+        print(render_memory_diff(result.get("memory") or {}))
+    return 0
+
+
+def cmd_memstat(args) -> int:
+    """Render the data-movement observatory (miss classification,
+    reuse distance, DRAM bank locality, link utilization) from a run or
+    a saved schema-v3 report. Exit codes: 0 rendered, 2 invalid input."""
+    import json
+    from .harness import render_memstat_report
+    from .telemetry import (
+        Attributor, MemStat, SUPPORTED_REPORT_VERSIONS, stats_to_dict,
+        validate_memory_block, validate_report, write_stats_json,
+    )
+    if args.report:
+        if args.workload:
+            print("memstat takes a workload or --report FILE, not both",
+                  file=sys.stderr)
+            return 2
+        # lenient on purpose: the observatory view needs the memory
+        # block, not the attribution block, so reports from
+        # `simulate --memstat --stats-json` render too
+        try:
+            with open(args.report) as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            print(f"cannot read report: {exc}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"not a JSON report: {exc}", file=sys.stderr)
+            return 2
+        version = document.get("schema_version") \
+            if isinstance(document, dict) else None
+        if version not in SUPPORTED_REPORT_VERSIONS:
+            print(f"invalid report: schema version {version!r} "
+                  f"unsupported (supported: "
+                  f"{', '.join(map(str, SUPPORTED_REPORT_VERSIONS))})",
+                  file=sys.stderr)
+            return 2
+        try:
+            validate_memory_block(document)
+        except ValueError as exc:
+            print(f"invalid report: {exc}", file=sys.stderr)
+            return 2
+        if not document.get("memory"):
+            print(f"{args.report} carries no memory block (schema v3); "
+                  f"produce one with `repro memstat <workload> --json "
+                  f"FILE` or `simulate --memstat --stats-json FILE`",
+                  file=sys.stderr)
+            return 2
+        source = args.report
+    elif args.workload:
+        # attribution rides along so the emitted report passes full
+        # validate_report (which requires the attribution block) and
+        # stays diff-able against analyze output
+        from .sim.configfile import load_core_config, load_hierarchy_config
+        memstat = MemStat(sample_every=args.sample_every,
+                          epoch_cycles=args.epoch_cycles)
+        core = (load_core_config(args.core_config)
+                if args.core_config else _core(args.core))
+        hierarchy = (load_hierarchy_config(args.hierarchy_config)
+                     if args.hierarchy_config
+                     else _hierarchy(args.hierarchy))
+        workload = _build(args.workload, args.size)
+        if args.dae:
+            fresh = _build(args.workload, args.size)
+            specs = prepare_dae_sliced(fresh.kernel, fresh.args,
+                                       pairs=args.pairs)
+            stats = simulate_dae(specs, access_core=inorder_core(),
+                                 execute_core=inorder_core(),
+                                 hierarchy=hierarchy,
+                                 max_cycles=args.max_cycles,
+                                 attribution=Attributor(),
+                                 memstat=memstat)
+        else:
+            stats = simulate(
+                workload.kernel, workload.args, core=core,
+                num_tiles=args.tiles, hierarchy=hierarchy,
+                accelerators=_detect_accelerators(workload.kernel),
+                max_cycles=args.max_cycles, attribution=Attributor(),
+                memstat=memstat)
+        document = stats_to_dict(stats)
+        validate_report(document)  # self-check incl. memory conservation
+        if args.json:
+            write_stats_json(stats, args.json)
+            STATUS.info(f"report: -> {args.json}")
+        source = args.workload
+    else:
+        print("memstat needs a workload or --report FILE", file=sys.stderr)
+        return 2
+    print(f"memstat {source}:")
+    print(render_memstat_report(document, width=args.width))
     return 0
 
 
@@ -1023,6 +1127,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "stats+metrics JSON snapshot")
     sim.add_argument("--stats-json", metavar="FILE", dest="stats_json",
                      help="write machine-readable SystemStats JSON")
+    sim.add_argument("--memstat", action="store_true",
+                     help="attach the data-movement observatory so "
+                          "--stats-json/--metrics reports carry the "
+                          "schema-v3 memory block (miss classification, "
+                          "reuse distance, bank/link locality)")
     sim.add_argument("--profile", action="store_true",
                      help="print the simulator self-profile (wall-clock "
                           "per phase, events/sec)")
@@ -1129,6 +1238,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the report JSON (diff-able)")
     analyze.add_argument("--top", type=int, default=3,
                          help="bottleneck categories to rank")
+    analyze.add_argument("--memory", action="store_true",
+                         help="also render the data-movement observatory "
+                              "(attaches a MemStat when running a "
+                              "workload; saved reports need a schema-v3 "
+                              "memory block)")
     with_sweep(analyze)
     with_checkpoint(analyze)
     analyze.set_defaults(func=cmd_analyze)
@@ -1140,7 +1254,58 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("after", help="comparison report JSON (B)")
     diff.add_argument("--top", type=int, default=5,
                       help="regressed categories to rank")
+    diff.add_argument("--memory", action="store_true",
+                      help="also render miss-classification and DRAM "
+                           "locality deltas (both reports need memory "
+                           "blocks)")
     diff.set_defaults(func=cmd_diff)
+
+    memstat = commands.add_parser(
+        "memstat", help="render the data-movement observatory (miss "
+                        "classes, reuse distance, bank/link locality) "
+                        "from a run or a saved report")
+    memstat.add_argument("workload", nargs="?",
+                         help="workload to run with the observatory "
+                              "attached (omit when using --report)")
+    memstat.add_argument("--size", action="append", metavar="KEY=VAL",
+                         help="dataset size override (repeatable)")
+    memstat.add_argument("--report", metavar="FILE",
+                         help="render a saved report JSON carrying a "
+                              "schema-v3 memory block instead of running")
+    memstat.add_argument("--core", default="ooo", choices=sorted(CORES))
+    memstat.add_argument("--tiles", type=int, default=1)
+    memstat.add_argument("--hierarchy", default="dae",
+                         choices=sorted(HIERARCHIES))
+    memstat.add_argument("--core-config", metavar="FILE",
+                         dest="core_config",
+                         help="load the core from a JSON config file "
+                              "(overrides --core)")
+    memstat.add_argument("--hierarchy-config", metavar="FILE",
+                         dest="hierarchy_config",
+                         help="load the memory hierarchy from a JSON "
+                              "config file (overrides --hierarchy) — "
+                              "e.g. a shrunk L1 for a conflict study")
+    memstat.add_argument("--dae", action="store_true",
+                         help="DAE-slice the workload and observe the "
+                              "access/execute pair's data movement")
+    memstat.add_argument("--pairs", type=int, default=1,
+                         help="DAE pairs when --dae is given")
+    memstat.add_argument("--max-cycles", type=int,
+                         default=DEFAULT_MAX_CYCLES)
+    memstat.add_argument("--sample-every", type=int, default=8,
+                         metavar="N", dest="sample_every",
+                         help="reuse-distance sampling stride (every Nth "
+                              "access pays the stack scan; default 8)")
+    memstat.add_argument("--epoch-cycles", type=int, default=1024,
+                         metavar="N", dest="epoch_cycles",
+                         help="link-utilization epoch width in cycles "
+                              "(default 1024)")
+    memstat.add_argument("--width", type=int, default=48,
+                         help="heatmap/sparkline width in characters")
+    memstat.add_argument("--json", metavar="FILE",
+                         help="also write the report JSON (diff-able, "
+                              "carries attribution + memory blocks)")
+    memstat.set_defaults(func=cmd_memstat)
 
     watch = commands.add_parser(
         "watch", help="live terminal dashboard for a running sweep "

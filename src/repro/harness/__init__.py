@@ -6,8 +6,9 @@ from .reference import (
     x86_reference_hierarchy,
 )
 from .reporting import (
-    geomean, render_attribution_report, render_bars, render_report_diff,
-    render_table, render_timeline,
+    geomean, render_attribution_report, render_bars, render_memory_diff,
+    render_memstat_report, render_report_diff, render_table,
+    render_timeline,
 )
 from .runner import (
     DAEPairSpec, DEFAULT_MAX_CYCLES, FaultedRun, Prepared, RunOutcome,
@@ -42,7 +43,8 @@ __all__ = [
     "accuracy_factor", "fold_for_x86", "reference_stats",
     "x86_reference_core", "x86_reference_hierarchy",
     "geomean", "render_attribution_report", "render_bars",
-    "render_report_diff", "render_table", "render_timeline",
+    "render_memory_diff", "render_memstat_report", "render_report_diff",
+    "render_table", "render_timeline",
     "DAEPairSpec", "DEFAULT_MAX_CYCLES", "FaultedRun", "Prepared",
     "RunOutcome", "build_dae", "build_heterogeneous", "build_system",
     "classify_failure", "graceful_interrupts", "prepare", "prepare_dae",

@@ -69,6 +69,11 @@ def render_bars(values: Dict[str, float], width: int = 40,
 def _stack_bars(categories: Dict[str, int], total: int,
                 width: int) -> List[str]:
     ordered = sorted(categories.items(), key=lambda kv: (-kv[1], kv[0]))
+    if not ordered:
+        # a tile that touched no memory (or an idle lane) reports an
+        # empty category dict — render a placeholder instead of letting
+        # max() blow up on the empty sequence
+        return ["  (no attributed cycles)"]
     label_width = max(len(c) for c, _ in ordered)
     peak = max((v for _, v in ordered), default=0)
     lines = []
@@ -171,6 +176,225 @@ def render_report_diff(diff: dict, top: int = 5) -> str:
         if diff[key]:
             lines.append(f"tiles {label}: {', '.join(diff[key])}")
     return "\n".join(lines)
+
+
+# -- data-movement observatory rendering (schema v3 ``memory`` block) --------
+
+#: density ramp for terminal heatmaps; index 0 is "no events"
+_SHADES = " .:-=+*#%@"
+
+
+def _collapse(values: Sequence[int], width: int) -> List[int]:
+    """Sum ``values`` into at most ``width`` columns (per-set arrays can
+    be thousands of sets wide; a terminal row is not)."""
+    if len(values) <= width:
+        return list(values)
+    columns = [0] * width
+    for index, value in enumerate(values):
+        columns[index * width // len(values)] += value
+    return columns
+
+
+def _heat_row(values: Sequence[int], width: int) -> str:
+    """One heatmap row: each column shaded by its share of the peak."""
+    columns = _collapse(values, width)
+    peak = max(columns, default=0)
+    if peak <= 0:
+        return " " * len(columns)
+    top = len(_SHADES) - 1
+    return "".join(
+        _SHADES[0] if value <= 0
+        else _SHADES[max(1, min(top, round(top * value / peak)))]
+        for value in columns)
+
+
+def _fmt_pct(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:.1f}%" if whole else "-"
+
+
+def _fmt_percentile(value) -> str:
+    # None is the documented empty-histogram sentinel
+    return "-" if value is None else f"{value:g}"
+
+
+def _reuse_summary(reuse: dict) -> str:
+    sampled = reuse.get("sampled", reuse.get("count", 0))
+    return (f"sampled {sampled}/{reuse.get('accesses', 0)} "
+            f"(cold {reuse.get('cold_samples', 0)})  "
+            f"p50 {_fmt_percentile(reuse.get('p50'))}  "
+            f"p90 {_fmt_percentile(reuse.get('p90'))}  "
+            f"p99 {_fmt_percentile(reuse.get('p99'))}")
+
+
+def _link_rows(ledger: dict, width: int, top: int) -> List[str]:
+    """Per-link utilization sparklines over the epoch axis, busiest
+    links first."""
+    links = ledger.get("links") or {}
+    if not links:
+        return ["  (no traversals)"]
+    span = max(1, ledger.get("epoch_cycles", 1))
+    last_epoch = max(
+        (int(e) for entry in links.values()
+         for e in (entry.get("epochs") or {})), default=0)
+    ranked = sorted(links.items(),
+                    key=lambda kv: (-kv[1].get("busy", 0), kv[0]))
+    label_width = max(len(name) for name, _ in ranked[:top])
+    lines = []
+    for name, entry in ranked[:top]:
+        series = [0] * (last_epoch + 1)
+        for epoch, point in (entry.get("epochs") or {}).items():
+            series[int(epoch)] = point.get("busy", 0)
+        busy = entry.get("busy", 0)
+        demand = entry.get("demand", 0)
+        util = _fmt_pct(busy, span * len(series))
+        note = f" (demand {demand})" if demand > busy else ""
+        lines.append(f"  {name.ljust(label_width)} |"
+                     f"{_heat_row(series, width)}| "
+                     f"busy {busy} cyc, {util} util{note}")
+    if len(ranked) > top:
+        lines.append(f"  ... {len(ranked) - top} more link(s)")
+    return lines
+
+
+def render_memstat_report(document: dict, width: int = 48,
+                          top_links: int = 8) -> str:
+    """Render a report's ``memory`` block (``repro memstat``): miss
+    classification table, per-set conflict heatmaps, reuse-distance
+    summaries, DRAM bank locality, and link-utilization time series.
+    ``document`` is a full ``stats_to_dict`` report carrying a
+    ``memory`` block (schema v3)."""
+    memory = document.get("memory")
+    if not memory:
+        return ("(report carries no memory block — rerun with "
+                "`repro memstat` / --memstat)")
+    lines = [f"data-movement observatory (sample every "
+             f"{memory.get('sample_every', '?')}, epoch "
+             f"{memory.get('epoch_cycles', '?')} cycles, line "
+             f"{memory.get('line_bytes', '?')} B)"]
+
+    caches = memory.get("caches") or {}
+    if caches:
+        rows = []
+        for level, entry in sorted(caches.items()):
+            misses = entry["misses"]
+            rows.append([
+                level, entry["instances"],
+                f"{entry['num_sets']}x{entry['associativity']}",
+                misses,
+                f"{entry['compulsory']} ({_fmt_pct(entry['compulsory'], misses)})",
+                f"{entry['capacity']} ({_fmt_pct(entry['capacity'], misses)})",
+                f"{entry['conflict']} ({_fmt_pct(entry['conflict'], misses)})",
+            ])
+        lines.append("")
+        lines.append(render_table(
+            ["level", "inst", "geometry", "misses", "compulsory",
+             "capacity", "conflict"],
+            rows, title="miss classification (demand misses, all "
+                        "instances per level):"))
+        for level, entry in sorted(caches.items()):
+            set_misses = entry.get("set_misses") or []
+            if not any(set_misses):
+                continue
+            lines.append("")
+            lines.append(
+                f"{level} per-set heatmap ({entry['num_sets']} sets, "
+                f"peak {max(set_misses)} misses/set):")
+            lines.append(f"  misses    |{_heat_row(set_misses, width)}|")
+            set_conflicts = entry.get("set_conflicts") or []
+            if any(set_conflicts):
+                lines.append(
+                    f"  conflicts |{_heat_row(set_conflicts, width)}| "
+                    f"peak {max(set_conflicts)}")
+
+    reuse_lines = []
+    for level, entry in sorted(caches.items()):
+        reuse = entry.get("reuse_distance")
+        if reuse and reuse.get("accesses"):
+            reuse_lines.append(f"  {level}: {_reuse_summary(reuse)}")
+    for core, reuse in sorted((memory.get("tiles") or {}).items(),
+                              key=lambda kv: int(kv[0])):
+        if reuse.get("accesses"):
+            reuse_lines.append(f"  tile {core}: {_reuse_summary(reuse)}")
+    if reuse_lines:
+        lines.append("")
+        lines.append("reuse distance (distinct lines between reuses):")
+        lines.extend(reuse_lines)
+
+    dram = memory.get("dram")
+    if dram and dram.get("accesses"):
+        accesses = dram["accesses"]
+        lines.append("")
+        lines.append(
+            f"DRAM row-buffer locality ({dram['model']}, "
+            f"{dram['banks']} banks, {dram['row_bytes']} B rows, "
+            f"{accesses} accesses):")
+        lines.append(
+            f"  row hits {dram['row_hits']} "
+            f"({_fmt_pct(dram['row_hits'], accesses)})  "
+            f"misses {dram['row_misses']} "
+            f"({_fmt_pct(dram['row_misses'], accesses)})  "
+            f"conflicts {dram['row_conflicts']} "
+            f"({_fmt_pct(dram['row_conflicts'], accesses)})")
+        per_bank = dram.get("per_bank") or []
+        for key, label in (("hits", "bank hits"),
+                           ("conflicts", "bank conflicts")):
+            series = [bank.get(key, 0) for bank in per_bank]
+            if any(series):
+                lines.append(f"  {label.ljust(14)}|"
+                             f"{_heat_row(series, width)}| "
+                             f"peak {max(series)}")
+
+    for key, label in (("noc_links", "NoC link utilization"),
+                       ("fabric_links", "fabric link traffic")):
+        ledger = memory.get(key)
+        if ledger and ledger.get("traversals"):
+            lines.append("")
+            lines.append(f"{label} ({ledger['traversals']} traversals, "
+                         f"epoch {ledger['epoch_cycles']} cycles):")
+            lines.extend(_link_rows(ledger, width, top_links))
+
+    queues = memory.get("queues") or {}
+    if queues:
+        lines.append("")
+        rows = [[name, entry.get("count", 0),
+                 _fmt_percentile(entry.get("p50")),
+                 _fmt_percentile(entry.get("p90")),
+                 _fmt_percentile(entry.get("p99")),
+                 entry.get("max") if entry.get("max") is not None else "-"]
+                for name, entry in sorted(queues.items())]
+        lines.append(render_table(
+            ["queue", "samples", "p50", "p90", "p99", "max"], rows,
+            title="DAE queue occupancy (entries):"))
+    return "\n".join(lines)
+
+
+def render_memory_diff(memory_diff: dict) -> str:
+    """Render the ``memory`` section of a ``diff_reports`` result
+    (``repro diff --memory``): per-level miss-class deltas plus the
+    DRAM locality delta."""
+    lines = []
+    caches = memory_diff.get("caches") or {}
+    if caches:
+        rows = []
+        for level, entry in sorted(caches.items()):
+            for key in ("misses", "compulsory", "capacity", "conflict"):
+                change = entry[key]
+                rows.append([f"{level}.{key}", change["before"],
+                             change["after"], f"{change['delta']:+d}"])
+        lines.append(render_table(
+            ["counter", "before", "after", "delta"], rows,
+            title="memory deltas (miss classification):"))
+    dram = memory_diff.get("dram")
+    if dram:
+        rows = [[key, change["before"], change["after"],
+                 f"{change['delta']:+d}"]
+                for key, change in sorted(dram.items())]
+        lines.append(render_table(
+            ["counter", "before", "after", "delta"], rows,
+            title="DRAM locality deltas:"))
+    if not lines:
+        return "(no memory blocks to diff)"
+    return "\n\n".join(lines)
 
 
 def render_timeline(document: dict, width: int = 72,

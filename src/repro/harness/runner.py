@@ -103,7 +103,7 @@ def build_system(kernel: Kernel, args: Sequence, *,
                  injector: Optional[FaultInjector] = None,
                  tracer=None, metrics=None, profiler=None,
                  attribution=None, checkpoint=None,
-                 emitter=None) -> Interleaver:
+                 emitter=None, memstat=None) -> Interleaver:
     """Build (without running) the homogeneous system :func:`simulate`
     would run: ``num_tiles`` copies of ``core`` over a shared hierarchy.
 
@@ -143,7 +143,8 @@ def build_system(kernel: Kernel, args: Sequence, *,
                        wall_clock_limit=wall_clock_limit,
                        tracer=tracer, metrics=metrics,
                        profiler=profiler, attribution=attribution,
-                       checkpoint=checkpoint, emitter=emitter)
+                       checkpoint=checkpoint, emitter=emitter,
+                       memstat=memstat)
 
 
 def simulate(kernel: Kernel, args: Sequence, *,
@@ -159,7 +160,7 @@ def simulate(kernel: Kernel, args: Sequence, *,
              injector: Optional[FaultInjector] = None,
              tracer=None, metrics=None, profiler=None,
              attribution=None, checkpoint=None,
-             emitter=None) -> SystemStats:
+             emitter=None, memstat=None) -> SystemStats:
     """One-stop homogeneous simulation: ``num_tiles`` copies of ``core``
     running the SPMD kernel over a shared memory hierarchy.
 
@@ -177,7 +178,8 @@ def simulate(kernel: Kernel, args: Sequence, *,
         max_cycles=max_cycles, wall_clock_limit=wall_clock_limit,
         injector=injector, tracer=tracer, metrics=metrics,
         profiler=profiler, attribution=attribution,
-        checkpoint=checkpoint, emitter=emitter).run()
+        checkpoint=checkpoint, emitter=emitter,
+        memstat=memstat).run()
 
 
 def build_heterogeneous(kernel: Kernel, args: Sequence, *,
@@ -191,7 +193,7 @@ def build_heterogeneous(kernel: Kernel, args: Sequence, *,
                         injector: Optional[FaultInjector] = None,
                         tracer=None, metrics=None, profiler=None,
                         attribution=None, checkpoint=None,
-                        emitter=None) -> Interleaver:
+                        emitter=None, memstat=None) -> Interleaver:
     """Build (without running) the heterogeneous system
     :func:`simulate_heterogeneous` would run."""
     if not cores:
@@ -229,7 +231,8 @@ def build_heterogeneous(kernel: Kernel, args: Sequence, *,
                        wall_clock_limit=wall_clock_limit,
                        tracer=tracer, metrics=metrics,
                        profiler=profiler, attribution=attribution,
-                       checkpoint=checkpoint, emitter=emitter)
+                       checkpoint=checkpoint, emitter=emitter,
+                       memstat=memstat)
 
 
 def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
@@ -243,7 +246,7 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
                            injector: Optional[FaultInjector] = None,
                            tracer=None, metrics=None, profiler=None,
                            attribution=None, checkpoint=None,
-                           emitter=None) -> SystemStats:
+                           emitter=None, memstat=None) -> SystemStats:
     """Heterogeneous SPMD simulation: one tile per entry of ``cores``,
     each with its own microarchitecture and clock (paper §II: "MosaicSim
     can simulate more heterogeneous processors by providing, and hence
@@ -260,7 +263,8 @@ def simulate_heterogeneous(kernel: Kernel, args: Sequence, *,
         max_cycles=max_cycles, wall_clock_limit=wall_clock_limit,
         injector=injector, tracer=tracer, metrics=metrics,
         profiler=profiler, attribution=attribution,
-        checkpoint=checkpoint, emitter=emitter).run()
+        checkpoint=checkpoint, emitter=emitter,
+        memstat=memstat).run()
 
 
 @dataclass
@@ -327,7 +331,7 @@ def build_dae(specs: List[DAEPairSpec], *,
               injector: Optional[FaultInjector] = None,
               tracer=None, metrics=None, profiler=None,
               attribution=None, checkpoint=None,
-              emitter=None) -> Interleaver:
+              emitter=None, memstat=None) -> Interleaver:
     """Build (without running) the DAE system :func:`simulate_dae`
     would run."""
     pairs = len(specs)
@@ -364,7 +368,8 @@ def build_dae(specs: List[DAEPairSpec], *,
                        wall_clock_limit=wall_clock_limit,
                        tracer=tracer, metrics=metrics,
                        profiler=profiler, attribution=attribution,
-                       checkpoint=checkpoint, emitter=emitter)
+                       checkpoint=checkpoint, emitter=emitter,
+                       memstat=memstat)
 
 
 def simulate_dae(specs: List[DAEPairSpec], *,
@@ -379,7 +384,7 @@ def simulate_dae(specs: List[DAEPairSpec], *,
                  injector: Optional[FaultInjector] = None,
                  tracer=None, metrics=None, profiler=None,
                  attribution=None, checkpoint=None,
-                 emitter=None) -> SystemStats:
+                 emitter=None, memstat=None) -> SystemStats:
     """Simulate P DAE pairs: tiles 0..P-1 are access cores, P..2P-1 the
     matching execute cores, communicating through bounded DAE queues."""
     return build_dae(
@@ -389,7 +394,8 @@ def simulate_dae(specs: List[DAEPairSpec], *,
         max_cycles=max_cycles, wall_clock_limit=wall_clock_limit,
         injector=injector, tracer=tracer, metrics=metrics,
         profiler=profiler, attribution=attribution,
-        checkpoint=checkpoint, emitter=emitter).run()
+        checkpoint=checkpoint, emitter=emitter,
+        memstat=memstat).run()
 
 
 # -- graceful interrupts (robustness layer) --------------------------------------
@@ -532,7 +538,7 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
                    fresh: Optional[Callable[[], tuple]] = None,
                    tracer=None, metrics=None, profiler=None,
                    attribution=None, checkpoint=None,
-                   emitter=None) -> RunOutcome:
+                   emitter=None, memstat=None) -> RunOutcome:
     """Run a simulation under supervision: cycle budget, wall-clock
     watchdog, and retry-with-backoff for transient faults.
 
@@ -572,7 +578,7 @@ def run_supervised(kernel: Kernel, args: Sequence, *,
                              injector=injector, tracer=tracer,
                              metrics=metrics, profiler=profiler,
                              attribution=attribution, checkpoint=checkpoint,
-                             emitter=emitter)
+                             emitter=emitter, memstat=memstat)
             return RunOutcome(
                 "ok", stats=stats, attempts=attempts,
                 fault_log=tuple(injector.log) if injector else (),

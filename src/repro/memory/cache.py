@@ -79,6 +79,8 @@ class Cache:
         #: cycle-level Tracer (attached by MemorySystem.attach_tracer)
         self.tracer = None
         self.trace_tid = 0
+        #: per-instance CacheMemStat (attached by attach_memstat)
+        self.memstat = None
         self._sets = [_Set() for _ in range(config.num_sets)]
         # geometry scalars hoisted off the config (num_sets is a derived
         # property; the access path reads these every request)
@@ -115,6 +117,8 @@ class Cache:
                 cache_set.lines[tag] = True
             if not request.is_prefetch:
                 self.stats.hits += 1
+            if self.memstat is not None:
+                self.memstat.record_hit(line, request.is_prefetch)
             if request.service_level is None:
                 # first level to hit classifies the request (attribution)
                 request.service_level = self.stats.name
@@ -137,8 +141,12 @@ class Cache:
             return
         if request.is_prefetch:
             self.stats.prefetches += 1
+            if self.memstat is not None:
+                self.memstat.record_prefetch_fill(line)
         else:
             self.stats.misses += 1
+            if self.memstat is not None:
+                self.memstat.record_miss(line, set_index)
 
         self._mshr[line] = [request]
         fill = MemRequest(

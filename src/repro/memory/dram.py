@@ -35,6 +35,8 @@ class SimpleDRAM:
         #: cycle-level Tracer (attached by MemorySystem.attach_tracer)
         self.tracer = None
         self.trace_tid = 0
+        #: DRAMMemStat shadow bank/row observer (attach_memstat)
+        self.memstat = None
         self._per_epoch = config.requests_per_epoch(frequency_ghz)
         #: epoch index -> responses already returned in that epoch
         self._epoch_counts: Dict[int, int] = {}
@@ -45,6 +47,10 @@ class SimpleDRAM:
             request.service_level = "dram"
         if self.energy_sink is not None:
             self.energy_sink[0] += self.config.energy_nj
+        if self.memstat is not None:
+            # SimpleDRAM has no banks; the observer runs a shadow
+            # open-row model (observability only, timing unchanged)
+            self.memstat.observe_address(request.address)
         ready = cycle + self.config.min_latency
         epoch = ready // self.config.epoch_cycles
         throttled = False
@@ -93,6 +99,8 @@ class DRAMSim2Model:
         #: cycle-level Tracer (attached by MemorySystem.attach_tracer)
         self.tracer = None
         self.trace_tid = 0
+        #: DRAMMemStat per-bank locality observer (attach_memstat)
+        self.memstat = None
         num_banks = config.channels * config.banks_per_channel
         #: per-bank (open_row, next_free_cycle)
         self._banks: List[Tuple[Optional[int], int]] = [
@@ -122,6 +130,9 @@ class DRAMSim2Model:
             self.energy_sink[0] += config.energy_nj
         channel, bank, row = self._map(request.address)
         open_row, bank_free = self._banks[bank]
+        if self.memstat is not None:
+            # authoritative bank state: hit / closed-row miss / conflict
+            self.memstat.record(bank, open_row, row)
         start = max(cycle, bank_free, self._bus_free[channel])
         row_hit = open_row == row
         if open_row == row:

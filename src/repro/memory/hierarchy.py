@@ -43,17 +43,27 @@ class _Deliver:
 
 class _NoCReturn:
     """Charge the response's mesh traversal back to the core before the
-    original callback fires."""
+    original callback fires. When a link ledger is attached, ``noc`` is
+    set and the bank->core traversal is recorded at its *actual* start
+    cycle (the response leaves the bank now, not at request time)."""
 
-    __slots__ = ("scheduler", "callback", "delay")
+    __slots__ = ("scheduler", "callback", "delay", "noc", "src", "dst")
 
     def __init__(self, scheduler: Scheduler,
-                 callback: Callable[[int], None], delay: int):
+                 callback: Callable[[int], None], delay: int,
+                 noc: Optional[MeshNoC] = None, src: int = 0,
+                 dst: int = 0):
         self.scheduler = scheduler
         self.callback = callback
         self.delay = delay
+        self.noc = noc
+        self.src = src
+        self.dst = dst
 
     def __call__(self, cycle: int) -> None:
+        noc = self.noc
+        if noc is not None and noc.memstat is not None:
+            noc.memstat.record_traversal(noc, self.src, self.dst, cycle)
         self.scheduler.at(cycle + self.delay, self.callback)
 
 
@@ -71,11 +81,19 @@ class _NoCEntry:
         self.llc_access = llc_access
 
     def __call__(self, request: MemRequest, cycle: int) -> None:
-        there = self.noc.core_to_bank_latency(self.core, request.address)
+        noc = self.noc
+        there = noc.core_to_bank_latency(self.core, request.address,
+                                         cycle=cycle)
         original = request.callback
         if original is not None:
-            back = self.noc.core_to_bank_latency(self.core, request.address)
-            request.callback = _NoCReturn(self.scheduler, original, back)
+            # the return hops are computed now (latency is deterministic)
+            # but the ledger charge, if any, happens when the response
+            # actually traverses — _NoCReturn records at fire time
+            bank_node = noc.bank_node(noc.bank_of(request.address))
+            back = noc.latency(bank_node, self.core)
+            record = noc if noc.memstat is not None else None
+            request.callback = _NoCReturn(self.scheduler, original, back,
+                                          record, bank_node, self.core)
         self.scheduler.at(cycle + there,
                           _Deliver(self.llc_access, request))
 
@@ -133,6 +151,8 @@ class MemorySystem:
         self.outstanding = 0
         #: end-to-end request latency histogram (attach_metrics)
         self._latency_hist = None
+        #: data-movement observatory (attach_memstat)
+        self._memstat = None
 
         if config.dram_model == "simple":
             self.dram = SimpleDRAM(config.simple_dram, scheduler,
@@ -223,6 +243,38 @@ class MemorySystem:
         self._latency_hist = metrics.histogram(
             "memory.request_latency_cycles")
 
+    def attach_memstat(self, memstat) -> None:
+        """Hand the data-movement observatory to every cache instance,
+        the DRAM model, and the mesh (same fan-out as attach_tracer).
+        Each cache gets its *own* observer — per-core L1s must not share
+        shadow state — aggregated by level name at report time."""
+        memstat.line_bytes = self.line_bytes
+        self._memstat = memstat
+        for levels in self.private_caches:
+            for cache in levels:
+                cache.memstat = memstat.cache_observer(
+                    cache.stats.name, cache.config.num_sets,
+                    cache.config.associativity)
+        if self.llc is not None:
+            self.llc.memstat = memstat.cache_observer(
+                self.llc.stats.name, self.llc.config.num_sets,
+                self.llc.config.associativity)
+        if self.config.dram_model == "dramsim2":
+            dramsim = self.config.dramsim2
+            self.dram.memstat = memstat.dram_observer(
+                banks=dramsim.channels * dramsim.banks_per_channel,
+                row_bytes=dramsim.row_bytes,
+                line_bytes=dramsim.line_bytes,
+                channels=dramsim.channels, model="dramsim2")
+        else:
+            # SimpleDRAM has no banks: shadow a typical DDR geometry
+            # (8 banks, 2 KB rows) purely for locality observation
+            self.dram.memstat = memstat.dram_observer(
+                banks=8, row_bytes=2048, line_bytes=self.line_bytes,
+                channels=1, model="simple-shadow")
+        if self.noc is not None:
+            self.noc.memstat = memstat.noc_observer()
+
     # ------------------------------------------------------------------
     def access(self, core_id: int, address: int, size: int, *,
                is_write: bool, cycle: int,
@@ -233,6 +285,9 @@ class MemorySystem:
         Returns the request object so callers that attribute stall cycles
         can read the ``service_level`` the hierarchy stamps on it."""
         self.outstanding += 1
+        if self._memstat is not None:
+            # per-tile reuse profile, at the hierarchy entry point
+            self._memstat.observe_tile_access(core_id, address)
         request = MemRequest(address, size, is_write=is_write,
                              is_atomic=is_atomic, core_id=core_id,
                              callback=_TrackedCallback(self, callback, cycle),

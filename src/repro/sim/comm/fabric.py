@@ -47,6 +47,9 @@ class CommFabric:
         #: optional Attributor (attached by the Interleaver) recording
         #: queue-full/empty and recv-wait stall counts
         self.attributor = None
+        #: optional MemStat (attached by the Interleaver): message-rate
+        #: link ledger + DAE queue-depth occupancy histograms
+        self.memstat = None
         self.messages_sent = 0
         self.dropped_messages = 0
         self.delayed_messages = 0
@@ -90,6 +93,10 @@ class CommFabric:
         if self.tracer is not None:
             self.tracer.instant("fabric", f"send {src}->{dst}",
                                 available_cycle, self.trace_tid)
+        if self.memstat is not None:
+            # one busy cycle per message: the pair ledger is a message
+            # rate over epochs (the generic fabric has no modeled wires)
+            self.memstat.record_fabric_send(src, dst, available_cycle, 1)
         key = (src, dst)
         waiters = self._recv_waiters.get(key)
         if waiters:
@@ -158,6 +165,8 @@ class CommFabric:
             self.peak_occupancy[name] = occupancy
         if self.tracer is not None:
             self.tracer.counter("dae", name, available_cycle, occupancy)
+        if self.memstat is not None:
+            self.memstat.observe_queue_depth(name, occupancy)
         return True
 
     def queue_try_consume(self, name: str, cycle: int,
@@ -170,6 +179,9 @@ class CommFabric:
             if self.tracer is not None:
                 self.tracer.counter("dae", name, cycle,
                                     self.queue_occupancy(name))
+            if self.memstat is not None:
+                self.memstat.observe_queue_depth(
+                    name, self.queue_occupancy(name))
             return True
         if queue:
             available = queue.popleft()

@@ -109,7 +109,8 @@ class Interleaver:
                  scheduler: Optional[Scheduler] = None,
                  wall_clock_limit: Optional[float] = None,
                  tracer=None, metrics=None, profiler=None,
-                 attribution=None, checkpoint=None, emitter=None):
+                 attribution=None, checkpoint=None, emitter=None,
+                 memstat=None):
         if not tiles:
             raise ValueError("Interleaver needs at least one tile")
         if checkpoint is not None and profiler is not None:
@@ -135,6 +136,7 @@ class Interleaver:
         self.metrics = metrics
         self.profiler = profiler
         self.attribution = attribution
+        self.memstat = memstat
         #: optional CheckpointSink polled on the watchdog stride
         self.checkpoint = checkpoint
         #: optional HeartbeatEmitter polled on the same stride
@@ -161,6 +163,8 @@ class Interleaver:
             self._attach_metrics(metrics)
         if attribution is not None:
             self._attach_attribution(attribution)
+        if memstat is not None:
+            self._attach_memstat(memstat)
 
     # ------------------------------------------------------------------
     def _attach_tracer(self, tracer) -> None:
@@ -202,6 +206,13 @@ class Interleaver:
         for tile in self.tiles:
             tile.attributor = attribution.for_tile(tile.name)
         self.fabric.attributor = attribution
+
+    def _attach_memstat(self, memstat) -> None:
+        """Hand the data-movement observatory to the memory path and the
+        fabric (same per-subsystem attach pattern as the tracer)."""
+        if self.memory is not None:
+            self.memory.attach_memstat(memstat)
+        self.fabric.memstat = memstat
 
     # ------------------------------------------------------------------
     def run(self) -> SystemStats:
@@ -412,6 +423,8 @@ class Interleaver:
         if self.attribution is not None:
             self.attribution.finalize(stats, self.tiles, self.accelerators,
                                       self.memory)
+        if self.memstat is not None:
+            stats.memstat = self.memstat.memory_block()
         if self.profiler is not None:
             # fast-path counters: how often the scheduler drained through
             # its monomorphic (no-cancellable-entries) loop

@@ -82,6 +82,10 @@ class SystemStats:
     attribution: Optional[dict] = None
     #: roofline capture (flops, DRAM bytes, attainable-vs-achieved IPC)
     roofline: Optional[dict] = None
+    #: data-movement observatory block (miss classes, reuse distance,
+    #: bank/link locality), when the run carried a MemStat — serialized
+    #: as the report's ``memory`` block (schema v3)
+    memstat: Optional[dict] = None
 
     @property
     def memory_energy_nj(self) -> float:

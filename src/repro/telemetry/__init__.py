@@ -15,23 +15,33 @@ Three cooperating pieces, all opt-in and zero-cost when disabled:
   validation/diffing behind ``repro analyze`` / ``repro diff``;
 * :class:`HeartbeatEmitter` — live JSONL heartbeat streaming from an
   in-flight run (cycle, IPC, in-flight memory, attribution deltas),
-  the feed behind ``repro watch`` and sweep progress fan-in.
+  the feed behind ``repro watch`` and sweep progress fan-in;
+* :class:`MemStat` — the data-movement observatory: miss
+  classification (compulsory/capacity/conflict), per-set conflict
+  heatmaps, sampled reuse-distance histograms, DRAM bank/row-buffer
+  locality, and NoC/fabric link-utilization ledgers, surfaced as the
+  report's schema-v3 ``memory`` block and ``repro memstat``.
 
 See ``docs/observability.md`` for usage and the trace JSON schema.
 """
 
 from .attribution import (
     Attributor, CATEGORIES, MEMORY_PREFIX, TileAttribution,
-    capture_roofline, diff_reports, is_memory_category, validate_report,
+    capture_roofline, diff_memory_blocks, diff_reports,
+    is_memory_category, validate_memory_block, validate_report,
 )
 from .livestream import (
     HEARTBEAT_SCHEMA_VERSION, HeartbeatEmitter, heartbeat_digest,
     heartbeat_key, read_heartbeats, validate_heartbeat,
 )
+from .memstat import (
+    CacheMemStat, DRAMMemStat, LinkLedger, MemStat,
+    QUEUE_DEPTH_BUCKETS, REUSE_DISTANCE_BUCKETS, ReuseTracker,
+)
 from .metrics import (
     Counter, DEFAULT_LATENCY_BUCKETS, Gauge, Histogram,
-    METRICS_SCHEMA_VERSION, MetricsRegistry, stats_to_dict,
-    write_stats_json,
+    METRICS_SCHEMA_VERSION, MetricsRegistry,
+    SUPPORTED_REPORT_VERSIONS, stats_to_dict, write_stats_json,
 )
 from .profiler import (
     PHASES, ProfiledFabric, ProfileReport, SelfProfiler, timed,
@@ -42,14 +52,17 @@ from .tracer import (
 )
 
 __all__ = [
-    "Attributor", "CATEGORIES", "Counter", "DEFAULT_LATENCY_BUCKETS",
-    "Gauge", "HEARTBEAT_SCHEMA_VERSION", "HeartbeatEmitter", "Histogram",
-    "MEMORY_PREFIX", "METRICS_SCHEMA_VERSION", "MetricsRegistry",
-    "PHASES", "ProfiledFabric", "ProfileReport", "SelfProfiler",
-    "TRACE_SCHEMA_VERSION", "TileAttribution", "TraceEvent", "Tracer",
-    "capture_roofline", "diff_reports", "heartbeat_digest",
+    "Attributor", "CATEGORIES", "CacheMemStat", "Counter",
+    "DEFAULT_LATENCY_BUCKETS", "DRAMMemStat", "Gauge",
+    "HEARTBEAT_SCHEMA_VERSION", "HeartbeatEmitter", "Histogram",
+    "LinkLedger", "MEMORY_PREFIX", "METRICS_SCHEMA_VERSION", "MemStat",
+    "MetricsRegistry", "PHASES", "ProfiledFabric", "ProfileReport",
+    "QUEUE_DEPTH_BUCKETS", "REUSE_DISTANCE_BUCKETS", "ReuseTracker",
+    "SUPPORTED_REPORT_VERSIONS", "SelfProfiler", "TRACE_SCHEMA_VERSION",
+    "TileAttribution", "TraceEvent", "Tracer", "capture_roofline",
+    "diff_memory_blocks", "diff_reports", "heartbeat_digest",
     "heartbeat_key", "is_memory_category", "read_heartbeats",
     "stats_to_dict", "subsystem_categories", "timed",
-    "validate_chrome_trace", "validate_heartbeat", "validate_report",
-    "write_stats_json",
+    "validate_chrome_trace", "validate_heartbeat",
+    "validate_memory_block", "validate_report", "write_stats_json",
 ]

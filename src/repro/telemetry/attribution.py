@@ -352,20 +352,27 @@ def capture_roofline(stats, tiles, memory=None) -> dict:
 # -- report validation + diffing ----------------------------------------------
 
 def validate_report(document: dict, schema_version: int = None) -> int:
-    """Validate an ``analyze`` report (schema v2) and re-check the
-    conservation invariant on the serialized numbers. Returns the number
-    of attributed tiles; raises :class:`ValueError` on the first
+    """Validate an ``analyze`` report and re-check the conservation
+    invariants on the serialized numbers: per-tile cycle conservation
+    (schema v2) and, when a ``memory`` observatory block is present
+    (schema v3), data-movement conservation — miss classes sum to the
+    level's misses, per-set and per-bank counters sum to their totals,
+    per-link busy cycles never exceed the epoch span. Returns the
+    number of attributed tiles; raises :class:`ValueError` on the first
     violation (exit 2 in the CLI)."""
-    from .metrics import METRICS_SCHEMA_VERSION
-    expected = schema_version if schema_version is not None \
-        else METRICS_SCHEMA_VERSION
+    from .metrics import SUPPORTED_REPORT_VERSIONS
     if not isinstance(document, dict):
         raise ValueError("report must be a JSON object")
     version = document.get("schema_version")
-    if version != expected:
+    if schema_version is not None:
+        if version != schema_version:
+            raise ValueError(
+                f"report schema version {version!r} unsupported "
+                f"(expected {schema_version})")
+    elif version not in SUPPORTED_REPORT_VERSIONS:
         raise ValueError(
             f"report schema version {version!r} unsupported "
-            f"(expected {expected})")
+            f"(supported: {', '.join(map(str, SUPPORTED_REPORT_VERSIONS))})")
     # run_id is optional (pre-registry reports lack it) but must be a
     # non-empty string when present
     run_id = document.get("run_id")
@@ -401,7 +408,105 @@ def validate_report(document: dict, schema_version: int = None) -> int:
                     and not category.startswith(MEMORY_PREFIX):
                 raise ValueError(
                     f"tile {name!r} has unknown category {category!r}")
+    memory = document.get("memory")
+    if memory is not None:
+        validate_memory_block(document)
     return len(tiles)
+
+
+def validate_memory_block(document: dict) -> None:
+    """Conservation checks on the schema-v3 ``memory`` observatory block
+    (see ``repro.telemetry.memstat``), cross-checked against the
+    top-level ``caches``/``dram`` stats where both exist:
+
+    * ``compulsory + capacity + conflict == misses`` per cache level,
+      and equals the level's demand-miss counter in ``caches``;
+    * per-set miss/conflict arrays sum to the level totals;
+    * per-bank DRAM hits/misses/conflicts sum to the bank-classified
+      access total, which equals the DRAM request counter;
+    * per-link busy cycles within one epoch never exceed the epoch span.
+    """
+    memory = document.get("memory")
+    if not isinstance(memory, dict):
+        raise ValueError("memory block must be a JSON object")
+    report_caches = document.get("caches", {})
+    for level, entry in memory.get("caches", {}).items():
+        classes = (entry["compulsory"], entry["capacity"],
+                   entry["conflict"])
+        if any(value < 0 for value in classes):
+            raise ValueError(
+                f"memory.{level}: negative miss class in {classes}")
+        if sum(classes) != entry["misses"]:
+            raise ValueError(
+                f"memory.{level}: miss classes sum to {sum(classes)}, "
+                f"misses is {entry['misses']}")
+        if level in report_caches \
+                and entry["misses"] != report_caches[level]["misses"]:
+            raise ValueError(
+                f"memory.{level}: classified {entry['misses']} misses, "
+                f"cache stats report {report_caches[level]['misses']}")
+        if len(entry["set_misses"]) != entry["num_sets"] \
+                or len(entry["set_conflicts"]) != entry["num_sets"]:
+            raise ValueError(
+                f"memory.{level}: per-set arrays must have num_sets="
+                f"{entry['num_sets']} entries")
+        if sum(entry["set_misses"]) != entry["misses"]:
+            raise ValueError(
+                f"memory.{level}: per-set misses sum to "
+                f"{sum(entry['set_misses'])}, level total is "
+                f"{entry['misses']}")
+        if sum(entry["set_conflicts"]) != entry["conflict"]:
+            raise ValueError(
+                f"memory.{level}: per-set conflicts sum to "
+                f"{sum(entry['set_conflicts'])}, level total is "
+                f"{entry['conflict']}")
+    dram = memory.get("dram")
+    if dram is not None:
+        sums = {"hits": 0, "misses": 0, "conflicts": 0}
+        for bank in dram["per_bank"]:
+            for key in sums:
+                sums[key] += bank[key]
+        if sums["hits"] != dram["row_hits"] \
+                or sums["misses"] != dram["row_misses"] \
+                or sums["conflicts"] != dram["row_conflicts"]:
+            raise ValueError(
+                f"memory.dram: per-bank sums {sums} disagree with "
+                f"row_hits={dram['row_hits']} "
+                f"row_misses={dram['row_misses']} "
+                f"row_conflicts={dram['row_conflicts']}")
+        total = dram["row_hits"] + dram["row_misses"] \
+            + dram["row_conflicts"]
+        if total != dram["accesses"]:
+            raise ValueError(
+                f"memory.dram: hit/miss/conflict total {total} != "
+                f"accesses {dram['accesses']}")
+        report_dram = document.get("dram")
+        if report_dram is not None \
+                and dram["accesses"] != report_dram["requests"]:
+            raise ValueError(
+                f"memory.dram: classified {dram['accesses']} accesses, "
+                f"dram stats report {report_dram['requests']} requests")
+    for block_name in ("noc_links", "fabric_links"):
+        block = memory.get(block_name)
+        if block is None:
+            continue
+        span = block["epoch_cycles"]
+        for link, series in block["links"].items():
+            for epoch, counts in series["epochs"].items():
+                if counts["busy"] > span:
+                    raise ValueError(
+                        f"memory.{block_name}.{link}: epoch {epoch} busy "
+                        f"{counts['busy']} exceeds the {span}-cycle span")
+                if counts["busy"] > counts["demand"]:
+                    raise ValueError(
+                        f"memory.{block_name}.{link}: epoch {epoch} busy "
+                        f"{counts['busy']} exceeds demand "
+                        f"{counts['demand']}")
+    for name, hist in memory.get("queues", {}).items():
+        if sum(hist["counts"]) != hist["count"]:
+            raise ValueError(
+                f"memory.queues.{name}: bucket counts sum to "
+                f"{sum(hist['counts'])}, count is {hist['count']}")
 
 
 def diff_reports(before: dict, after: dict) -> dict:
@@ -447,7 +552,7 @@ def diff_reports(before: dict, after: dict) -> dict:
         ((category, entry["delta"]) for category, entry in
          aggregate.items() if entry["delta"] > 0),
         key=lambda item: -item[1])
-    return {
+    result = {
         "cycles_before": cycles_a,
         "cycles_after": cycles_b,
         "cycles_delta": cycles_b - cycles_a,
@@ -459,12 +564,49 @@ def diff_reports(before: dict, after: dict) -> dict:
         "memory_stall_delta": memory_delta,
         "top_regressions": grown,
     }
+    locality = diff_memory_blocks(before.get("memory"),
+                                  after.get("memory"))
+    if locality is not None:
+        result["memory"] = locality
+    return result
+
+
+def diff_memory_blocks(before: Optional[dict],
+                       after: Optional[dict]) -> Optional[dict]:
+    """Locality deltas between two ``memory`` observatory blocks, or
+    None unless both reports carry one. This is the data behind
+    ``repro diff --memory``: when an L1-shrink sweep loses cycles to
+    ``memory.*``, the conflict/capacity-miss growth here says *why*."""
+    if not before or not after:
+        return None
+    caches: Dict[str, dict] = {}
+    for level in sorted(set(before.get("caches", {}))
+                        | set(after.get("caches", {}))):
+        a = before.get("caches", {}).get(level)
+        b = after.get("caches", {}).get(level)
+        entry: Dict[str, dict] = {}
+        for key in ("misses", "compulsory", "capacity", "conflict"):
+            va = a[key] if a else 0
+            vb = b[key] if b else 0
+            entry[key] = {"before": va, "after": vb, "delta": vb - va}
+        caches[level] = entry
+    result = {"caches": caches}
+    dram_a, dram_b = before.get("dram"), after.get("dram")
+    if dram_a and dram_b:
+        dram: Dict[str, dict] = {}
+        for key in ("accesses", "row_hits", "row_misses",
+                    "row_conflicts"):
+            dram[key] = {"before": dram_a[key], "after": dram_b[key],
+                         "delta": dram_b[key] - dram_a[key]}
+        result["dram"] = dram
+    return result
 
 
 __all__: List[str] = [
     "Attributor", "CATEGORIES", "CAT_ACCEL", "CAT_BARRIER", "CAT_COMPUTE",
     "CAT_DAE_CONSUME", "CAT_DAE_SUPPLY", "CAT_FABRIC", "CAT_FRONTEND_IDLE",
     "CAT_MISPREDICT", "MEMORY_PREFIX", "TileAttribution",
-    "capture_roofline", "diff_reports", "is_memory_category",
-    "memory_category", "validate_report",
+    "capture_roofline", "diff_memory_blocks", "diff_reports",
+    "is_memory_category", "memory_category", "validate_memory_block",
+    "validate_report",
 ]

@@ -87,7 +87,12 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Bucket-boundary upper bound for quantile ``q`` in [0, 1]."""
+        """Bucket-boundary upper bound for quantile ``q`` in [0, 1].
+
+        Returns 0.0 on an empty histogram for backward compatibility;
+        prefer :meth:`percentile`, whose ``None`` sentinel
+        distinguishes "no observations" from "everything was <= the
+        first boundary"."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
@@ -102,6 +107,17 @@ class Histogram:
                 return float(self.max if self.max is not None else 0.0)
         return float(self.max if self.max is not None else 0.0)
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Like :meth:`quantile`, but ``None`` on an empty histogram.
+
+        The documented sentinel for "no observations": an empty
+        histogram used to report p50/p90/p99 of 0.0 — the first bucket
+        boundary's edge artifact — which is indistinguishable from a
+        real all-zero distribution. Renderers print ``-`` for None."""
+        if self.count == 0:
+            return None
+        return self.quantile(q)
+
     def as_dict(self) -> dict:
         return {
             "boundaries": list(self.boundaries),
@@ -112,10 +128,11 @@ class Histogram:
             "max": self.max,
             "mean": self.mean,
             # bucket-boundary upper bounds: consumers get summary
-            # quantiles without re-deriving them from le-buckets
-            "p50": self.quantile(0.50),
-            "p90": self.quantile(0.90),
-            "p99": self.quantile(0.99),
+            # quantiles without re-deriving them from le-buckets;
+            # null (None) when the histogram saw no observations
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
         }
 
 
@@ -178,7 +195,14 @@ class MetricsRegistry:
 #: bump when the stats/metrics JSON layout changes incompatibly
 #: v2: histogram p50/p90/p99 summaries; optional ``attribution`` (CPI
 #: stacks) and ``roofline`` blocks (see docs/observability.md)
-METRICS_SCHEMA_VERSION = 2
+#: v3: optional ``memory`` block (miss classification, reuse distance,
+#: DRAM bank locality, link utilization — repro.telemetry.memstat);
+#: empty-histogram p50/p90/p99 serialize as null instead of 0.0
+METRICS_SCHEMA_VERSION = 3
+
+#: report versions validate_report accepts: v2 reports (pre-memstat)
+#: remain readable — the v3 additions are all optional blocks
+SUPPORTED_REPORT_VERSIONS = (2, 3)
 
 
 def stats_to_dict(stats, run_id: Optional[str] = None) -> dict:
@@ -252,6 +276,8 @@ def stats_to_dict(stats, run_id: Optional[str] = None) -> dict:
         document["attribution"] = stats.attribution
     if stats.roofline is not None:
         document["roofline"] = stats.roofline
+    if stats.memstat is not None:
+        document["memory"] = stats.memstat
     return document
 
 
@@ -267,6 +293,6 @@ def write_stats_json(stats, path: str,
 
 __all__: List[str] = [
     "Counter", "DEFAULT_LATENCY_BUCKETS", "Gauge", "Histogram",
-    "METRICS_SCHEMA_VERSION", "MetricsRegistry", "stats_to_dict",
-    "write_stats_json",
+    "METRICS_SCHEMA_VERSION", "MetricsRegistry",
+    "SUPPORTED_REPORT_VERSIONS", "stats_to_dict", "write_stats_json",
 ]

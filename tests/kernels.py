@@ -166,3 +166,15 @@ def empty_loop(n: int) -> int:
     for i in range(n):
         total += i
     return total
+
+
+def thrash_walk(A: 'f64*', n: int, stride: int, rounds: int) -> float:
+    """Strided sweep repeated ``rounds`` times: with a stride of
+    ``num_sets * line_bytes`` bytes every access maps to one cache set,
+    so a low-associativity cache conflict-misses on every revisit while
+    a same-footprint higher-associativity cache holds the whole walk."""
+    acc = 0.0
+    for r in range(rounds):
+        for i in range(0, n, stride):
+            acc += A[i]
+    return acc

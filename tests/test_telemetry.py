@@ -284,7 +284,7 @@ class TestStatsSerialization:
     def test_stats_to_dict_round_trips(self, traced_stats):
         document = stats_to_dict(traced_stats)
         json.dumps(document)
-        assert document["schema_version"] == 2
+        assert document["schema_version"] == 3
         assert document["cycles"] == traced_stats.cycles
         energy = document["energy"]
         assert energy["total_nj"] == pytest.approx(
