@@ -1,0 +1,49 @@
+"""Prepare-cache cold-vs-hit timing — the compile-once claim.
+
+The prepare phase (compile, DDG, dynamic trace generation) is a pure
+function of kernel + inputs, so sweeps and repeated CLI runs replay it
+from the content-addressed cache instead of recomputing it
+(docs/performance.md). This benchmark times one cold prepare against
+one cache-hit replay of the same workload and records the measurement
+as the ``prepare_cache`` block of ``BENCH_simspeed.json``.
+"""
+
+import json
+
+from repro.harness import (
+    BENCH_SCHEMA_VERSION, measure_prepare_cache, render_table,
+)
+from repro.workloads import build_parboil
+
+from .conftest import record
+
+
+def test_prepare_cache_speed(benchmark, results_dir):
+    # Parboil-default bfs: the costliest prepare of the suite (~145k
+    # simulated cycles of traced work), so the cold-vs-hit gap is
+    # signal, not filesystem noise
+    block = benchmark.pedantic(
+        lambda: measure_prepare_cache(lambda: build_parboil("bfs")),
+        rounds=1, iterations=1)
+
+    rows = [
+        ["kernel", block["kernel"]],
+        ["cold prepare seconds", f"{block['cold_seconds']:.4f}"],
+        ["cache-hit seconds", f"{block['hit_seconds']:.4f}"],
+        ["speedup", f"{block['speedup']:.1f}x"],
+        ["entry bytes on disk", block["payload_bytes"]],
+    ]
+    record("prepcache_speed", render_table(
+        ["metric", "value"], rows,
+        title="Prepare cache: cold vs hit (Parboil bfs)"))
+
+    # merge into BENCH_simspeed.json (same pattern as test_sweep_scaling;
+    # test_simspeed preserves this block when it regenerates the file)
+    path = results_dir / "BENCH_simspeed.json"
+    document = (json.loads(path.read_text()) if path.exists()
+                else {"schema_version": BENCH_SCHEMA_VERSION})
+    document["prepare_cache"] = block
+    path.write_text(json.dumps(document, indent=2) + "\n")
+
+    assert block["hit"], "second prepare must be a cache hit"
+    assert block["hit_seconds"] < block["cold_seconds"], block

@@ -29,7 +29,12 @@ Commands
 * ``history`` — the run-registry regression gate: ``list``/``diff``
   compare runs, ``check --baseline NAME`` exits 2 on regressions
   beyond a threshold, ``seed`` bootstraps history from committed BENCH
-  artifacts, ``add`` labels a recorded manifest as a baseline.
+  artifacts, ``add`` labels a recorded manifest as a baseline;
+* ``cache`` — inspect the content-addressed prepare cache
+  (``ls``/``stats``/``gc``/``clear``/``verify``); ``simulate``/
+  ``inject``/``analyze``/``memstat`` take ``--prep-cache [DIR]`` to
+  replay compiled kernels + traces instead of re-preparing them
+  (see ``docs/performance.md``).
 
 ``--quiet``/``--verbose`` (before the command) set the stderr status
 level; stdout stays machine-readable report content. ``simulate
@@ -183,7 +188,7 @@ def _registry_run_id(args):
 
 def _record_manifest(args, run_id, *, workload, status, stats=None,
                      wall_seconds=0.0, seed=None, config=None,
-                     artifacts=None):
+                     artifacts=None, extra=None):
     """Record a provenance manifest under ``--registry`` (no-op
     without). Returns the manifest path or None."""
     if not getattr(args, "registry", None) or run_id is None:
@@ -207,11 +212,37 @@ def _record_manifest(args, run_id, *, workload, status, stats=None,
             "heartbeat": HEARTBEAT_SCHEMA_VERSION,
         },
         artifacts={kind: path for kind, path in (artifacts or {}).items()
-                   if path})
+                   if path},
+        extra=extra)
     path = RunRegistry(args.registry).record(
         manifest, label=getattr(args, "label", "") or "")
     STATUS.info(f"run {run_id}: manifest -> {path}")
     return path
+
+
+# -- prepare cache path (simulate/inject/analyze/memstat --prep-cache) --------
+
+def _prep_cache(args):
+    """Build the :class:`PrepareCache` ``--prep-cache`` asks for (None
+    without). Setting ``REPRO_PREP_CACHE_DIR`` enables caching by
+    default; ``--no-prep-cache`` always wins."""
+    import os
+    if getattr(args, "no_prep_cache", False):
+        return None
+    option = getattr(args, "prep_cache", None)
+    if option is None and not os.environ.get("REPRO_PREP_CACHE_DIR"):
+        return None
+    from .harness import PrepareCache
+    return PrepareCache(option if isinstance(option, str) else None)
+
+
+def _prep_cache_extra(prepared):
+    """Manifest provenance block for a cached prepare (None without)."""
+    if prepared is None or not getattr(prepared, "cache_key", None):
+        return None
+    return {"prep_cache": {"key": prepared.cache_key,
+                           "hit": prepared.cache_hit,
+                           "payload_digest": prepared.artifact_digest}}
 
 
 # -- sweep path (simulate/inject/analyze --sweep) -----------------------------
@@ -255,8 +286,10 @@ def _run_core_sweep(args, core, hierarchy, plan=None,
         raise SystemExit("--resume-sweep needs --journal FILE to "
                          "resume from")
     workload = _build(args.workload, args.size)
+    cache = _prep_cache(args)
     prepared = prepare(workload.kernel, workload.args,
-                       num_tiles=args.tiles, memory=workload.memory)
+                       num_tiles=args.tiles, memory=workload.memory,
+                       cache=cache)
     # journaled sweeps stream worker heartbeats into a live-status file
     # next to the journal by default, so `repro watch JOURNAL` works
     # without extra flags; --heartbeat-every tunes the stride
@@ -269,7 +302,7 @@ def _run_core_sweep(args, core, hierarchy, plan=None,
             num_tiles=args.tiles, max_cycles=args.max_cycles,
             wall_clock_limit=wall_clock_limit, jobs=args.jobs,
             journal_path=args.journal, resume=args.resume_sweep,
-            heartbeat_every=heartbeat_every)
+            heartbeat_every=heartbeat_every, prep_cache=cache)
     except TypeError as exc:
         raise SystemExit(f"bad --sweep grid: {exc}")
     if args.journal and heartbeat_every:
@@ -387,6 +420,12 @@ def cmd_simulate(args) -> int:
     workload = _build(args.workload, args.size)
     accelerators = _detect_accelerators(workload.kernel)
     run_id = _registry_run_id(args)
+    cache = _prep_cache(args)
+    prepared = None
+    if cache is not None:
+        prepared = prepare(workload.kernel, workload.args,
+                           num_tiles=args.tiles, memory=workload.memory,
+                           cache=cache)
     tracer = Tracer() if args.trace else None
     metrics = MetricsRegistry() if args.metrics else None
     profiler = SelfProfiler() if args.profile else None
@@ -404,7 +443,8 @@ def cmd_simulate(args) -> int:
             num_tiles=args.tiles, hierarchy=hierarchy,
             accelerators=accelerators,
             max_cycles=args.max_cycles, wall_clock_limit=args.timeout,
-            retries=args.retries, tracer=tracer, metrics=metrics,
+            retries=args.retries, prepared=prepared, prep_cache=cache,
+            tracer=tracer, metrics=metrics,
             profiler=profiler, checkpoint=checkpoint, emitter=emitter,
             memstat=memstat)
         if not outcome.ok:
@@ -420,7 +460,8 @@ def cmd_simulate(args) -> int:
                 status=outcome.status, wall_seconds=outcome.wall_seconds,
                 config=config,
                 artifacts={"checkpoint": outcome.checkpoint_path,
-                           "heartbeat": args.heartbeat})
+                           "heartbeat": args.heartbeat},
+                extra=_prep_cache_extra(prepared))
             return 2
         stats = outcome.stats
         profile = outcome.profile
@@ -430,7 +471,8 @@ def cmd_simulate(args) -> int:
             workload.kernel, workload.args, core=core,
             num_tiles=args.tiles, hierarchy=hierarchy,
             accelerators=accelerators, max_cycles=args.max_cycles,
-            wall_clock_limit=args.timeout, tracer=tracer,
+            wall_clock_limit=args.timeout, prepared=prepared,
+            tracer=tracer,
             metrics=metrics, profiler=profiler, checkpoint=checkpoint,
             emitter=emitter, memstat=memstat)
         with graceful_interrupts(interleaver):
@@ -467,7 +509,8 @@ def cmd_simulate(args) -> int:
         wall_seconds=wall, config=config,
         artifacts={"trace": args.trace, "metrics": args.metrics,
                    "stats": args.stats_json, "heartbeat": args.heartbeat,
-                   "checkpoint": args.checkpoint})
+                   "checkpoint": args.checkpoint},
+        extra=_prep_cache_extra(prepared))
     return 0
 
 
@@ -624,6 +667,7 @@ def cmd_analyze(args) -> int:
                 num_tiles=args.tiles, hierarchy=_hierarchy(args.hierarchy),
                 accelerators=_detect_accelerators(workload.kernel),
                 max_cycles=args.max_cycles, attribution=attribution,
+                prep_cache=_prep_cache(args),
                 checkpoint=_checkpoint_sink(args), memstat=memstat)
         document = stats_to_dict(stats)
         validate_report(document)  # self-check before rendering
@@ -740,7 +784,7 @@ def cmd_memstat(args) -> int:
                 num_tiles=args.tiles, hierarchy=hierarchy,
                 accelerators=_detect_accelerators(workload.kernel),
                 max_cycles=args.max_cycles, attribution=Attributor(),
-                memstat=memstat)
+                prep_cache=_prep_cache(args), memstat=memstat)
         document = stats_to_dict(stats)
         validate_report(document)  # self-check incl. memory conservation
         if args.json:
@@ -791,12 +835,14 @@ def cmd_inject(args) -> int:
 
     workload = _build(args.workload, args.size)
     run_id = _registry_run_id(args)
+    # with an enabled plan every attempt carries an injector, so prepare
+    # bypasses the cache; disabled plans (all rates 0) still hit it
     outcome = run_supervised(
         workload.kernel, workload.args, plan=plan,
         core=_core(args.core), num_tiles=args.tiles,
         hierarchy=_hierarchy(args.hierarchy),
         max_cycles=args.max_cycles, wall_clock_limit=args.timeout,
-        retries=args.retries, fresh=fresh,
+        retries=args.retries, fresh=fresh, prep_cache=_prep_cache(args),
         checkpoint=_checkpoint_sink(args, run_id=run_id))
     print(f"workload: {workload.name}  plan: seed={plan.seed} "
           f"bitflip={plan.bitflip_load_rate} drop={plan.message_drop_rate} "
@@ -884,6 +930,68 @@ def cmd_trace(args) -> int:
           f"({accesses} memory accesses) to {args.output} "
           f"({size} bytes compressed)")
     return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect and manage the content-addressed prepare cache. Exit
+    codes: 0 ok, 2 when ``verify`` finds unsound entries."""
+    import time as _time
+    from .harness import PrepareCache
+    cache = PrepareCache(args.dir)
+    action = args.cache_command
+    if action == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"prepare cache at {cache.root}: empty")
+            return 0
+        rows = []
+        for entry in entries:
+            rows.append([
+                entry["key"][:16],
+                entry.get("kernel", "-"),
+                entry.get("num_tiles", "-"),
+                entry.get("payload_bytes", entry["disk_bytes"]),
+                _time.strftime("%Y-%m-%d %H:%M:%S",
+                               _time.localtime(entry["mtime"])),
+            ])
+        print(render_table(
+            ["key", "kernel", "tiles", "bytes", "last used"], rows,
+            title=f"{cache.root}: {len(entries)} entr"
+                  f"{'y' if len(entries) == 1 else 'ies'}"))
+        return 0
+    if action == "stats":
+        stats = cache.stats()
+        print(f"root: {stats['root']}")
+        print(f"schema: {stats['schema']}")
+        print(f"entries: {stats['entries']}")
+        print(f"total_bytes: {stats['total_bytes']}")
+        print(f"max_bytes: {stats['max_bytes']}")
+        if getattr(args, "json", None):
+            from .ioutil import atomic_write_json
+            atomic_write_json(args.json, stats, indent=2)
+            STATUS.info(f"cache stats: -> {args.json}")
+        return 0
+    if action == "gc":
+        removed = cache.gc(args.max_bytes)
+        stats = cache.stats()
+        print(f"gc: removed {removed} entr"
+              f"{'y' if removed == 1 else 'ies'}; "
+              f"{stats['entries']} remain ({stats['total_bytes']} bytes)")
+        return 0
+    if action == "clear":
+        removed = cache.clear()
+        print(f"clear: removed {removed} entr"
+              f"{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    # verify
+    results = cache.verify()
+    bad = [r for r in results if not r["ok"]]
+    for record in results:
+        print(f"  {record['key'][:16]}: "
+              f"{'ok' if record['ok'] else record['problem']}")
+    print(f"verify: {len(results) - len(bad)}/{len(results)} entr"
+          f"{'y' if len(results) == 1 else 'ies'} ok")
+    return 2 if bad else 0
 
 
 def cmd_watch(args) -> int:
@@ -1073,6 +1181,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "and restore their results bit-identically")
         return sub
 
+    def with_prep_cache(sub):
+        sub.add_argument("--prep-cache", nargs="?", const=True,
+                         default=None, metavar="DIR", dest="prep_cache",
+                         help="replay compiled kernels + traces from the "
+                              "content-addressed prepare cache in DIR "
+                              "(default: REPRO_PREP_CACHE_DIR or "
+                              "~/.cache/repro/prepcache); see "
+                              "docs/performance.md")
+        sub.add_argument("--no-prep-cache", action="store_true",
+                         dest="no_prep_cache",
+                         help="force a fresh prepare even when "
+                              "REPRO_PREP_CACHE_DIR is set")
+        return sub
+
     def with_registry(sub):
         sub.add_argument("--registry", nargs="?", const="runs",
                          metavar="DIR",
@@ -1105,9 +1227,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "starting fresh")
         return sub
 
-    sim = with_registry(with_checkpoint(with_sweep(with_supervision(
-        with_workload(commands.add_parser(
-            "simulate", help="simulate a workload on a system preset"))))))
+    sim = with_prep_cache(with_registry(with_checkpoint(with_sweep(
+        with_supervision(with_workload(commands.add_parser(
+            "simulate", help="simulate a workload on a system "
+                             "preset")))))))
     sim.add_argument("--core", default="ooo", choices=sorted(CORES))
     sim.add_argument("--tiles", type=int, default=1)
     sim.add_argument("--hierarchy", default="dae",
@@ -1146,10 +1269,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "--journal to tune the live-status stride)")
     sim.set_defaults(func=cmd_simulate)
 
-    inject = with_registry(with_checkpoint(with_sweep(with_supervision(
-        with_workload(commands.add_parser(
+    inject = with_prep_cache(with_registry(with_checkpoint(with_sweep(
+        with_supervision(with_workload(commands.add_parser(
             "inject",
-            help="run a deterministic fault-injection campaign"))))))
+            help="run a deterministic fault-injection campaign")))))))
     inject.add_argument("--core", default="ooo", choices=sorted(CORES))
     inject.add_argument("--tiles", type=int, default=1)
     inject.add_argument("--hierarchy", default="dae",
@@ -1245,6 +1368,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "memory block)")
     with_sweep(analyze)
     with_checkpoint(analyze)
+    with_prep_cache(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     diff = commands.add_parser(
@@ -1305,7 +1429,40 @@ def build_parser() -> argparse.ArgumentParser:
     memstat.add_argument("--json", metavar="FILE",
                          help="also write the report JSON (diff-able, "
                               "carries attribution + memory blocks)")
+    with_prep_cache(memstat)
     memstat.set_defaults(func=cmd_memstat)
+
+    cache_cmd = commands.add_parser(
+        "cache", help="inspect and manage the content-addressed "
+                      "prepare cache (compile-once, simulate-many)")
+    csub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+
+    def with_cache_dir(sub):
+        sub.add_argument("--dir", metavar="DIR", default=None,
+                         help="cache directory (default: "
+                              "REPRO_PREP_CACHE_DIR or "
+                              "~/.cache/repro/prepcache)")
+        sub.set_defaults(func=cmd_cache)
+        return sub
+
+    with_cache_dir(csub.add_parser(
+        "ls", help="list cached prepare artifacts (LRU first)"))
+    cstats = with_cache_dir(csub.add_parser(
+        "stats", help="entry count, byte totals and session counters"))
+    cstats.add_argument("--json", metavar="FILE",
+                        help="also write the stats as JSON (CI artifact)")
+    cgc = with_cache_dir(csub.add_parser(
+        "gc", help="evict least-recently-used entries down to the "
+                   "size cap"))
+    cgc.add_argument("--max-bytes", type=int, default=None,
+                     dest="max_bytes", metavar="N",
+                     help="size cap to collect down to (default: "
+                          "the built-in 512 MiB cap)")
+    with_cache_dir(csub.add_parser(
+        "clear", help="remove every cache entry"))
+    with_cache_dir(csub.add_parser(
+        "verify", help="deep-check every entry (schema, payload "
+                       "digest, decode); exit 2 on unsound entries"))
 
     watch = commands.add_parser(
         "watch", help="live terminal dashboard for a running sweep "

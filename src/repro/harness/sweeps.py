@@ -227,9 +227,15 @@ class SweepJournal:
             try:
                 stats = pickle.loads(zlib.decompress(
                     base64.b64decode(entry["stats"])))
-            except Exception:
+            except Exception as exc:
+                STATUS.warn(f"sweep journal: point "
+                            f"{entry.get('index')} stats blob does not "
+                            f"decode ({exc}); re-running the point")
                 return None
             if _stats_digest(stats) != entry.get("digest"):
+                STATUS.warn(f"sweep journal: point "
+                            f"{entry.get('index')} stats digest "
+                            f"mismatch; re-running the point")
                 return None
         return SweepPoint(parameters, stats,
                           outcome=entry.get("outcome", "ok"),
@@ -306,8 +312,12 @@ def _worker_point(task: Tuple[int, Dict, Dict, str]) -> SweepPoint:
     if _WORKER_HB_QUEUE is not None:
         try:
             _WORKER_HB_QUEUE.put((index, "start", None))
-        except Exception:
-            pass  # a dead coordinator queue must not fail the point
+        except Exception as exc:
+            # a dead coordinator queue must not fail the point, but the
+            # lost live progress should be observable on worker stderr
+            STATUS.warn(f"sweep point {index}: heartbeat queue "
+                        f"unreachable ({exc}); live progress for this "
+                        f"point is lost")
         emitter = HeartbeatEmitter(
             send=_QueueSend(_WORKER_HB_QUEUE, index),
             every_cycles=_WORKER_HB_EVERY or 100_000,
@@ -406,11 +416,14 @@ def _execute_sweep(prepared: Prepared, tasks: List[Tuple[Dict, Dict]],
                    resume: bool = False,
                    point_retries: int = 2,
                    retry_backoff: float = 0.0,
-                   heartbeat_every: Optional[int] = None) -> SweepResult:
+                   heartbeat_every: Optional[int] = None,
+                   prep_cache=None) -> SweepResult:
     """Run every (parameters, spec) task; in order, serially or on a pool.
 
     Workers receive the Prepared workload once (compressed pickle via the
-    pool initializer), then stream pure-data specs. Results are assembled
+    pool initializer); when ``prep_cache`` holds the artifact under
+    ``prepared.cache_key``, the stored payload is shipped as-is instead
+    of re-compressing. Workers then stream pure-data specs. Results are assembled
     in submission order, so the SweepResult is bit-identical to a serial
     sweep — each point's simulation is an isolated deterministic run
     either way. ``on_error="raise"`` executes serially so the first
@@ -479,7 +492,17 @@ def _execute_sweep(prepared: Prepared, tasks: List[Tuple[Dict, Dict]],
             collected(index, parameters,
                       _run_point(parameters, run, on_error))
     elif todo:
-        payload = zlib.compress(pickle.dumps(prepared, protocol=4), 6)
+        payload = None
+        if prep_cache is not None and getattr(prepared, "cache_key", None):
+            # ship the cache's stored payload (same format: zlib of
+            # pickled Prepared) instead of paying compression again
+            payload = prep_cache.payload_bytes(prepared.cache_key)
+            if payload is not None:
+                STATUS.verbose(f"sweep: shipping cached prepare payload "
+                               f"{prepared.cache_key[:12]} "
+                               f"({len(payload)} bytes) to workers")
+        if payload is None:
+            payload = zlib.compress(pickle.dumps(prepared, protocol=4), 6)
         hb_queue = None
         manager = None
         drain = None
@@ -517,7 +540,8 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
                resume: bool = False,
                point_retries: int = 2,
                retry_backoff: float = 0.0,
-               heartbeat_every: Optional[int] = None) -> SweepResult:
+               heartbeat_every: Optional[int] = None,
+               prep_cache=None) -> SweepResult:
     """Simulate ``prepared`` under every combination of core-config
     overrides in ``grid`` (a dict of CoreConfig field -> values).
 
@@ -561,7 +585,8 @@ def sweep_core(prepared: Prepared, base: CoreConfig,
                           journal_path=journal_path, resume=resume,
                           point_retries=point_retries,
                           retry_backoff=retry_backoff,
-                          heartbeat_every=heartbeat_every)
+                          heartbeat_every=heartbeat_every,
+                          prep_cache=prep_cache)
 
 
 def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
@@ -575,7 +600,8 @@ def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
                     resume: bool = False,
                     point_retries: int = 2,
                     retry_backoff: float = 0.0,
-                    heartbeat_every: Optional[int] = None) -> SweepResult:
+                    heartbeat_every: Optional[int] = None,
+                    prep_cache=None) -> SweepResult:
     """Simulate ``prepared`` under each named memory-hierarchy config."""
     tasks = [({"hierarchy": name},
               {"core": core, "num_tiles": num_tiles,
@@ -586,7 +612,8 @@ def sweep_hierarchy(prepared: Prepared, core: CoreConfig,
                           journal_path=journal_path, resume=resume,
                           point_retries=point_retries,
                           retry_backoff=retry_backoff,
-                          heartbeat_every=heartbeat_every)
+                          heartbeat_every=heartbeat_every,
+                          prep_cache=prep_cache)
 
 
 def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
@@ -596,7 +623,8 @@ def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
                resume: bool = False,
                point_retries: int = 2,
                retry_backoff: float = 0.0,
-               heartbeat_every: Optional[int] = None) -> SweepResult:
+               heartbeat_every: Optional[int] = None,
+               prep_cache=None) -> SweepResult:
     """Simulate ``prepared`` once per named run configuration.
 
     Each value of ``runs`` is a dict of :func:`simulate` keyword
@@ -610,4 +638,5 @@ def sweep_runs(prepared: Prepared, runs: Dict[str, Dict], *,
                           journal_path=journal_path, resume=resume,
                           point_retries=point_retries,
                           retry_backoff=retry_backoff,
-                          heartbeat_every=heartbeat_every)
+                          heartbeat_every=heartbeat_every,
+                          prep_cache=prep_cache)

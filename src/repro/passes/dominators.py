@@ -94,10 +94,16 @@ class DominatorTree:
             node = self.idom[id(node)]
 
     def frontier_of(self, block: BasicBlock) -> List[BasicBlock]:
-        return [self._blocks_by_id[bid] for bid in self.frontier[id(block)]]
+        return self._in_rpo(self.frontier[id(block)])
 
     def iterated_frontier(self, blocks: List[BasicBlock]) -> List[BasicBlock]:
-        """Iterated dominance frontier of a set of blocks (for phi placement)."""
+        """Iterated dominance frontier of a set of blocks (for phi placement).
+
+        Returned in reverse-postorder: callers place phis (and number
+        SSA names) in this order, and iterating the underlying id() sets
+        directly would make the emitted IR text vary run to run —
+        semantically identical, but with shuffled phi names, which
+        defeats content-addressed caching of compiled artifacts."""
         result: Set[int] = set()
         worklist = list(blocks)
         while worklist:
@@ -106,7 +112,12 @@ class DominatorTree:
                 if bid not in result:
                     result.add(bid)
                     worklist.append(self._blocks_by_id[bid])
-        return [self._blocks_by_id[bid] for bid in result]
+        return self._in_rpo(result)
+
+    def _in_rpo(self, block_ids: Set[int]) -> List[BasicBlock]:
+        return [self._blocks_by_id[bid]
+                for bid in sorted(block_ids,
+                                  key=self._rpo_index.__getitem__)]
 
 
 def _reverse_postorder(func: Function) -> List[BasicBlock]:

@@ -211,8 +211,17 @@ class HeartbeatEmitter:
                 # must never stall the simulation on disk latency
                 with open(self.path, "a", encoding="utf-8") as handle:
                     handle.write(json.dumps(heartbeat) + "\n")
-        except Exception:
+        except Exception as exc:
+            # heartbeats are advisory and must never fail the run, but a
+            # broken sink should be observable: warn once, then count
             self.errors += 1
+            if self.errors == 1:
+                from ..harness.status import STATUS
+                target = "send callback" if self.send is not None \
+                    else self.path
+                STATUS.warn(f"heartbeat: emit to {target} failed "
+                            f"({exc}); further failures are only "
+                            f"counted (emitter.errors)")
 
 
 # -- stream reading and the determinism fingerprint -------------------------

@@ -86,17 +86,27 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def quantile(self, q: float) -> float:
-        """Bucket-boundary upper bound for quantile ``q`` in [0, 1].
+    def quantile(self, q: float) -> Optional[float]:
+        """Deprecated spelling of :meth:`percentile` — use that instead.
 
-        Returns 0.0 on an empty histogram for backward compatibility;
-        prefer :meth:`percentile`, whose ``None`` sentinel
-        distinguishes "no observations" from "everything was <= the
-        first boundary"."""
+        Historically this returned 0.0 on an empty histogram while
+        ``percentile`` returned the documented ``None`` sentinel, so the
+        two methods disagreed about whether anything had been observed.
+        It now delegates, so both return ``None`` on empty input."""
+        return self.percentile(q)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Bucket-boundary upper bound for quantile ``q`` in [0, 1];
+        ``None`` on an empty histogram.
+
+        ``None`` is the documented sentinel for "no observations": a
+        0.0 here would be the first bucket boundary's edge artifact,
+        indistinguishable from a real all-zero distribution. Renderers
+        print ``-`` for None."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
-            return 0.0
+            return None
         rank = q * self.count
         running = 0
         for index, count in enumerate(self.counts):
@@ -106,17 +116,6 @@ class Histogram:
                     return float(self.boundaries[index])
                 return float(self.max if self.max is not None else 0.0)
         return float(self.max if self.max is not None else 0.0)
-
-    def percentile(self, q: float) -> Optional[float]:
-        """Like :meth:`quantile`, but ``None`` on an empty histogram.
-
-        The documented sentinel for "no observations": an empty
-        histogram used to report p50/p90/p99 of 0.0 — the first bucket
-        boundary's edge artifact — which is indistinguishable from a
-        real all-zero distribution. Renderers print ``-`` for None."""
-        if self.count == 0:
-            return None
-        return self.quantile(q)
 
     def as_dict(self) -> dict:
         return {

@@ -235,8 +235,9 @@ class TestPercentileSentinel:
         hist = Histogram()
         assert hist.percentile(0.5) is None
         assert hist.percentile(0.99) is None
-        # legacy quantile keeps its documented 0.0-on-empty behavior
-        assert hist.quantile(0.5) == 0.0
+        # the deprecated quantile spelling delegates to percentile, so
+        # the two can no longer disagree about an empty histogram
+        assert hist.quantile(0.5) is None
         document = hist.as_dict()
         assert document["p50"] is None
         assert document["p90"] is None

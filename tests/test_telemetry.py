@@ -215,7 +215,9 @@ class TestHistogram:
     def test_empty_histogram(self):
         hist = Histogram()
         assert hist.mean == 0.0
-        assert hist.quantile(0.5) == 0.0
+        # quantile delegates to percentile: both say None on empty input
+        assert hist.quantile(0.5) is None
+        assert hist.quantile(0.5) == hist.percentile(0.5)
         assert hist.as_dict()["count"] == 0
 
     def test_boundary_validation(self):
