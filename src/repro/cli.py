@@ -23,6 +23,11 @@ Commands
   report JSON (schema v2);
 * ``diff A.json B.json`` — attribute the cycle delta between two
   reports to the categories that moved;
+* ``inject <workload>`` — one supervised fault-injection run
+  (``--seed``/per-site rate flags); ``campaign <workload>`` — N
+  stratified fault trials classified against a golden-output oracle
+  (masked/sdc/detected/hang, Wilson CIs, ``--sdc-threshold`` exits 2
+  when the SDC upper bound exceeds it; see ``docs/resilience.md``);
 * ``watch JOURNAL`` — live terminal dashboard for a running (or
   crashed) sweep: per-point progress, rolling ETA, straggler/stall
   diagnosis from streamed heartbeats;
@@ -341,20 +346,26 @@ def cmd_ir(args) -> int:
     return 0
 
 
+def _accel_kinds(kernel) -> List[str]:
+    """Accelerator design kinds the compiled kernel invokes (pure data,
+    so campaign workers can rebuild their own farms from it)."""
+    from .sim.accelerator.library import DESIGN_FACTORIES
+    func = compile_kernel(kernel)
+    return sorted({
+        inst.callee[len("accel_"):] for inst in func.instructions()
+        if getattr(inst, "callee", "").startswith("accel_")
+        and inst.callee[len("accel_"):] in DESIGN_FACTORIES})
+
+
 def _detect_accelerators(kernel):
     """Build a default AcceleratorFarm covering every ``accel_*``
     intrinsic the compiled kernel invokes, so accelerated workloads run
     (and trace) without explicit farm configuration."""
-    from .sim.accelerator.library import DESIGN_FACTORIES
     from .sim.accelerator.tile import AcceleratorFarm
-    func = compile_kernel(kernel)
-    kinds = sorted({
-        inst.callee[len("accel_"):] for inst in func.instructions()
-        if getattr(inst, "callee", "").startswith("accel_")})
+    kinds = _accel_kinds(kernel)
     farm = AcceleratorFarm()
     for kind in kinds:
-        if kind in DESIGN_FACTORIES:
-            farm.add_default(kind)
+        farm.add_default(kind)
     return farm if farm.tiles else None
 
 
@@ -877,6 +888,115 @@ def cmd_inject(args) -> int:
     return 2
 
 
+def _replay_command(args, plan, site: str, seed: int) -> str:
+    """The exact ``repro inject`` invocation that reproduces one SDC
+    trial's corruption (same stratified plan, same seed)."""
+    parts = [f"repro inject {args.workload}"]
+    for item in args.size or ():
+        parts.append(f"--size {item}")
+    parts.append(f"--core {args.core} --tiles {args.tiles} "
+                 f"--hierarchy {args.hierarchy} --seed {seed}")
+    flags = {"mem": [("--bitflip-rate", plan.bitflip_load_rate)],
+             "msg": [("--drop-rate", plan.message_drop_rate),
+                     ("--delay-rate", plan.message_delay_rate)],
+             "dram": [("--dram-stall-rate", plan.dram_stall_rate)],
+             "accel": [("--accel-fault-rate", plan.accel_fault_rate)]}
+    for flag, rate in flags.get(site, ()):
+        if rate > 0.0:
+            parts.append(f"{flag} {rate}")
+    return " ".join(parts)
+
+
+def cmd_campaign(args) -> int:
+    """SDC characterization: N stratified fault trials classified
+    against a golden-output oracle (masked/sdc/detected/hang)."""
+    import time as _time
+    from .harness import render_campaign_report
+    from .resilience import (
+        CampaignError, run_campaign, validate_campaign_report,
+    )
+    from .resilience.campaign import site_rate
+    plan = FaultPlan(
+        seed=args.seed,
+        bitflip_load_rate=args.bitflip_rate,
+        message_drop_rate=args.drop_rate,
+        message_delay_rate=args.delay_rate,
+        dram_stall_rate=args.dram_stall_rate,
+        accel_fault_rate=args.accel_fault_rate,
+    )
+    try:
+        plan.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workload = _build(args.workload, args.size)
+    kinds = _accel_kinds(workload.kernel)
+    if args.sites:
+        sites = [s.strip() for s in args.sites.split(",") if s.strip()]
+    else:
+        # default stratification: the sites this workload can exercise —
+        # fabric faults need >1 tile, accelerator faults need a farm
+        sites = ["mem", "dram"]
+        if args.tiles > 1:
+            sites.insert(1, "msg")
+        if kinds:
+            sites.append("accel")
+        sites = [s for s in sites if site_rate(plan, s) > 0.0]
+    run_id = _registry_run_id(args)
+    began = _time.perf_counter()
+    try:
+        result = run_campaign(
+            workload.kernel, workload.args, plan=plan,
+            trials=args.trials, memory=workload.memory,
+            sites=sites or None, core=_core(args.core),
+            num_tiles=args.tiles, hierarchy=_hierarchy(args.hierarchy),
+            accel_kinds=kinds, max_cycles=args.max_cycles,
+            wall_clock_limit=args.timeout, jobs=args.jobs,
+            journal_path=args.journal,
+            resume=args.resume_campaign,
+            sdc_ci_target=args.ci_target,
+            prep_cache=_prep_cache(args),
+            workload_name=workload.name)
+    except (CampaignError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    wall = _time.perf_counter() - began
+    report = result.report()
+    validate_campaign_report(report)
+    print(render_campaign_report(report))
+    for entry in report["sdc"]["trials"]:
+        print(f"  replay: "
+              f"{_replay_command(args, plan, entry['site'], entry['seed'])}")
+    if args.json:
+        from .ioutil import atomic_write_json
+        atomic_write_json(args.json, report, indent=2)
+        STATUS.info(f"campaign report: -> {args.json}")
+    sdc_rate = report["sdc"]["rate"]
+    sdc_upper = report["sdc"]["ci"][1]
+    _record_manifest(
+        args, run_id, workload=workload.name, status="ok",
+        wall_seconds=wall, seed=plan.seed,
+        config={"workload": args.workload, "size": args.size or [],
+                "core": args.core, "tiles": args.tiles,
+                "hierarchy": args.hierarchy, "plan": plan,
+                "sites": report["sites"], "trials": args.trials},
+        artifacts={"report": args.json, "journal": args.journal},
+        extra={"campaign": {
+            "schema_version": report["schema_version"],
+            "trials": report["trials"],
+            "outcomes": report["outcomes"],
+            "sdc_rate": sdc_rate,
+            "sdc_ci": report["sdc"]["ci"],
+            "golden_digest": report["golden"]["digest"],
+            "early_stopped": report["early_stopped"],
+        }})
+    if args.sdc_threshold is not None and sdc_upper > args.sdc_threshold:
+        print(f"SDC gate: upper bound {sdc_upper:.3f} exceeds "
+              f"threshold {args.sdc_threshold}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_dump_config(args) -> int:
     from .sim.configfile import save_core_config, save_hierarchy_config
     core_path = f"{args.prefix}.core.json"
@@ -1290,6 +1410,67 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--accel-fault-rate", type=float, default=0.0,
                         help="probability an accelerator invocation faults")
     inject.set_defaults(func=cmd_inject)
+
+    campaign = with_prep_cache(with_registry(with_workload(
+        commands.add_parser(
+            "campaign",
+            help="SDC characterization: stratified fault trials "
+                 "classified against a golden-output oracle"))))
+    campaign.add_argument("--core", default="ooo", choices=sorted(CORES))
+    campaign.add_argument("--tiles", type=int, default=1)
+    campaign.add_argument("--hierarchy", default="dae",
+                          choices=sorted(HIERARCHIES))
+    campaign.add_argument("--trials", type=int, default=24, metavar="N",
+                          help="faulted trials to run (default 24); "
+                               "trial i targets site sites[i %% len] "
+                               "with its own deterministic seed")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="campaign base seed (same seed = same "
+                               "per-trial plans = same outcomes)")
+    campaign.add_argument("--sites", metavar="S1,S2",
+                          help="fault sites to stratify over (subset of "
+                               "mem,msg,dram,accel; default: the sites "
+                               "this workload can exercise)")
+    campaign.add_argument("--bitflip-rate", type=float, default=0.01,
+                          help="mem site: probability a functional load "
+                               "is bit-flipped (default 0.01)")
+    campaign.add_argument("--drop-rate", type=float, default=0.01,
+                          help="msg site: message drop probability")
+    campaign.add_argument("--delay-rate", type=float, default=0.05,
+                          help="msg site: message delay probability")
+    campaign.add_argument("--dram-stall-rate", type=float, default=0.05,
+                          help="dram site: response stall probability")
+    campaign.add_argument("--accel-fault-rate", type=float, default=0.05,
+                          help="accel site: invocation fault probability")
+    campaign.add_argument("--max-cycles", type=int, default=None,
+                          help="per-trial cycle budget (default: 64x "
+                               "the golden run, so live-locked trials "
+                               "classify as hang)")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-trial wall-clock watchdog limit")
+    campaign.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for trials (1 = "
+                               "serial; results are bit-identical)")
+    campaign.add_argument("--journal", metavar="FILE",
+                          help="journal completed trials to a JSONL "
+                               "file (crash-recoverable)")
+    campaign.add_argument("--resume-campaign", action="store_true",
+                          dest="resume_campaign",
+                          help="skip trials already recorded in "
+                               "--journal and restore their outcomes "
+                               "bit-identically")
+    campaign.add_argument("--sdc-threshold", type=float, default=None,
+                          metavar="P",
+                          help="exit 2 when the SDC rate's Wilson upper "
+                               "bound exceeds P")
+    campaign.add_argument("--ci-target", type=float, default=None,
+                          metavar="W",
+                          help="stop early once the SDC-rate CI is "
+                               "narrower than W")
+    campaign.add_argument("--json", metavar="FILE",
+                          help="write the campaign report block as JSON")
+    campaign.set_defaults(func=cmd_campaign)
 
     dump = commands.add_parser(
         "dump-config", help="write a system preset as editable JSON files")

@@ -6,9 +6,9 @@ from .reference import (
     x86_reference_hierarchy,
 )
 from .reporting import (
-    geomean, render_attribution_report, render_bars, render_memory_diff,
-    render_memstat_report, render_report_diff, render_table,
-    render_timeline,
+    geomean, render_attribution_report, render_bars,
+    render_campaign_report, render_memory_diff, render_memstat_report,
+    render_report_diff, render_table, render_timeline,
 )
 from .prepcache import (
     DEFAULT_MAX_BYTES, PREPCACHE_SCHEMA_VERSION, PrepareCache,
@@ -47,8 +47,9 @@ __all__ = [
     "accuracy_factor", "fold_for_x86", "reference_stats",
     "x86_reference_core", "x86_reference_hierarchy",
     "geomean", "render_attribution_report", "render_bars",
-    "render_memory_diff", "render_memstat_report", "render_report_diff",
-    "render_table", "render_timeline",
+    "render_campaign_report", "render_memory_diff",
+    "render_memstat_report", "render_report_diff", "render_table",
+    "render_timeline",
     "DEFAULT_MAX_BYTES", "PREPCACHE_SCHEMA_VERSION", "PrepareCache",
     "default_cache_root", "prepare_key",
     "DAEPairSpec", "DEFAULT_MAX_CYCLES", "FaultedRun", "Prepared",

@@ -438,3 +438,72 @@ def render_timeline(document: dict, width: int = 72,
         label = lane_names.get(tid, f"tid {tid}")
         lines.append(f"{label:>{label_width}} |{''.join(lanes[tid])}|")
     return "\n".join(lines)
+
+
+def render_campaign_report(document: Dict, width: int = 36) -> str:
+    """Terminal rendering of a fault-campaign report block (see
+    ``repro.resilience.campaign``): headline, a per-site outcome table
+    with SDC confidence intervals, stacked outcome bars per site, and
+    the SDC trials with their replay seeds."""
+    golden = document.get("golden", {})
+    lines = [
+        f"fault campaign: {document.get('workload', '?')} — "
+        f"{document.get('trials', 0)}/"
+        f"{document.get('requested_trials', document.get('trials', 0))} "
+        f"trial(s), seed {document.get('seed', 0)}"
+        + ("  [early stop]" if document.get("early_stopped") else ""),
+        f"golden: {golden.get('cycles', '?')} cycles, "
+        f"{golden.get('segments', '?')} segment(s), "
+        f"digest {str(golden.get('digest', ''))[:12]}",
+    ]
+    outcome_order = ["masked", "sdc", "detected", "hang", "config-error",
+                     "worker_died"]
+    per_site = document.get("per_site", {})
+    rows = []
+    for site in document.get("sites", sorted(per_site)):
+        block = per_site.get(site)
+        if block is None:
+            continue
+        sdc = block.get("sdc", {})
+        low, high = sdc.get("ci", (0.0, 1.0))
+        rows.append([site, block.get("trials", 0)]
+                    + [block.get("outcomes", {}).get(o, 0)
+                       for o in outcome_order]
+                    + [f"{sdc.get('rate', 0.0):.3f}",
+                       f"[{low:.3f}, {high:.3f}]"])
+    if rows:
+        lines.append(render_table(
+            ["site", "trials"] + outcome_order + ["sdc-rate", "CI"],
+            rows))
+    for site in document.get("sites", sorted(per_site)):
+        block = per_site.get(site)
+        if block is None or not block.get("trials"):
+            continue
+        total = block["trials"]
+        bar = []
+        marks = {"masked": ".", "sdc": "X", "detected": "d", "hang": "h",
+                 "config-error": "c", "worker_died": "w"}
+        for outcome in outcome_order:
+            count = block.get("outcomes", {}).get(outcome, 0)
+            if count:
+                span = max(1, round(width * count / total))
+                bar.append(marks[outcome] * span)
+        lines.append(f"  {site:<6} |{''.join(bar)[:width]:<{width}}| "
+                     f"(. masked, X sdc, d detected, h hang)")
+    sdc = document.get("sdc", {})
+    low, high = sdc.get("ci", (0.0, 1.0))
+    lines.append(f"aggregate SDC rate {sdc.get('rate', 0.0):.3f} "
+                 f"(CI [{low:.3f}, {high:.3f}], "
+                 f"{sdc.get('count', 0)}/{document.get('trials', 0)})")
+    trials = sdc.get("trials", ())
+    if trials:
+        lines.append("SDC trials (seed replays the corruption under "
+                     "`repro inject`):")
+        for entry in trials:
+            corrupted = ", ".join(entry.get("corrupted", ())) or "?"
+            lines.append(f"  trial {entry.get('trial')}  "
+                         f"site {entry.get('site')}  "
+                         f"seed {entry.get('seed')}  "
+                         f"{entry.get('faults', 0)} fault(s)  "
+                         f"corrupted: {corrupted}")
+    return "\n".join(lines)

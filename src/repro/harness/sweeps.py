@@ -251,6 +251,14 @@ class SweepJournal:
 # ``plan`` (a FaultPlan wired in as a fresh FaultInjector). Pure data is
 # what makes the spec picklable, which is what lets a worker process
 # execute it against its own copy of the Prepared workload.
+#
+# A spec may instead carry ``point_runner``: a picklable callable
+# ``(parameters, spec, payload) -> SweepPoint`` that replaces the
+# default simulate path entirely. The payload is whatever object the
+# caller handed _execute_sweep as ``prepared`` — the fault-campaign
+# engine ships a CampaignPayload (golden Prepared + pristine workload
+# blob) this way and keeps the journal/resume/worker-death machinery
+# for free.
 
 #: per-worker-process Prepared workload, installed by _worker_init
 _WORKER_PREPARED: Optional[Prepared] = None
@@ -309,6 +317,9 @@ class _QueueSend:
 
 def _worker_point(task: Tuple[int, Dict, Dict, str]) -> SweepPoint:
     index, parameters, spec, on_error = task
+    runner = spec.get("point_runner")
+    if runner is not None:
+        return runner(parameters, spec, _WORKER_PREPARED)
     if _WORKER_HB_QUEUE is not None:
         try:
             _WORKER_HB_QUEUE.put((index, "start", None))
@@ -477,6 +488,13 @@ def _execute_sweep(prepared: Prepared, tasks: List[Tuple[Dict, Dict]],
     jobs = min(jobs, len(todo))
     if jobs <= 1 or len(todo) <= 1 or on_error == "raise":
         for index, parameters, spec in todo:
+            runner = spec.get("point_runner")
+            if runner is not None:
+                if live is not None:
+                    live.point_started(index)
+                collected(index, parameters,
+                          runner(parameters, spec, prepared))
+                continue
             if live is not None:
                 live.point_started(index)
                 emitter = HeartbeatEmitter(

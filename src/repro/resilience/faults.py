@@ -80,6 +80,15 @@ class FaultPlan:
                 f"bitflip_bits must be in [1, 64], got {self.bitflip_bits}")
         if self.message_delay_cycles < 0 or self.dram_stall_cycles < 0:
             raise ValueError("fault delay/stall cycles must be >= 0")
+        combined = self.message_drop_rate + self.message_delay_rate
+        if combined > 1.0:
+            # message_action draws once per message and carves the unit
+            # interval into [drop | delay | deliver]; a sum above 1.0
+            # would silently truncate the effective delay probability
+            raise ValueError(
+                f"message_drop_rate + message_delay_rate must not exceed "
+                f"1.0 (the two outcomes share one draw per message), got "
+                f"{combined}")
         if self.end_cycle is not None and self.end_cycle <= self.start_cycle:
             raise ValueError("end_cycle must exceed start_cycle")
 
@@ -132,11 +141,17 @@ class FaultInjector:
 
     # -- functional loads (trace generation) ----------------------------
     def corrupt_load(self, address: int, value):
-        """Possibly flip one bit of a functionally loaded value."""
+        """Possibly flip one bit of a functionally loaded value.
+
+        Bit flips happen in the functional phase, which has no clock, so
+        the plan's ``start_cycle``/``end_cycle`` window applies over the
+        *load ordinal* — the same quantity the fault record's ``cycle``
+        field reports.
+        """
         index = self._load_index
         self._load_index += 1
         plan = self.plan
-        if plan.bitflip_load_rate <= 0.0:
+        if plan.bitflip_load_rate <= 0.0 or not self._active(index):
             return value
         rng = self._rngs["mem"]
         if rng.random() >= plan.bitflip_load_rate:

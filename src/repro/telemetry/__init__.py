@@ -41,7 +41,8 @@ from .memstat import (
 from .metrics import (
     Counter, DEFAULT_LATENCY_BUCKETS, Gauge, Histogram,
     METRICS_SCHEMA_VERSION, MetricsRegistry,
-    SUPPORTED_REPORT_VERSIONS, stats_to_dict, write_stats_json,
+    SUPPORTED_REPORT_VERSIONS, stats_to_dict, wilson_interval,
+    write_stats_json,
 )
 from .profiler import (
     PHASES, ProfiledFabric, ProfileReport, SelfProfiler, timed,
@@ -64,5 +65,6 @@ __all__ = [
     "heartbeat_key", "is_memory_category", "read_heartbeats",
     "stats_to_dict", "subsystem_categories", "timed",
     "validate_chrome_trace", "validate_heartbeat",
-    "validate_memory_block", "validate_report", "write_stats_json",
+    "validate_memory_block", "validate_report", "wilson_interval",
+    "write_stats_json",
 ]

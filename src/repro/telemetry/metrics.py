@@ -15,6 +15,7 @@ boundary.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -280,6 +281,31 @@ def stats_to_dict(stats, run_id: Optional[str] = None) -> dict:
     return document
 
 
+def wilson_interval(count: int, total: int,
+                    z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    The interval behind every campaign outcome rate (``repro
+    campaign``): unlike the normal approximation it stays inside
+    ``[0, 1]`` and behaves at the extremes (0 or ``total`` successes
+    out of few trials), which is exactly where fault-injection rates
+    live. ``z`` is the standard-normal quantile (1.96 ≈ 95%).
+    """
+    if count < 0 or total < 0 or count > total:
+        raise ValueError(f"need 0 <= count <= total, got "
+                         f"count={count} total={total}")
+    if total == 0:
+        return (0.0, 1.0)
+    phat = count / total
+    zz = z * z
+    denom = 1.0 + zz / total
+    centre = phat + zz / (2.0 * total)
+    margin = z * math.sqrt(phat * (1.0 - phat) / total
+                           + zz / (4.0 * total * total))
+    return (max(0.0, (centre - margin) / denom),
+            min(1.0, (centre + margin) / denom))
+
+
 def write_stats_json(stats, path: str,
                      run_id: Optional[str] = None) -> None:
     """Serialize ``stats`` (with any registry snapshot) to ``path``.
@@ -293,5 +319,6 @@ def write_stats_json(stats, path: str,
 __all__: List[str] = [
     "Counter", "DEFAULT_LATENCY_BUCKETS", "Gauge", "Histogram",
     "METRICS_SCHEMA_VERSION", "MetricsRegistry",
-    "SUPPORTED_REPORT_VERSIONS", "stats_to_dict", "write_stats_json",
+    "SUPPORTED_REPORT_VERSIONS", "stats_to_dict", "wilson_interval",
+    "write_stats_json",
 ]

@@ -155,6 +155,21 @@ class TestSupervisor:
         assert "exceeded" in outcome.error
         assert outcome.stats is None
 
+    def test_run_supervised_failure_keeps_profile(self):
+        # regression: the failure path used to drop profiler.report, so
+        # a timed-out run's phase buckets — exactly the runs worth
+        # profiling — were lost
+        from repro.telemetry.profiler import SelfProfiler
+        mem, A, B, n = _saxpy_env(64)
+        profiler = SelfProfiler()
+        outcome = run_supervised(kernels.saxpy, [A, B, n, 2.0],
+                                 core=ooo_core(),
+                                 hierarchy=dae_hierarchy(), memory=mem,
+                                 profiler=profiler, max_cycles=10)
+        assert outcome.status == "timeout"
+        assert outcome.profile is not None
+        assert outcome.profile.wall_seconds >= 0.0
+
     def test_run_supervised_retries_transient_faults(self):
         # rate-1.0 faults recur on every reseeded attempt: the supervisor
         # exhausts its retries and reports the fault
@@ -340,6 +355,55 @@ class TestConfigValidation:
             FaultPlan(bitflip_load_rate=1.5).validate()
         with pytest.raises(ValueError, match="end_cycle"):
             FaultPlan(start_cycle=10, end_cycle=5).validate()
+
+    def test_fault_plan_rejects_overcommitted_message_draw(self):
+        # drop and delay share one uniform draw per message; a combined
+        # rate above 1.0 would silently truncate the delay probability
+        with pytest.raises(ValueError, match="must not exceed"):
+            FaultPlan(message_drop_rate=0.7,
+                      message_delay_rate=0.5).validate()
+        # exactly 1.0 saturates the draw and is legal
+        FaultPlan(message_drop_rate=0.5,
+                  message_delay_rate=0.5).validate()
+
+
+class TestFaultWindow:
+    def test_corrupt_load_honors_window_over_load_ordinal(self):
+        # rate 1.0: every eligible load flips, so the flipped set IS the
+        # active window — the regression was corrupt_load ignoring it
+        injector = FaultInjector(FaultPlan(
+            seed=0, bitflip_load_rate=1.0, start_cycle=2, end_cycle=5))
+        flipped = [injector.corrupt_load(0x1000 + 8 * i, 0) != 0
+                   for i in range(8)]
+        assert flipped == [False, False, True, True, True,
+                           False, False, False]
+        assert [r.cycle for r in injector.log] == [2, 3, 4]
+        assert all(r.site == "mem" and r.kind == "bitflip"
+                   for r in injector.log)
+
+    def test_corrupt_load_open_window_starts_at_start_cycle(self):
+        injector = FaultInjector(FaultPlan(
+            seed=0, bitflip_load_rate=1.0, start_cycle=3))
+        flipped = [injector.corrupt_load(0x1000, 0) != 0 for _ in range(6)]
+        assert flipped == [False, False, False, True, True, True]
+
+    def test_windowed_bitflips_spare_early_loads_end_to_end(self):
+        mem, A, B, n = _saxpy_env(64)
+        baseline = A.data.copy(), B.data.copy()
+        run_with_faults(
+            kernels.saxpy, [A, B, n, 2.0],
+            plan=FaultPlan(seed=7, bitflip_load_rate=1.0, end_cycle=1),
+            core=ooo_core(), hierarchy=dae_hierarchy(), memory=mem)
+        mem2, A2, B2, n2 = _saxpy_env(64)
+        run_with_faults(
+            kernels.saxpy, [A2, B2, n2, 2.0],
+            plan=FaultPlan(seed=7, bitflip_load_rate=1.0),
+            core=ooo_core(), hierarchy=dae_hierarchy(), memory=mem2)
+        # the 1-load window corrupts strictly less than the open plan
+        windowed = np.sum(B.data != (2.0 * baseline[0] + baseline[1]))
+        assert windowed <= 1
+        assert np.sum(B2.data != (2.0 * baseline[0] + baseline[1])) \
+            > windowed
 
 
 class TestCancellableEvents:
